@@ -1,0 +1,201 @@
+(* captive_run: command-line front end to the DBT engines.
+
+     captive_run spec 429.mcf --engine captive --scale 2
+     captive_run simbench Mem-Hot-MMU
+     captive_run boot --engine qemu
+     captive_run info
+     captive_run ssa add_sub_imm --level 4
+
+   `spec` runs a SPEC CPU2006 proxy under the mini guest OS, `simbench`
+   one SimBench category on both engines, `boot` a demo user program on
+   the mini-OS, `info` prints the loaded guest models, and `ssa` dumps an
+   instruction's optimized SSA (the offline artifact of Fig. 6). *)
+
+open Cmdliner
+
+type engine_kind = Eng_captive | Eng_qemu | Eng_reference
+
+let engine_conv =
+  let parse = function
+    | "captive" -> Ok Eng_captive
+    | "qemu" -> Ok Eng_qemu
+    | "reference" | "ref" -> Ok Eng_reference
+    | s -> Error (`Msg (Printf.sprintf "unknown engine %S (captive|qemu|reference)" s))
+  in
+  let print fmt e =
+    Format.pp_print_string fmt
+      (match e with Eng_captive -> "captive" | Eng_qemu -> "qemu" | Eng_reference -> "reference")
+  in
+  Arg.conv (parse, print)
+
+let engine_arg =
+  Arg.(value & opt engine_conv Eng_captive & info [ "e"; "engine" ] ~docv:"ENGINE" ~doc:"DBT engine: captive, qemu or reference.")
+
+let scale_arg =
+  Arg.(value & opt int 1 & info [ "s"; "scale" ] ~docv:"N" ~doc:"Workload scale factor.")
+
+let verbose_stats_captive (e : Captive.Engine.t) =
+  let s = e.Captive.Engine.stats in
+  Printf.printf "cycles: %d\n" (Captive.Engine.cycles e);
+  Printf.printf "blocks: executed %d, translated %d, chain hits %d\n"
+    s.Captive.Engine.blocks_executed s.Captive.Engine.blocks_translated s.Captive.Engine.chain_hits;
+  Printf.printf "guest instrs translated: %d -> host instrs %d (%.1f/guest), %d bytes\n"
+    s.Captive.Engine.guest_instrs_translated s.Captive.Engine.host_instrs_emitted
+    (float_of_int s.Captive.Engine.host_instrs_emitted
+    /. float_of_int (max 1 s.Captive.Engine.guest_instrs_translated))
+    s.Captive.Engine.host_bytes_emitted;
+  Printf.printf "host page faults: %d, SMC invalidations: %d\n"
+    e.Captive.Engine.machine.Hvm.Machine.faults s.Captive.Engine.smc_invalidations;
+  Printf.printf "JIT wall time: decode %.1fms translate %.1fms regalloc %.1fms encode %.1fms\n"
+    (1000. *. s.Captive.Engine.t_decode) (1000. *. s.Captive.Engine.t_translate)
+    (1000. *. s.Captive.Engine.t_regalloc) (1000. *. s.Captive.Engine.t_encode)
+
+let run_user ~engine ~user =
+  let guest = Guest_arm.Arm.ops () in
+  match engine with
+  | Eng_captive ->
+    let e = Captive.Engine.create guest in
+    Workloads.Kernel.install (Workloads.Kernel.captive_target e) ~user;
+    let code =
+      match Captive.Engine.run ~max_cycles:50_000_000_000 e with
+      | Captive.Engine.Poweroff c -> c
+      | _ -> -1
+    in
+    print_string (Captive.Engine.uart_output e);
+    Printf.printf "exit code: %d\n" code;
+    verbose_stats_captive e
+  | Eng_qemu ->
+    let e = Qemu_ref.Qemu_engine.create guest in
+    Workloads.Kernel.install (Workloads.Kernel.qemu_target e) ~user;
+    let code =
+      match Qemu_ref.Qemu_engine.run ~max_cycles:50_000_000_000 e with
+      | Qemu_ref.Qemu_engine.Poweroff c -> c
+      | _ -> -1
+    in
+    print_string (Qemu_ref.Qemu_engine.uart_output e);
+    Printf.printf "exit code: %d\ncycles: %d\n" code (Qemu_ref.Qemu_engine.cycles e)
+  | Eng_reference ->
+    let r = Captive.Reference.create guest in
+    Workloads.Kernel.install (Workloads.Kernel.reference_target r) ~user;
+    let code =
+      match Captive.Reference.run ~max_instrs:500_000_000 r with
+      | Captive.Reference.Poweroff c -> c
+      | _ -> -1
+    in
+    print_string (Captive.Reference.uart_output r);
+    Printf.printf "exit code: %d (interpreted %d instructions)\n" code r.Captive.Reference.instrs_executed
+
+(* --- spec ------------------------------------------------------------------- *)
+
+let spec_names = List.map (fun b -> b.Workloads.Spec.name) Workloads.Spec.all
+
+let spec_cmd =
+  let bench =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK"
+           ~doc:(Printf.sprintf "One of: %s" (String.concat ", " spec_names)))
+  in
+  let run name engine scale =
+    match List.find_opt (fun b -> b.Workloads.Spec.name = name) Workloads.Spec.all with
+    | None -> `Error (false, Printf.sprintf "unknown benchmark %S" name)
+    | Some b ->
+      run_user ~engine ~user:(b.Workloads.Spec.build ~scale);
+      `Ok ()
+  in
+  Cmd.v (Cmd.info "spec" ~doc:"Run a SPEC CPU2006 proxy under the mini guest OS.")
+    Term.(ret (const run $ bench $ engine_arg $ scale_arg))
+
+(* --- simbench ------------------------------------------------------------------ *)
+
+let simbench_cmd =
+  let which = Arg.(value & pos 0 (some string) None & info [] ~docv:"CATEGORY") in
+  let run which =
+    let benches = Simbench.all () in
+    let selected =
+      match which with
+      | None -> benches
+      | Some n -> List.filter (fun b -> String.lowercase_ascii b.Simbench.name = String.lowercase_ascii n) benches
+    in
+    if selected = [] then `Error (false, "unknown SimBench category")
+    else begin
+      List.iter
+        (fun b ->
+          let r = Simbench.run_one b in
+          Printf.printf "%-20s captive %8dk  qemu %8dk  speed-up %.2fx\n%!" r.Simbench.bench
+            (r.Simbench.captive_cycles / 1000) (r.Simbench.qemu_cycles / 1000) r.Simbench.speedup)
+        selected;
+      `Ok ()
+    end
+  in
+  Cmd.v (Cmd.info "simbench" ~doc:"Run SimBench categories on both engines.")
+    Term.(ret (const run $ which))
+
+(* --- boot ----------------------------------------------------------------------- *)
+
+let boot_cmd =
+  let run engine =
+    let user =
+      let a = Guest_arm.Arm_asm.create ~base:Workloads.Kernel.user_va () in
+      String.iter
+        (fun ch ->
+          Guest_arm.Arm_asm.movz a Guest_arm.Arm_asm.x0 (Char.code ch);
+          Guest_arm.Arm_asm.movz a Guest_arm.Arm_asm.x8 1;
+          Guest_arm.Arm_asm.svc a 0)
+        "captive mini-OS: up at EL0 with paging, syscalls and a timer\n";
+      Guest_arm.Arm_asm.movz a Guest_arm.Arm_asm.x0 0;
+      Guest_arm.Arm_asm.movz a Guest_arm.Arm_asm.x8 0;
+      Guest_arm.Arm_asm.svc a 0;
+      Guest_arm.Arm_asm.assemble a
+    in
+    run_user ~engine ~user
+  in
+  Cmd.v (Cmd.info "boot" ~doc:"Boot the mini guest OS with a demo user program.")
+    Term.(const run $ engine_arg)
+
+(* --- info ------------------------------------------------------------------------- *)
+
+let info_cmd =
+  let run () =
+    List.iter
+      (fun (ops : Guest.Ops.ops) ->
+        let m = ops.Guest.Ops.model in
+        Printf.printf "%-10s %s\n" ops.Guest.Ops.name ops.Guest.Ops.description;
+        Printf.printf "           %d decode entries, %d execute actions, %d optimized SSA statements\n"
+          (List.length m.Ssa.Offline.arch.Adl.Ast.a_decodes)
+          (List.length m.Ssa.Offline.arch.Adl.Ast.a_executes)
+          (Ssa.Offline.total_size m))
+      [ Guest_arm.Arm.ops (); Guest_riscv.Riscv.ops () ]
+  in
+  Cmd.v (Cmd.info "info" ~doc:"Describe the available guest models.") Term.(const run $ const ())
+
+(* --- ssa --------------------------------------------------------------------------- *)
+
+let ssa_cmd =
+  let insn = Arg.(required & pos 0 (some string) None & info [] ~docv:"INSTRUCTION") in
+  let level = Arg.(value & opt int 4 & info [ "l"; "level" ] ~docv:"N" ~doc:"Offline optimization level (1-4).") in
+  let guest = Arg.(value & opt string "armv8-a" & info [ "g"; "guest" ] ~doc:"Guest model (armv8-a or rv64im).") in
+  let classify = Arg.(value & flag & info [ "c"; "classify" ] ~doc:"Annotate statements as [f]ixed or [d]ynamic (Sec. 2.2.2).") in
+  let run insn level guest classify =
+    let model =
+      match guest with
+      | "armv8-a" -> Guest_arm.Arm.model_at_level level
+      | "rv64im" -> Ssa.Offline.build ~opt_level:level Guest_riscv.Riscv_descr.source
+      | g -> failwith ("unknown guest " ^ g)
+    in
+    match Hashtbl.find_opt model.Ssa.Offline.actions insn with
+    | Some action ->
+      if classify then begin
+        print_string (Ssa.Analysis.to_string_annotated action);
+        let f, d, fb, db = Ssa.Analysis.stats action in
+        Printf.printf "\n%d fixed / %d dynamic statements; %d fixed / %d dynamic branches\n" f d fb db
+      end
+      else print_string (Ssa.Ir.to_string action)
+    | None ->
+      Printf.printf "no action %S; available:\n" insn;
+      Hashtbl.iter (fun n _ -> Printf.printf "  %s\n" n) model.Ssa.Offline.actions
+  in
+  Cmd.v (Cmd.info "ssa" ~doc:"Dump an instruction's optimized SSA (the offline artifact).")
+    Term.(const run $ insn $ level $ guest $ classify)
+
+let () =
+  let doc = "Retargetable system-level DBT hypervisor (Captive reproduction)" in
+  exit (Cmd.eval (Cmd.group (Cmd.info "captive_run" ~doc) [ spec_cmd; simbench_cmd; boot_cmd; info_cmd; ssa_cmd ]))

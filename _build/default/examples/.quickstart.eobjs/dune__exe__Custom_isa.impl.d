@@ -1,0 +1,1 @@
+examples/custom_isa.ml: Adl Array Hostir Hvm Int64 List Printf Ssa

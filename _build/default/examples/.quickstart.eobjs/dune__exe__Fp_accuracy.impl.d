@@ -1,0 +1,1 @@
+examples/fp_accuracy.ml: Captive Guest_arm Hvm Int64 List Printf Qemu_ref Softfloat

@@ -1,0 +1,1 @@
+examples/fp_accuracy.mli:

@@ -1,0 +1,1 @@
+examples/os_boot.ml: Captive Char Guest_arm Hvm Printf Qemu_ref String Workloads

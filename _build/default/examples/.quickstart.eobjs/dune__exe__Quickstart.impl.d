@@ -1,0 +1,1 @@
+examples/quickstart.ml: Captive Guest_arm Printf

@@ -1,0 +1,1 @@
+examples/retarget_riscv.ml: Adl Captive Guest Guest_riscv List Printf Qemu_ref Ssa

@@ -1,0 +1,1 @@
+lib/adl/ast.ml: List Printf

@@ -1,0 +1,1 @@
+lib/adl/builtins.ml: Ast List

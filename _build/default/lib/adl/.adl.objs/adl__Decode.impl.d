@@ -1,0 +1,1 @@
+lib/adl/decode.ml: Ast Dbt_util Eval Hashtbl Int64 List Printf

@@ -1,0 +1,1 @@
+lib/adl/decode.mli: Ast Hashtbl

@@ -1,0 +1,1 @@
+lib/adl/eval.ml: Ast Dbt_util F32 F64 Int64 List Sf_core Sf_types Softfloat

@@ -1,0 +1,1 @@
+lib/adl/eval.mli: Ast

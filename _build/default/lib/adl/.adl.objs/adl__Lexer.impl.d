@@ -1,0 +1,1 @@
+lib/adl/lexer.ml: Ast Buffer Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/adl/parser.ml: Ast Int64 Lexer List String

@@ -1,0 +1,1 @@
+lib/adl/typecheck.ml: Ast Builtins Int64 List Option

@@ -1,0 +1,130 @@
+(* Abstract syntax of the Architecture Description Language.
+
+   The ADL describes a guest architecture the way the paper's Section 2.2
+   does: a structural header (register banks and slots, word size,
+   endianness), instruction decode patterns, and instruction semantics in a
+   C-like behaviour language (Fig. 3). *)
+
+type ity = { bits : int; signed : bool }
+
+type ty =
+  | Tint of ity
+  | Tfloat of int (* 32 or 64 *)
+  | Tvoid
+
+let u8 = Tint { bits = 8; signed = false }
+let u16 = Tint { bits = 16; signed = false }
+let u32 = Tint { bits = 32; signed = false }
+let u64 = Tint { bits = 64; signed = false }
+let s8 = Tint { bits = 8; signed = true }
+let s16 = Tint { bits = 16; signed = true }
+let s32 = Tint { bits = 32; signed = true }
+let s64 = Tint { bits = 64; signed = true }
+let f32 = Tfloat 32
+let f64 = Tfloat 64
+
+let string_of_ty = function
+  | Tint { bits; signed } -> Printf.sprintf "%cint%d" (if signed then 's' else 'u') bits
+  | Tfloat b -> Printf.sprintf "float%d" b
+  | Tvoid -> "void"
+
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | And | Or | Xor
+  | Shl | Shr (* logical or arithmetic chosen by operand signedness *)
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | Land | Lor (* && || *)
+
+type unop = Neg | Not (* bitwise ~ *) | Lnot (* logical ! *)
+
+type pos = { line : int; col : int }
+
+type expr = { e : expr_desc; pos : pos; mutable ty : ty }
+
+and expr_desc =
+  | Int_lit of int64
+  | Float_lit of float
+  | Var of string
+  | Field of string (* inst.field *)
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Cast of ty * expr
+  | Call of string * expr list (* builtin or helper invocation *)
+  | Ternary of expr * expr * expr
+
+type stmt =
+  | Decl of ty * string * expr option
+  | Assign of string * expr
+  | Expr of expr
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list (* must be resolvable at translation time *)
+  | Return of expr option
+  | Block of stmt list
+
+(* A helper function, inlined into execute actions during the offline
+   stage. *)
+type helper = {
+  h_name : string;
+  h_ret : ty;
+  h_params : (ty * string) list;
+  h_body : stmt list;
+}
+
+(* The behaviour of one instruction (paper Fig. 3). *)
+type execute = {
+  x_name : string;
+  x_body : stmt list;
+}
+
+(* One token of a decode pattern, written MSB-first. *)
+type pat_tok =
+  | Bit of bool
+  | Fld of string * int (* named field of given width *)
+
+type decode_attr =
+  | Ends_block (* control flow: terminates the translation block *)
+  | Reads_pc
+
+(* A decode entry: instruction name, 32-bit pattern, optional predicate over
+   the extracted fields, attributes. *)
+type decode = {
+  d_name : string;
+  d_pattern : pat_tok list;
+  d_when : expr option;
+  d_attrs : decode_attr list;
+}
+
+type bank = {
+  b_name : string;
+  b_index : int; (* bank id used by read_register_bank *)
+  b_width : int; (* element width in bits *)
+  b_count : int;
+}
+
+type slot = {
+  s_name : string;
+  s_index : int;
+  s_width : int;
+}
+
+type arch = {
+  a_name : string;
+  a_wordsize : int;
+  a_little_endian : bool;
+  a_banks : bank list;
+  a_slots : slot list;
+  a_helpers : helper list;
+  a_decodes : decode list;
+  a_executes : execute list;
+}
+
+let find_bank arch name = List.find_opt (fun b -> b.b_name = name) arch.a_banks
+let find_slot arch name = List.find_opt (fun s -> s.s_name = name) arch.a_slots
+let find_helper arch name = List.find_opt (fun h -> h.h_name = name) arch.a_helpers
+let find_execute arch name = List.find_opt (fun x -> x.x_name = name) arch.a_executes
+let find_decode arch name = List.find_opt (fun d -> d.d_name = name) arch.a_decodes
+
+exception Adl_error of string * pos
+
+let error ?(pos = { line = 0; col = 0 }) fmt =
+  Printf.ksprintf (fun s -> raise (Adl_error (s, pos))) fmt

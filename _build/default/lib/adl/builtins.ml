@@ -1,0 +1,126 @@
+(* Builtin functions available to ADL instruction semantics.
+
+   The paper's domain-specific SSA provides "operations for reading
+   architectural registers, performing standard arithmetic ..., memory and
+   peripheral device access ..., and a variety of built-in functions for
+   common architectural behaviors (such as flag calculations and floating
+   point NaN/Infinity comparisons)". *)
+
+open Ast
+
+(* How an operation interacts with guest state; drives both dead-code
+   elimination (offline) and DAG collapse (online).
+   - Pure: no state access; foldable when arguments are fixed.
+   - Read: reads guest state; removable when unused, never foldable.
+   - Volatile: value-producing but with possible side effects (memory reads
+     can fault or hit MMIO) - never removed.
+   - Effect: statement-like mutation of guest state. *)
+type kind = Pure | Read | Volatile | Effect
+
+type signature = {
+  bi_name : string;
+  bi_params : ty list;
+  bi_ret : ty;
+  bi_kind : kind;
+}
+
+(* Pseudo-type markers used by special forms: the first argument of
+   read_register_bank etc. is a bank or slot *name*, checked separately. *)
+let bank_arg = Tint { bits = 0; signed = false }
+let slot_arg = Tint { bits = 1; signed = false }
+
+let table : signature list =
+  let p name params ret = { bi_name = name; bi_params = params; bi_ret = ret; bi_kind = Pure } in
+  let r name params ret = { bi_name = name; bi_params = params; bi_ret = ret; bi_kind = Read } in
+  let v name params ret = { bi_name = name; bi_params = params; bi_ret = ret; bi_kind = Volatile } in
+  let e name params = { bi_name = name; bi_params = params; bi_ret = Tvoid; bi_kind = Effect } in
+  [
+    (* --- pure bit manipulation ------------------------------------- *)
+    p "sign_extend" [ u64; u64 ] u64;
+    p "clz32" [ u64 ] u64;
+    p "clz64" [ u64 ] u64;
+    p "popcount64" [ u64 ] u64;
+    p "ror32" [ u64; u64 ] u64;
+    p "ror64" [ u64; u64 ] u64;
+    p "rbit32" [ u64 ] u64;
+    p "rbit64" [ u64 ] u64;
+    p "rev16" [ u64 ] u64;
+    p "rev32" [ u64 ] u64;
+    p "rev64" [ u64 ] u64;
+    p "umulh64" [ u64; u64 ] u64;
+    p "smulh64" [ u64; u64 ] u64;
+    (* ARM-style division: x/0 = 0, INT_MIN / -1 = INT_MIN *)
+    p "udiv64" [ u64; u64 ] u64;
+    p "sdiv64" [ u64; u64 ] u64;
+    p "udiv32" [ u64; u64 ] u64;
+    p "sdiv32" [ u64; u64 ] u64;
+    p "select" [ u64; u64; u64 ] u64;
+    (* --- flag calculation ------------------------------------------ *)
+    (* Return the NZCV nibble (N=8, Z=4, C=2, V=1) of a + b + cin. *)
+    p "add_flags64" [ u64; u64; u64 ] u64;
+    p "add_flags32" [ u64; u64; u64 ] u64;
+    p "adc64" [ u64; u64; u64 ] u64;
+    p "adc32" [ u64; u64; u64 ] u64;
+    p "logic_flags64" [ u64 ] u64;
+    p "logic_flags32" [ u64 ] u64;
+    (* --- floating point (operands/results are bit patterns) --------- *)
+    p "fp32_add" [ u64; u64 ] u64;
+    p "fp32_sub" [ u64; u64 ] u64;
+    p "fp32_mul" [ u64; u64 ] u64;
+    p "fp32_div" [ u64; u64 ] u64;
+    p "fp32_sqrt" [ u64 ] u64;
+    p "fp32_min" [ u64; u64 ] u64;
+    p "fp32_max" [ u64; u64 ] u64;
+    p "fp64_add" [ u64; u64 ] u64;
+    p "fp64_sub" [ u64; u64 ] u64;
+    p "fp64_mul" [ u64; u64 ] u64;
+    p "fp64_div" [ u64; u64 ] u64;
+    p "fp64_sqrt" [ u64 ] u64;
+    p "fp64_min" [ u64; u64 ] u64;
+    p "fp64_max" [ u64; u64 ] u64;
+    (* NZCV nibble of an IEEE comparison, ARM FCMP semantics. *)
+    p "fp32_cmp_flags" [ u64; u64 ] u64;
+    p "fp64_cmp_flags" [ u64; u64 ] u64;
+    p "fp32_to_fp64" [ u64 ] u64;
+    p "fp64_to_fp32" [ u64 ] u64;
+    p "fp64_to_sint64" [ u64 ] u64;
+    p "fp64_to_uint64" [ u64 ] u64;
+    p "fp32_to_sint32" [ u64 ] u64;
+    p "sint64_to_fp64" [ u64 ] u64;
+    p "uint64_to_fp64" [ u64 ] u64;
+    p "sint32_to_fp32" [ u64 ] u64;
+    p "sint64_to_fp32" [ u64 ] u64;
+    p "fp64_muladd" [ u64; u64; u64 ] u64;
+    (* --- guest state access ----------------------------------------- *)
+    r "read_register_bank" [ bank_arg; u64 ] u64;
+    r "read_register" [ slot_arg ] u64;
+    r "read_pc" [] u64;
+    r "read_coproc" [ u64 ] u64;
+    v "mem_read_8" [ u64 ] u64;
+    v "mem_read_16" [ u64 ] u64;
+    v "mem_read_32" [ u64 ] u64;
+    v "mem_read_64" [ u64 ] u64;
+    (* --- guest state mutation ---------------------------------------- *)
+    e "write_register_bank" [ bank_arg; u64; u64 ];
+    e "write_register" [ slot_arg; u64 ];
+    e "write_pc" [ u64 ];
+    e "write_coproc" [ u64; u64 ];
+    e "mem_write_8" [ u64; u64 ];
+    e "mem_write_16" [ u64; u64 ];
+    e "mem_write_32" [ u64; u64 ];
+    e "mem_write_64" [ u64; u64 ];
+    e "take_exception" [ u64; u64 ];
+    e "eret" [];
+    e "tlb_flush" [];
+    e "tlb_flush_page" [ u64 ];
+    e "halt" [];
+    e "wfi" [];
+    e "barrier" [];
+  ]
+
+let find name = List.find_opt (fun s -> s.bi_name = name) table
+
+(* Builtins that transfer control / terminate instruction execution. *)
+let terminates = function
+  | "take_exception" | "eret" | "halt" -> true
+  | _ -> false

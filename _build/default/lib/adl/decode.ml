@@ -1,0 +1,136 @@
+(* Decoder generation from ADL decode patterns.
+
+   The offline stage turns the per-instruction bit patterns into a decision
+   tree over the discriminating fixed bits (in the spirit of Krishna &
+   Austin, and Theiling, cited by the paper), so online decoding needs only
+   a handful of mask/compare steps per instruction. *)
+
+open Ast
+module Bits = Dbt_util.Bits
+
+(* Compiled form of one decode entry. *)
+type entry = {
+  de : decode;
+  mask : int64; (* fixed bits of the 32-bit word *)
+  value : int64;
+  fields : (string * int * int) list; (* name, lo, width *)
+}
+
+type decoded = {
+  name : string;
+  raw : int64;
+  field_values : (string * int64) list;
+  ends_block : bool;
+}
+
+let field decoded name =
+  match List.assoc_opt name decoded.field_values with
+  | Some v -> v
+  | None -> invalid_arg (Printf.sprintf "instruction %s has no field %s" decoded.name name)
+
+(* Patterns are written MSB-first; walk them computing bit positions. *)
+let compile_entry (d : decode) : entry =
+  let mask = ref 0L and value = ref 0L and fields = ref [] in
+  let pos = ref 32 in
+  List.iter
+    (fun tok ->
+      match tok with
+      | Bit b ->
+        decr pos;
+        mask := Int64.logor !mask (Bits.shl 1L !pos);
+        if b then value := Int64.logor !value (Bits.shl 1L !pos)
+      | Fld (name, w) ->
+        pos := !pos - w;
+        fields := (name, !pos, w) :: !fields)
+    d.d_pattern;
+  assert (!pos = 0);
+  { de = d; mask = !mask; value = !value; fields = List.rev !fields }
+
+type tree =
+  | Leaf of entry list (* tried in declaration order (for `when` overlap) *)
+  | Switch of int64 * (int64, tree) Hashtbl.t * entry list
+    (* discriminating mask, subtree per discriminant value, and entries
+       whose own mask does not cover the discriminant (tried last) *)
+
+(* Build the decision tree: at each node, switch on the bits that every
+   remaining candidate fixes (beyond those already consumed). *)
+let rec build (entries : entry list) (consumed : int64) : tree =
+  match entries with
+  | [] | [ _ ] -> Leaf entries
+  | _ ->
+    let common =
+      List.fold_left (fun acc e -> Int64.logand acc e.mask) (-1L) entries
+      |> fun m -> Int64.logand m (Int64.lognot consumed)
+    in
+    if common = 0L then Leaf entries
+    else begin
+      let groups : (int64, entry list) Hashtbl.t = Hashtbl.create 16 in
+      List.iter
+        (fun e ->
+          let key = Int64.logand e.value common in
+          Hashtbl.replace groups key (e :: (try Hashtbl.find groups key with Not_found -> [])))
+        entries;
+      let subtrees = Hashtbl.create 16 in
+      Hashtbl.iter
+        (fun key group -> Hashtbl.replace subtrees key (build (List.rev group) (Int64.logor consumed common)))
+        groups;
+      Switch (common, subtrees, [])
+    end
+
+(* Number of mask/compare steps for the statistics in the bench harness. *)
+let rec depth = function
+  | Leaf es -> List.length es
+  | Switch (_, subs, _) -> 1 + Hashtbl.fold (fun _ t acc -> max acc (depth t)) subs 0
+
+type t = {
+  tree : tree;
+  entries : entry list;
+}
+
+let of_arch (arch : arch) : t =
+  let entries = List.map compile_entry arch.a_decodes in
+  { tree = build entries 0L; entries }
+
+let extract_fields (e : entry) word =
+  List.map (fun (name, lo, w) -> (name, Bits.extract word ~lo ~len:w)) e.fields
+
+let matches (e : entry) word =
+  Int64.logand word e.mask = e.value
+  &&
+  match e.de.d_when with
+  | None -> true
+  | Some pred ->
+    let fields = extract_fields e word in
+    Eval.expr ~field:(fun n -> List.assoc n fields) pred <> 0L
+
+let to_decoded (e : entry) word =
+  {
+    name = e.de.d_name;
+    raw = word;
+    field_values = extract_fields e word;
+    ends_block = List.mem Ends_block e.de.d_attrs;
+  }
+
+(* Decode one 32-bit instruction word. *)
+let decode (t : t) (word : int64) : decoded option =
+  let word = Bits.zero_extend word ~width:32 in
+  let rec go = function
+    | Leaf entries -> (
+      match List.find_opt (fun e -> matches e word) entries with
+      | Some e -> Some (to_decoded e word)
+      | None -> None)
+    | Switch (mask, subs, rest) -> (
+      let key = Int64.logand word mask in
+      match Hashtbl.find_opt subs key with
+      | Some sub -> (
+        match go sub with
+        | Some _ as r -> r
+        | None -> (match List.find_opt (fun e -> matches e word) rest with
+                   | Some e -> Some (to_decoded e word)
+                   | None -> None))
+      | None -> (
+        match List.find_opt (fun e -> matches e word) rest with
+        | Some e -> Some (to_decoded e word)
+        | None -> None))
+  in
+  go t.tree

@@ -1,0 +1,48 @@
+(** Decoder generation from ADL decode patterns (paper Sec. 2.3.1).
+
+    The offline stage compiles the per-instruction bit patterns into a
+    decision tree over discriminating fixed bits (after Krishna & Austin,
+    and Theiling), so online decoding performs a handful of mask/compare
+    steps.  Overlapping patterns are resolved by their [when] predicates
+    in declaration order. *)
+
+open Ast
+
+(** A compiled decode entry: the source declaration plus its fixed-bit
+    mask/value and field extraction plan. *)
+type entry = {
+  de : decode;
+  mask : int64;
+  value : int64;
+  fields : (string * int * int) list; (** name, low bit, width *)
+}
+
+(** A decoded instruction instance. *)
+type decoded = {
+  name : string;  (** execute-action name *)
+  raw : int64;
+  field_values : (string * int64) list;
+  ends_block : bool;  (** terminates the translation block *)
+}
+
+(** Field accessor.
+    @raise Invalid_argument if the instruction has no such field. *)
+val field : decoded -> string -> int64
+
+type tree =
+  | Leaf of entry list
+  | Switch of int64 * (int64, tree) Hashtbl.t * entry list
+
+(** Worst-case number of mask/compare steps (bench statistic). *)
+val depth : tree -> int
+
+type t = {
+  tree : tree;
+  entries : entry list;
+}
+
+(** Compile the decoder for an architecture. *)
+val of_arch : arch -> t
+
+(** Decode one 32-bit word; [None] means an undefined instruction. *)
+val decode : t -> int64 -> decoded option

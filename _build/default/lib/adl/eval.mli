@@ -1,0 +1,28 @@
+(** Evaluation of *fixed* ADL expressions and pure builtins over concrete
+    64-bit values.
+
+    The single implementation of operator semantics shared by the
+    decoder's [when] predicates, the offline constant folder, the online
+    generator's fixed-operation evaluation, and the softfloat helper
+    dispatch — so translation-time folding, interpretation and helper
+    calls are bit-identical by construction. *)
+
+(** Normalize a value to a type's representation invariant (uintN
+    zero-extended, sintN sign-extended in 64 bits). *)
+val normalize : Ast.ty -> int64 -> int64
+
+(** Operator semantics over operands already normalized to the unified
+    64-bit operand type; [signed] is that type's signedness. *)
+val binop : Ast.binop -> signed:bool -> int64 -> int64 -> int64
+
+val unop : Ast.unop -> int64 -> int64
+
+(** Evaluate a pure builtin; [None] if the name is not a foldable
+    builtin.  FP builtins are evaluated with softfloat (ARM semantics), so
+    offline folding of FP constants is bit-accurate. *)
+val builtin : string -> int64 list -> int64 option
+
+(** Evaluate a typed, fixed expression; [field] resolves instruction
+    fields.
+    @raise Ast.Adl_error if the expression contains anything dynamic. *)
+val expr : field:(string -> int64) -> Ast.expr -> int64

@@ -1,0 +1,171 @@
+(* Hand-written lexer for the ADL. *)
+
+type token =
+  | IDENT of string
+  | INT of int64
+  | FLOAT of float
+  | STRING of string
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | SEMI | COMMA | DOT | COLON | QUESTION
+  | ASSIGN
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | AMP | PIPE | CARET | TILDE | BANG
+  | LTLT | GTGT
+  | EQEQ | NEQ | LT | LE | GT | GE
+  | AMPAMP | PIPEPIPE
+  | EOF
+
+type lexed = { tok : token; pos : Ast.pos }
+
+let keywords = [] (* keywords are recognised contextually by the parser *)
+
+let _ = keywords
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+let is_hex c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+
+let tokenize (src : string) : lexed list =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 and col = ref 1 in
+  let i = ref 0 in
+  let peek k = if !i + k < n then Some src.[!i + k] else None in
+  let advance () =
+    (if src.[!i] = '\n' then begin
+       incr line;
+       col := 1
+     end
+     else incr col);
+    incr i
+  in
+  let emit tok pos = toks := { tok; pos } :: !toks in
+  while !i < n do
+    let pos = { Ast.line = !line; col = !col } in
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\r' || c = '\n' then advance ()
+    else if c = '/' && peek 1 = Some '/' then
+      while !i < n && src.[!i] <> '\n' do
+        advance ()
+      done
+    else if c = '/' && peek 1 = Some '*' then begin
+      advance ();
+      advance ();
+      let fin = ref false in
+      while not !fin do
+        if !i >= n then Ast.error ~pos "unterminated comment";
+        if src.[!i] = '*' && peek 1 = Some '/' then begin
+          advance ();
+          advance ();
+          fin := true
+        end
+        else advance ()
+      done
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do
+        advance ()
+      done;
+      emit (IDENT (String.sub src start (!i - start))) pos
+    end
+    else if is_digit c then begin
+      let start = !i in
+      if c = '0' && (peek 1 = Some 'x' || peek 1 = Some 'X') then begin
+        advance ();
+        advance ();
+        while !i < n && is_hex src.[!i] do
+          advance ()
+        done;
+        (* Int64.of_string wraps out-of-range hex, so the full unsigned
+           64-bit range is accepted. *)
+        emit (INT (Int64.of_string (String.sub src start (!i - start)))) pos
+      end
+      else begin
+        while !i < n && is_digit src.[!i] do
+          advance ()
+        done;
+        if !i < n && src.[!i] = '.' && (match peek 1 with Some d -> is_digit d | None -> false)
+        then begin
+          advance ();
+          while !i < n && is_digit src.[!i] do
+            advance ()
+          done;
+          if !i < n && (src.[!i] = 'e' || src.[!i] = 'E') then begin
+            advance ();
+            if !i < n && (src.[!i] = '+' || src.[!i] = '-') then advance ();
+            while !i < n && is_digit src.[!i] do
+              advance ()
+            done
+          end;
+          emit (FLOAT (float_of_string (String.sub src start (!i - start)))) pos
+        end
+        else emit (INT (Int64.of_string (String.sub src start (!i - start)))) pos
+      end
+    end
+    else if c = '"' then begin
+      advance ();
+      let buf = Buffer.create 16 in
+      while !i < n && src.[!i] <> '"' do
+        Buffer.add_char buf src.[!i];
+        advance ()
+      done;
+      if !i >= n then Ast.error ~pos "unterminated string";
+      advance ();
+      emit (STRING (Buffer.contents buf)) pos
+    end
+    else begin
+      let two tk = advance (); advance (); emit tk pos in
+      let one tk = advance (); emit tk pos in
+      match (c, peek 1) with
+      | '<', Some '<' -> two LTLT
+      | '>', Some '>' -> two GTGT
+      | '=', Some '=' -> two EQEQ
+      | '!', Some '=' -> two NEQ
+      | '<', Some '=' -> two LE
+      | '>', Some '=' -> two GE
+      | '&', Some '&' -> two AMPAMP
+      | '|', Some '|' -> two PIPEPIPE
+      | '(', _ -> one LPAREN
+      | ')', _ -> one RPAREN
+      | '{', _ -> one LBRACE
+      | '}', _ -> one RBRACE
+      | '[', _ -> one LBRACKET
+      | ']', _ -> one RBRACKET
+      | ';', _ -> one SEMI
+      | ',', _ -> one COMMA
+      | '.', _ -> one DOT
+      | ':', _ -> one COLON
+      | '?', _ -> one QUESTION
+      | '=', _ -> one ASSIGN
+      | '+', _ -> one PLUS
+      | '-', _ -> one MINUS
+      | '*', _ -> one STAR
+      | '/', _ -> one SLASH
+      | '%', _ -> one PERCENT
+      | '&', _ -> one AMP
+      | '|', _ -> one PIPE
+      | '^', _ -> one CARET
+      | '~', _ -> one TILDE
+      | '!', _ -> one BANG
+      | '<', _ -> one LT
+      | '>', _ -> one GT
+      | _ -> Ast.error ~pos "unexpected character %C" c
+    end
+  done;
+  List.rev ({ tok = EOF; pos = { Ast.line = !line; col = !col } } :: !toks)
+
+let string_of_token = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | INT v -> Printf.sprintf "integer %Ld" v
+  | FLOAT f -> Printf.sprintf "float %g" f
+  | STRING s -> Printf.sprintf "string %S" s
+  | LPAREN -> "(" | RPAREN -> ")" | LBRACE -> "{" | RBRACE -> "}"
+  | LBRACKET -> "[" | RBRACKET -> "]"
+  | SEMI -> ";" | COMMA -> "," | DOT -> "." | COLON -> ":" | QUESTION -> "?"
+  | ASSIGN -> "=" | PLUS -> "+" | MINUS -> "-" | STAR -> "*" | SLASH -> "/"
+  | PERCENT -> "%" | AMP -> "&" | PIPE -> "|" | CARET -> "^" | TILDE -> "~"
+  | BANG -> "!" | LTLT -> "<<" | GTGT -> ">>" | EQEQ -> "==" | NEQ -> "!="
+  | LT -> "<" | LE -> "<=" | GT -> ">" | GE -> ">=" | AMPAMP -> "&&"
+  | PIPEPIPE -> "||" | EOF -> "end of input"

@@ -1,0 +1,394 @@
+(* Recursive-descent parser for the ADL. *)
+
+open Ast
+open Lexer
+
+type state = { mutable toks : lexed list }
+
+let peek st = match st.toks with [] -> assert false | t :: _ -> t
+let pos st = (peek st).pos
+
+let next st =
+  match st.toks with
+  | [] -> assert false
+  | t :: rest ->
+    (match t.tok with EOF -> () | _ -> st.toks <- rest);
+    t
+
+let expect st tok =
+  let t = next st in
+  if t.tok <> tok then
+    error ~pos:t.pos "expected %s, found %s" (string_of_token tok) (string_of_token t.tok)
+
+let expect_ident st =
+  let t = next st in
+  match t.tok with
+  | IDENT s -> s
+  | other -> error ~pos:t.pos "expected identifier, found %s" (string_of_token other)
+
+let expect_int st =
+  let t = next st in
+  match t.tok with
+  | INT v -> v
+  | other -> error ~pos:t.pos "expected integer, found %s" (string_of_token other)
+
+let expect_string st =
+  let t = next st in
+  match t.tok with
+  | STRING s -> s
+  | other -> error ~pos:t.pos "expected string, found %s" (string_of_token other)
+
+let accept st tok = if (peek st).tok = tok then (ignore (next st); true) else false
+
+let ty_of_name = function
+  | "uint8" -> Some u8
+  | "uint16" -> Some u16
+  | "uint32" -> Some u32
+  | "uint64" -> Some u64
+  | "sint8" -> Some s8
+  | "sint16" -> Some s16
+  | "sint32" -> Some s32
+  | "sint64" -> Some s64
+  | "float32" | "float" -> Some f32
+  | "float64" | "double" -> Some f64
+  | "void" -> Some Tvoid
+  | _ -> None
+
+let is_type_name s = ty_of_name s <> None
+
+let expect_type st =
+  let t = next st in
+  match t.tok with
+  | IDENT s -> (
+    match ty_of_name s with
+    | Some ty -> ty
+    | None -> error ~pos:t.pos "expected a type, found %S" s)
+  | other -> error ~pos:t.pos "expected a type, found %s" (string_of_token other)
+
+(* --- expressions ---------------------------------------------------------- *)
+
+let mk pos e = { e; pos; ty = Tvoid }
+
+let rec parse_expr st = parse_ternary st
+
+and parse_ternary st =
+  let c = parse_lor st in
+  if accept st QUESTION then begin
+    let t = parse_expr st in
+    expect st COLON;
+    let f = parse_ternary st in
+    mk c.Ast.pos (Ternary (c, t, f))
+  end
+  else c
+
+and parse_binlevel st ops sub =
+  let rec loop lhs =
+    match List.assoc_opt (peek st).tok ops with
+    | Some op ->
+      let p = pos st in
+      ignore (next st);
+      let rhs = sub st in
+      loop (mk p (Binop (op, lhs, rhs)))
+    | None -> lhs
+  in
+  loop (sub st)
+
+and parse_lor st = parse_binlevel st [ (PIPEPIPE, Lor) ] parse_land
+and parse_land st = parse_binlevel st [ (AMPAMP, Land) ] parse_bor
+and parse_bor st = parse_binlevel st [ (PIPE, Or) ] parse_bxor
+and parse_bxor st = parse_binlevel st [ (CARET, Xor) ] parse_band
+and parse_band st = parse_binlevel st [ (AMP, And) ] parse_equality
+and parse_equality st = parse_binlevel st [ (EQEQ, Eq); (NEQ, Ne) ] parse_relational
+
+and parse_relational st =
+  parse_binlevel st [ (Lexer.LT, Ast.Lt); (LE, Le); (GT, Gt); (GE, Ge) ] parse_shift
+
+and parse_shift st = parse_binlevel st [ (LTLT, Shl); (GTGT, Shr) ] parse_additive
+and parse_additive st = parse_binlevel st [ (PLUS, Add); (MINUS, Sub) ] parse_multiplicative
+
+and parse_multiplicative st =
+  parse_binlevel st [ (STAR, Mul); (SLASH, Div); (PERCENT, Rem) ] parse_unary
+
+and parse_unary st =
+  let p = pos st in
+  match (peek st).tok with
+  | MINUS ->
+    ignore (next st);
+    mk p (Unop (Neg, parse_unary st))
+  | TILDE ->
+    ignore (next st);
+    mk p (Unop (Not, parse_unary st))
+  | BANG ->
+    ignore (next st);
+    mk p (Unop (Lnot, parse_unary st))
+  | LPAREN -> (
+    (* Disambiguate a cast "(type) expr" from a parenthesized expression. *)
+    match st.toks with
+    | _ :: { tok = IDENT name; _ } :: { tok = RPAREN; _ } :: _ when is_type_name name ->
+      ignore (next st);
+      let ty = expect_type st in
+      expect st RPAREN;
+      mk p (Cast (ty, parse_unary st))
+    | _ -> parse_primary st)
+  | _ -> parse_primary st
+
+and parse_primary st =
+  let t = next st in
+  match t.tok with
+  | INT v -> mk t.pos (Int_lit v)
+  | FLOAT f -> mk t.pos (Float_lit f)
+  | LPAREN ->
+    let e = parse_expr st in
+    expect st RPAREN;
+    e
+  | IDENT "inst" when (peek st).tok = DOT ->
+    ignore (next st);
+    mk t.pos (Field (expect_ident st))
+  | IDENT name ->
+    if (peek st).tok = LPAREN then begin
+      ignore (next st);
+      let args = ref [] in
+      if not (accept st RPAREN) then begin
+        args := [ parse_expr st ];
+        while accept st COMMA do
+          args := parse_expr st :: !args
+        done;
+        expect st RPAREN
+      end;
+      mk t.pos (Call (name, List.rev !args))
+    end
+    else mk t.pos (Var name)
+  | other -> error ~pos:t.pos "unexpected %s in expression" (string_of_token other)
+
+(* --- statements ----------------------------------------------------------- *)
+
+let rec parse_stmt st : stmt =
+  let t = peek st in
+  match t.tok with
+  | LBRACE -> Block (parse_block st)
+  | IDENT "if" ->
+    ignore (next st);
+    expect st LPAREN;
+    let cond = parse_expr st in
+    expect st RPAREN;
+    let then_ = parse_block_or_stmt st in
+    let else_ =
+      if (peek st).tok = IDENT "else" then begin
+        ignore (next st);
+        parse_block_or_stmt st
+      end
+      else []
+    in
+    If (cond, then_, else_)
+  | IDENT "while" ->
+    ignore (next st);
+    expect st LPAREN;
+    let cond = parse_expr st in
+    expect st RPAREN;
+    While (cond, parse_block_or_stmt st)
+  | IDENT "return" ->
+    ignore (next st);
+    if accept st SEMI then Return None
+    else begin
+      let e = parse_expr st in
+      expect st SEMI;
+      Return (Some e)
+    end
+  | IDENT name when is_type_name name -> (
+    let ty = expect_type st in
+    let var = expect_ident st in
+    match (peek st).tok with
+    | ASSIGN ->
+      ignore (next st);
+      let e = parse_expr st in
+      expect st SEMI;
+      Decl (ty, var, Some e)
+    | _ ->
+      expect st SEMI;
+      Decl (ty, var, None))
+  | IDENT _ -> (
+    (* Either an assignment or an expression statement. *)
+    match st.toks with
+    | { tok = IDENT var; _ } :: { tok = ASSIGN; _ } :: _ ->
+      ignore (next st);
+      ignore (next st);
+      let e = parse_expr st in
+      expect st SEMI;
+      Assign (var, e)
+    | _ ->
+      let e = parse_expr st in
+      expect st SEMI;
+      Expr e)
+  | _ ->
+    let e = parse_expr st in
+    expect st SEMI;
+    Expr e
+
+and parse_block st : stmt list =
+  expect st LBRACE;
+  let stmts = ref [] in
+  while (peek st).tok <> RBRACE do
+    stmts := parse_stmt st :: !stmts
+  done;
+  expect st RBRACE;
+  List.rev !stmts
+
+and parse_block_or_stmt st =
+  if (peek st).tok = LBRACE then parse_block st else [ parse_stmt st ]
+
+(* --- decode patterns ------------------------------------------------------ *)
+
+let parse_pattern ~pos str =
+  let parts = String.split_on_char ' ' str |> List.filter (fun s -> s <> "") in
+  let parse_tok s =
+    match s with
+    | "0" -> Bit false
+    | "1" -> Bit true
+    | _ -> (
+      match String.index_opt s ':' with
+      | Some i ->
+        let name = String.sub s 0 i in
+        let width =
+          try int_of_string (String.sub s (i + 1) (String.length s - i - 1))
+          with _ -> error ~pos "bad field width in pattern token %S" s
+        in
+        if width <= 0 || width > 64 then error ~pos "bad field width %d" width;
+        Fld (name, width)
+      | None ->
+        (* A run of literal bits, e.g. "10110". *)
+        if String.for_all (fun c -> c = '0' || c = '1') s && String.length s > 0 then
+          (* handled by caller expansion *)
+          error ~pos "internal: multi-bit literal %S must be expanded" s
+        else error ~pos "bad pattern token %S" s)
+  in
+  List.concat_map
+    (fun s ->
+      if String.length s > 0 && String.for_all (fun c -> c = '0' || c = '1') s then
+        List.init (String.length s) (fun i -> Bit (s.[i] = '1'))
+      else [ parse_tok s ])
+    parts
+
+(* --- top level ------------------------------------------------------------ *)
+
+let parse_arch st =
+  let t = next st in
+  (match t.tok with
+  | IDENT "arch" -> ()
+  | other -> error ~pos:t.pos "expected 'arch', found %s" (string_of_token other));
+  let name = expect_string st in
+  expect st LBRACE;
+  let wordsize = ref 64 and little = ref true in
+  let banks = ref [] and slots = ref [] in
+  let bank_idx = ref 0 and slot_idx = ref 0 in
+  while (peek st).tok <> RBRACE do
+    let t = next st in
+    match t.tok with
+    | IDENT "wordsize" ->
+      wordsize := Int64.to_int (expect_int st);
+      expect st SEMI
+    | IDENT "endian" ->
+      (match expect_ident st with
+      | "little" -> little := true
+      | "big" -> little := false
+      | other -> error ~pos:t.pos "expected little/big, found %S" other);
+      expect st SEMI
+    | IDENT "bank" ->
+      let bname = expect_ident st in
+      expect st COLON;
+      let ty = expect_type st in
+      let width = match ty with Tint i -> i.bits | Tfloat b -> b | Tvoid -> error ~pos:t.pos "void bank" in
+      expect st LBRACKET;
+      let count = Int64.to_int (expect_int st) in
+      expect st RBRACKET;
+      expect st SEMI;
+      banks := { b_name = bname; b_index = !bank_idx; b_width = width; b_count = count } :: !banks;
+      incr bank_idx
+    | IDENT "reg" ->
+      let sname = expect_ident st in
+      expect st COLON;
+      let ty = expect_type st in
+      let width = match ty with Tint i -> i.bits | Tfloat b -> b | Tvoid -> error ~pos:t.pos "void reg" in
+      expect st SEMI;
+      slots := { s_name = sname; s_index = !slot_idx; s_width = width } :: !slots;
+      incr slot_idx
+    | other -> error ~pos:t.pos "unexpected %s in arch block" (string_of_token other)
+  done;
+  expect st RBRACE;
+  (name, !wordsize, !little, List.rev !banks, List.rev !slots)
+
+let parse_decode_attrs st =
+  let attrs = ref [] in
+  let continue_ = ref true in
+  while !continue_ do
+    match (peek st).tok with
+    | IDENT "ends_block" ->
+      ignore (next st);
+      attrs := Ends_block :: !attrs
+    | IDENT "reads_pc" ->
+      ignore (next st);
+      attrs := Reads_pc :: !attrs
+    | _ -> continue_ := false
+  done;
+  !attrs
+
+let parse_string (src : string) : arch =
+  let st = { toks = Lexer.tokenize src } in
+  let a_name, a_wordsize, a_little_endian, a_banks, a_slots = parse_arch st in
+  let helpers = ref [] and decodes = ref [] and executes = ref [] in
+  while (peek st).tok <> EOF do
+    let t = next st in
+    match t.tok with
+    | IDENT "helper" ->
+      let ret = expect_type st in
+      let hname = expect_ident st in
+      expect st LPAREN;
+      let params = ref [] in
+      if not (accept st RPAREN) then begin
+        let p () =
+          let ty = expect_type st in
+          let n = expect_ident st in
+          (ty, n)
+        in
+        params := [ p () ];
+        while accept st COMMA do
+          params := p () :: !params
+        done;
+        expect st RPAREN
+      end;
+      let body = parse_block st in
+      helpers :=
+        { h_name = hname; h_ret = ret; h_params = List.rev !params; h_body = body } :: !helpers
+    | IDENT "execute" ->
+      expect st LPAREN;
+      let xname = expect_ident st in
+      expect st RPAREN;
+      let body = parse_block st in
+      executes := { x_name = xname; x_body = body } :: !executes
+    | IDENT "decode" ->
+      let dname = expect_ident st in
+      let pat = parse_pattern ~pos:t.pos (expect_string st) in
+      let d_when =
+        if (peek st).tok = IDENT "when" then begin
+          ignore (next st);
+          expect st LPAREN;
+          let e = parse_expr st in
+          expect st RPAREN;
+          Some e
+        end
+        else None
+      in
+      let attrs = parse_decode_attrs st in
+      expect st SEMI;
+      decodes := { d_name = dname; d_pattern = pat; d_when; d_attrs = attrs } :: !decodes
+    | other -> error ~pos:t.pos "unexpected %s at top level" (string_of_token other)
+  done;
+  {
+    a_name;
+    a_wordsize;
+    a_little_endian;
+    a_banks;
+    a_slots;
+    a_helpers = List.rev !helpers;
+    a_decodes = List.rev !decodes;
+    a_executes = List.rev !executes;
+  }

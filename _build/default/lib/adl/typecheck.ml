@@ -1,0 +1,294 @@
+(* Type checker for ADL semantic actions.
+
+   Produces a typed AST in which every expression carries its type and all
+   conversions are explicit [Cast] nodes, so the SSA builder never has to
+   reason about C-style promotions.
+
+   Representation invariant established here and relied upon downstream:
+   every value is carried in 64 bits; a value of type uintN is
+   zero-extended, a value of type sintN sign-extended.  Arithmetic is
+   performed at 64-bit width (operands are promoted); narrowing only happens
+   through explicit casts or assignment to a narrower variable. *)
+
+open Ast
+
+type env = {
+  arch : arch;
+  fields : (string * int) list; (* instruction fields in scope, with widths *)
+  mutable vars : (string * ty) list list; (* scope stack *)
+  ret : ty; (* return type of enclosing helper, Tvoid in execute *)
+}
+
+let push_scope env = env.vars <- [] :: env.vars
+let pop_scope env = env.vars <- List.tl env.vars
+
+let declare env pos name ty =
+  match env.vars with
+  | scope :: rest ->
+    if List.mem_assoc name scope then error ~pos "redeclaration of %S" name;
+    env.vars <- ((name, ty) :: scope) :: rest
+  | [] -> assert false
+
+let lookup env name =
+  let rec go = function
+    | [] -> None
+    | scope :: rest -> ( match List.assoc_opt name scope with Some t -> Some t | None -> go rest)
+  in
+  go env.vars
+
+let _int_bits = function
+  | Tint i -> i.bits
+  | Tfloat _ | Tvoid -> invalid_arg "_int_bits"
+
+let is_int = function Tint _ -> true | _ -> false
+let is_signed = function Tint i -> i.signed | _ -> false
+
+(* Promote an integer operand to 64-bit width, preserving signedness.  The
+   representation invariant makes this cast-free. *)
+let promote e =
+  match e.ty with
+  | Tint i when i.bits < 64 -> { e with e = Cast (Tint { bits = 64; signed = i.signed }, e); ty = Tint { bits = 64; signed = i.signed } }
+  | _ -> e
+
+let require_int pos e =
+  if not (is_int e.ty) then error ~pos "expected an integer value, found %s" (string_of_ty e.ty)
+
+(* Insert a conversion of [e] to type [to_]; no-op if already that type. *)
+let coerce pos to_ e =
+  if e.ty = to_ then e
+  else
+    match (e.ty, to_) with
+    | Tint _, Tint _ -> { e with e = Cast (to_, e); ty = to_ }
+    | Tfloat a, Tfloat b when a = b -> e
+    | _ -> error ~pos "cannot convert %s to %s" (string_of_ty e.ty) (string_of_ty to_)
+
+let rec check_expr env (e : expr) : expr =
+  let pos = e.pos in
+  match e.e with
+  | Int_lit _ -> { e with ty = u64 }
+  | Float_lit _ ->
+    error ~pos
+      "float literals are not supported; express floating-point constants as bit patterns"
+  | Var name -> (
+    match lookup env name with
+    | Some ty -> { e with ty }
+    | None -> error ~pos "unknown variable %S" name)
+  | Field f ->
+    if not (List.mem_assoc f env.fields) then
+      error ~pos "unknown instruction field %S (not defined by any decode pattern)" f;
+    { e with ty = u64 }
+  | Unop (op, a) -> (
+    let a = check_expr env a in
+    require_int pos a;
+    let a = promote a in
+    match op with
+    | Neg | Not -> { e with e = Unop (op, a); ty = a.ty }
+    | Lnot -> { e with e = Unop (Lnot, a); ty = u8 })
+  | Binop (op, a, b) -> (
+    let a = check_expr env a and b = check_expr env b in
+    require_int pos a;
+    require_int pos b;
+    let a = promote a and b = promote b in
+    match op with
+    | Add | Sub | Mul | And | Or | Xor ->
+      let signed = is_signed a.ty && is_signed b.ty in
+      let ty = Tint { bits = 64; signed } in
+      { e with e = Binop (op, coerce pos ty a, coerce pos ty b); ty }
+    | Div | Rem ->
+      let signed = is_signed a.ty && is_signed b.ty in
+      let ty = Tint { bits = 64; signed } in
+      { e with e = Binop (op, coerce pos ty a, coerce pos ty b); ty }
+    | Shl | Shr ->
+      (* Shift type follows the left operand; amount is made unsigned. *)
+      { e with e = Binop (op, a, coerce pos u64 b); ty = a.ty }
+    | Eq | Ne | Lt | Le | Gt | Ge ->
+      let signed = is_signed a.ty && is_signed b.ty in
+      let ty = Tint { bits = 64; signed } in
+      { e with e = Binop (op, coerce pos ty a, coerce pos ty b); ty = u8 }
+    | Land | Lor ->
+      (* Non-short-circuit: rewritten to bitwise ops over (x != 0). *)
+      let to_bool x =
+        let zero = { x with e = Int_lit 0L; ty = u64 } in
+        { x with e = Binop (Ne, coerce pos u64 x, zero); ty = u8 }
+      in
+      let bitop = if op = Land then And else Or in
+      let a' = promote (to_bool a) and b' = promote (to_bool b) in
+      { e with e = Binop (bitop, a', b'); ty = u8 })
+  | Cast (ty, a) ->
+    let a = check_expr env a in
+    require_int pos a;
+    if not (is_int ty) then error ~pos "cast target must be an integer type";
+    { e with e = Cast (ty, a); ty }
+  | Ternary (c, t, f) ->
+    let c = check_expr env c in
+    require_int pos c;
+    let t = promote (check_expr env t) and f = promote (check_expr env f) in
+    let signed = is_signed t.ty && is_signed f.ty in
+    let ty = Tint { bits = 64; signed } in
+    { e with e = Ternary (coerce pos u64 c, coerce pos ty t, coerce pos ty f); ty }
+  | Call (name, args) -> check_call env pos name args e
+
+and check_call env pos name args e =
+  match Builtins.find name with
+  | Some sg ->
+    let expected = List.length sg.bi_params in
+    if List.length args <> expected then
+      error ~pos "builtin %S expects %d argument(s), got %d" name expected (List.length args);
+    let args =
+      List.map2
+        (fun pty arg ->
+          if pty == Builtins.bank_arg || pty = Builtins.bank_arg then check_bank_arg env pos arg
+          else if pty = Builtins.slot_arg then check_slot_arg env pos arg
+          else coerce pos pty (check_expr env arg))
+        sg.bi_params args
+    in
+    { e with e = Call (name, args); ty = sg.bi_ret }
+  | None -> (
+    match find_helper env.arch name with
+    | Some h ->
+      if List.length args <> List.length h.h_params then
+        error ~pos "helper %S expects %d argument(s), got %d" name (List.length h.h_params)
+          (List.length args);
+      let args = List.map2 (fun (pty, _) arg -> coerce pos pty (check_expr env arg)) h.h_params args in
+      { e with e = Call (name, args); ty = h.h_ret }
+    | None -> error ~pos "unknown function %S" name)
+
+(* The bank argument of read/write_register_bank must be a literal bank name;
+   it is rewritten to the bank index so later stages need not resolve it. *)
+and check_bank_arg env pos arg =
+  match arg.e with
+  | Var name -> (
+    match find_bank env.arch name with
+    | Some b -> { arg with e = Int_lit (Int64.of_int b.b_index); ty = u64 }
+    | None -> error ~pos "unknown register bank %S" name)
+  | _ -> error ~pos "register bank argument must be a bank name"
+
+and check_slot_arg env pos arg =
+  match arg.e with
+  | Var name -> (
+    match find_slot env.arch name with
+    | Some s -> { arg with e = Int_lit (Int64.of_int s.s_index); ty = u64 }
+    | None -> error ~pos "unknown register %S" name)
+  | _ -> error ~pos "register argument must be a register name"
+
+let dummy_pos = { line = 0; col = 0 }
+
+let rec check_stmt env (s : stmt) : stmt =
+  match s with
+  | Decl (ty, name, init) ->
+    if not (is_int ty) then error ~pos:dummy_pos "variables must have integer type (%s)" name;
+    let init = Option.map (fun e -> coerce e.pos ty (check_expr env e)) init in
+    declare env dummy_pos name ty;
+    Decl (ty, name, init)
+  | Assign (name, e) -> (
+    match lookup env name with
+    | Some ty ->
+      let e = check_expr env e in
+      Assign (name, coerce e.pos ty e)
+    | None -> error ~pos:e.pos "assignment to undeclared variable %S" name)
+  | Expr e ->
+    let e' = check_expr env e in
+    (match e'.e with
+    | Call (name, _) -> (
+      match Builtins.find name with
+      | Some { bi_kind = Effect | Volatile; _ } -> ()
+      | Some _ -> error ~pos:e.pos "result of pure builtin %S is discarded" name
+      | None -> () (* helper calls for effect are fine *))
+    | _ -> error ~pos:e.pos "expression statement has no effect");
+    Expr e'
+  | If (c, t, f) ->
+    let c = check_expr env c in
+    require_int c.pos c;
+    push_scope env;
+    let t = List.map (check_stmt env) t in
+    pop_scope env;
+    push_scope env;
+    let f = List.map (check_stmt env) f in
+    pop_scope env;
+    If (coerce c.pos u64 (promote c), t, f)
+  | While (c, body) ->
+    let c = check_expr env c in
+    require_int c.pos c;
+    push_scope env;
+    let body = List.map (check_stmt env) body in
+    pop_scope env;
+    While (coerce c.pos u64 (promote c), body)
+  | Return None ->
+    if env.ret <> Tvoid then error ~pos:dummy_pos "missing return value";
+    Return None
+  | Return (Some e) ->
+    if env.ret = Tvoid then error ~pos:e.pos "return with a value in a void context";
+    let e = check_expr env e in
+    Return (Some (coerce e.pos env.ret e))
+  | Block body ->
+    push_scope env;
+    let body = List.map (check_stmt env) body in
+    pop_scope env;
+    Block body
+
+(* Fields available to an execute action: the union over all decode entries
+   that dispatch to it, plus engine-provided pseudo-fields.  __el is the
+   guest privilege level at translation time: translations specialize on
+   it and the code cache keys on it. *)
+let pseudo_fields = [ ("__el", 2) ]
+
+let fields_of_execute arch xname =
+  pseudo_fields
+  @ List.concat_map
+      (fun d ->
+        if d.d_name = xname then
+          List.filter_map (function Fld (n, w) -> Some (n, w) | Bit _ -> None) d.d_pattern
+        else [])
+      arch.a_decodes
+
+let check_pattern d =
+  let total = List.fold_left (fun acc -> function Bit _ -> acc + 1 | Fld (_, w) -> acc + w) 0 d.d_pattern in
+  if total <> 32 then
+    error ~pos:dummy_pos "decode pattern for %S covers %d bits, expected 32" d.d_name total;
+  let names = List.filter_map (function Fld (n, _) -> Some n | Bit _ -> None) d.d_pattern in
+  let rec dup = function
+    | [] -> ()
+    | n :: rest -> if List.mem n rest then error ~pos:dummy_pos "duplicate field %S in %S" n d.d_name else dup rest
+  in
+  dup names
+
+(* Check a full architecture description; returns it with all bodies
+   type-annotated and all conversions explicit. *)
+let check (arch : arch) : arch =
+  List.iter check_pattern arch.a_decodes;
+  (* Every decode must dispatch to an existing execute. *)
+  List.iter
+    (fun d ->
+      if find_execute arch d.d_name = None then
+        error ~pos:dummy_pos "decode %S has no matching execute action" d.d_name)
+    arch.a_decodes;
+  let check_helper h =
+    let env = { arch; fields = []; vars = [ List.map (fun (t, n) -> (n, t)) h.h_params ]; ret = h.h_ret } in
+    { h with h_body = List.map (check_stmt env) h.h_body }
+  in
+  let helpers = List.map check_helper arch.a_helpers in
+  let arch = { arch with a_helpers = helpers } in
+  let check_exec x =
+    let fields = fields_of_execute arch x.x_name in
+    let env = { arch; fields; vars = [ [] ]; ret = Tvoid } in
+    { x with x_body = List.map (check_stmt env) x.x_body }
+  in
+  let executes = List.map check_exec arch.a_executes in
+  (* Type-check decode predicates over their own fields.  In `when` clauses
+     fields are referenced as bare identifiers, so rewrite Var -> Field. *)
+  let check_decode d =
+    let fields = List.filter_map (function Fld (n, w) -> Some (n, w) | Bit _ -> None) d.d_pattern in
+    let rec to_fields e =
+      match e.e with
+      | Var name when List.mem_assoc name fields -> { e with e = Field name }
+      | Var _ | Int_lit _ | Float_lit _ | Field _ -> e
+      | Binop (op, a, b) -> { e with e = Binop (op, to_fields a, to_fields b) }
+      | Unop (op, a) -> { e with e = Unop (op, to_fields a) }
+      | Cast (t, a) -> { e with e = Cast (t, to_fields a) }
+      | Call (n, args) -> { e with e = Call (n, List.map to_fields args) }
+      | Ternary (c, t, f) -> { e with e = Ternary (to_fields c, to_fields t, to_fields f) }
+    in
+    let env = { arch; fields; vars = [ [] ]; ret = Tvoid } in
+    { d with d_when = Option.map (fun e -> check_expr env (to_fields e)) d.d_when }
+  in
+  { arch with a_executes = executes; a_decodes = List.map check_decode arch.a_decodes }

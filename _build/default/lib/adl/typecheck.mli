@@ -1,0 +1,24 @@
+(** Type checker for ADL semantic actions.
+
+    Produces a typed AST in which every expression carries its type and
+    all conversions are explicit [Cast] nodes, so the SSA builder never
+    reasons about C-style promotions.
+
+    Representation invariant established here and relied on downstream:
+    every value is carried in 64 bits; uintN values are zero-extended,
+    sintN values sign-extended.  Arithmetic happens at 64-bit width;
+    narrowing only through explicit casts or assignment to a narrower
+    variable. *)
+
+(** Engine-provided pseudo-fields available to every execute action
+    ([__el]: guest privilege level at translation time). *)
+val pseudo_fields : (string * int) list
+
+(** Fields visible to an execute action: the union over its decode
+    entries, plus {!pseudo_fields}. *)
+val fields_of_execute : Ast.arch -> string -> (string * int) list
+
+(** Check a full architecture description; returns it with all bodies
+    type-annotated and all conversions explicit.
+    @raise Ast.Adl_error on any error. *)
+val check : Ast.arch -> Ast.arch

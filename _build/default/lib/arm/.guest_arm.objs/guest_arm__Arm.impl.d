@@ -1,0 +1,1 @@
+lib/arm/arm.ml: Arm_descr Arm_sys Guest Lazy List Ssa String

@@ -1,0 +1,1 @@
+lib/arm/arm_asm.ml: Array Bytes Dbt_util Hashtbl Int32 Int64 List Printf

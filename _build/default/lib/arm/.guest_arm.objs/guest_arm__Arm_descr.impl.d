@@ -1,0 +1,1 @@
+lib/arm/arm_descr.ml: String

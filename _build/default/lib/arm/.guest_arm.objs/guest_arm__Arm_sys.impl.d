@@ -1,0 +1,1 @@
+lib/arm/arm_sys.ml: Dbt_util Guest Int64

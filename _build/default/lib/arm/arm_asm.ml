@@ -1,0 +1,615 @@
+(* An AArch64 assembler eDSL producing real instruction encodings.
+
+   Used to author the guest kernel, the benchmark workloads, and the
+   differential tests (there is no cross-compiler in this environment).
+   Labels are resolved at [assemble] time. *)
+
+module Bits = Dbt_util.Bits
+
+(* Register names are plain integers 0..30; 31 is SP or XZR depending on
+   instruction (the eDSL exposes both names). *)
+let sp = 31
+let xzr = 31
+let x0 = 0 and x1 = 1 and x2 = 2 and x3 = 3 and x4 = 4 and x5 = 5 and x6 = 6 and x7 = 7
+let x8 = 8 and x9 = 9 and x10 = 10 and x11 = 11 and x12 = 12 and x13 = 13 and x14 = 14
+let x15 = 15 and x16 = 16 and x17 = 17 and x18 = 18 and x19 = 19 and x20 = 20 and x21 = 21
+let x22 = 22 and x23 = 23 and x24 = 24 and x25 = 25 and x28 = 28 and x29 = 29 and x30 = 30
+let d0 = 0 and d1 = 1 and d2 = 2 and d3 = 3 and d4 = 4 and d5 = 5 and d6 = 6 and d7 = 7
+
+type cond = EQ | NE | CS | CC | MI | PL | VS | VC | HI | LS | GE | LT | GT | LE | AL
+
+let cond_code = function
+  | EQ -> 0 | NE -> 1 | CS -> 2 | CC -> 3 | MI -> 4 | PL -> 5 | VS -> 6 | VC -> 7
+  | HI -> 8 | LS -> 9 | GE -> 10 | LT -> 11 | GT -> 12 | LE -> 13 | AL -> 14
+
+type fixup =
+  | Rel26 (* b / bl *)
+  | Rel19 (* b.cond / cbz / ldr literal *)
+  | Rel14 (* tbz *)
+  | Adr21
+
+type t = {
+  base : int64;
+  mutable words : int32 list; (* reversed *)
+  mutable count : int;
+  labels : (string, int) Hashtbl.t; (* label -> instruction index *)
+  mutable fixups : (int * fixup * string) list;
+}
+
+let create ?(base = 0L) () = { base; words = []; count = 0; labels = Hashtbl.create 16; fixups = [] }
+
+let emit a w =
+  a.words <- Int32.of_int (w land 0xFFFFFFFF) :: a.words;
+  a.count <- a.count + 1
+
+let emit64 a (w : int64) = emit a (Int64.to_int (Int64.logand w 0xFFFFFFFFL))
+
+let label a name =
+  if Hashtbl.mem a.labels name then invalid_arg ("duplicate label " ^ name);
+  Hashtbl.replace a.labels name a.count
+
+let here a = Int64.add a.base (Int64.of_int (4 * a.count))
+let fixup a kind name = a.fixups <- (a.count, kind, name) :: a.fixups
+
+(* Raw data *)
+let word a w = emit64 a w
+let dword a (v : int64) =
+  emit64 a (Int64.logand v 0xFFFFFFFFL);
+  emit64 a (Int64.shift_right_logical v 32)
+
+(* --- data processing, immediate ------------------------------------------- *)
+
+let addsub_imm ~sf ~op ~s ~sh ~imm12 ~rn ~rd a =
+  emit a
+    ((sf lsl 31) lor (op lsl 30) lor (s lsl 29) lor (0b100010 lsl 23) lor (sh lsl 22)
+    lor ((imm12 land 0xFFF) lsl 10) lor (rn lsl 5) lor rd)
+
+let add_imm ?(sf = 1) ?(sh = 0) a rd rn imm = addsub_imm ~sf ~op:0 ~s:0 ~sh ~imm12:imm ~rn ~rd a
+let adds_imm ?(sf = 1) a rd rn imm = addsub_imm ~sf ~op:0 ~s:1 ~sh:0 ~imm12:imm ~rn ~rd a
+let sub_imm ?(sf = 1) ?(sh = 0) a rd rn imm = addsub_imm ~sf ~op:1 ~s:0 ~sh ~imm12:imm ~rn ~rd a
+let subs_imm ?(sf = 1) a rd rn imm = addsub_imm ~sf ~op:1 ~s:1 ~sh:0 ~imm12:imm ~rn ~rd a
+let cmp_imm ?(sf = 1) a rn imm = subs_imm ~sf a xzr rn imm
+
+let movwide ~sf ~opc ~hw ~imm16 ~rd a =
+  emit a ((sf lsl 31) lor (opc lsl 29) lor (0b100101 lsl 23) lor (hw lsl 21) lor ((imm16 land 0xFFFF) lsl 5) lor rd)
+
+let movz ?(sf = 1) ?(hw = 0) a rd imm = movwide ~sf ~opc:2 ~hw ~imm16:imm ~rd a
+let movn ?(sf = 1) ?(hw = 0) a rd imm = movwide ~sf ~opc:0 ~hw ~imm16:imm ~rd a
+let movk ?(sf = 1) ?(hw = 0) a rd imm = movwide ~sf ~opc:3 ~hw ~imm16:imm ~rd a
+
+(* Load an arbitrary 64-bit constant with movz/movk. *)
+let mov_const a rd (v : int64) =
+  let chunk i = Int64.to_int (Bits.extract v ~lo:(16 * i) ~len:16) in
+  movz a rd (chunk 0);
+  if chunk 1 <> 0 then movk ~hw:1 a rd (chunk 1);
+  if chunk 2 <> 0 then movk ~hw:2 a rd (chunk 2);
+  if chunk 3 <> 0 then movk ~hw:3 a rd (chunk 3)
+
+let adr a rd lbl =
+  fixup a Adr21 lbl;
+  emit a ((0 lsl 31) lor (0b10000 lsl 24) lor rd)
+
+(* Bitmask-immediate encoding: find (N, immr, imms) such that
+   DecodeBitMasks gives [v]; raises if not encodable. *)
+let encode_bitmask ?(sf = 1) (v : int64) =
+  let width = if sf = 1 then 64 else 32 in
+  let v = if sf = 1 then v else Bits.zero_extend v ~width:32 in
+  if v = 0L || v = Bits.mask width then invalid_arg "bitmask immediate cannot be all-0/all-1";
+  let rec try_size esize =
+    if esize < 2 then None
+    else begin
+      let elem = Bits.extract v ~lo:0 ~len:esize in
+      (* value must be elem replicated *)
+      let rec replicated i = i >= width || (Bits.extract v ~lo:i ~len:esize = elem && replicated (i + esize)) in
+      if not (replicated 0) then try_size (esize / 2)
+      else begin
+        (* elem must be a rotated run of ones *)
+        let ones = Bits.popcount elem in
+        if ones = 0 || ones = esize then try_size (esize / 2)
+        else begin
+          (* find rotation: rotate left until the pattern is ones in low bits *)
+          let rec find_rot r =
+            if r >= esize then None
+            else
+              let rot = Bits.rotate_left elem r ~width:esize in
+              if rot = Bits.mask ones then Some r else find_rot (r + 1)
+          in
+          match find_rot 0 with
+          | None -> try_size (esize / 2)
+          | Some r ->
+            (* value = Ones(ones) ROR r, and DecodeBitMasks computes
+               welem ROR immr, so immr is exactly r. *)
+            let immr = r in
+            (* imms encodes esize and ones-1 *)
+            let imms =
+              match esize with
+              | 64 -> ones - 1
+              | 32 -> 0b000000 lor (ones - 1)
+              | 16 -> 0b100000 lor (ones - 1)
+              | 8 -> 0b110000 lor (ones - 1)
+              | 4 -> 0b111000 lor (ones - 1)
+              | 2 -> 0b111100 lor (ones - 1)
+              | _ -> assert false
+            in
+            (* For esize<64 high bits of imms are set per the table above;
+               esize=32 keeps imms as-is with N=0. *)
+            let n = if esize = 64 then 1 else 0 in
+            Some (n, immr, imms)
+        end
+      end
+    end
+  in
+  (* esize=32 imms pattern is 0xxxxx with N=0 only for 32-bit elements;
+     smaller elements use the leading-ones patterns above. *)
+  match try_size width with
+  | Some r -> r
+  | None -> invalid_arg (Printf.sprintf "value %Lx is not a bitmask immediate" v)
+
+let logical_imm ~sf ~opc a rd rn v =
+  let n, immr, imms = encode_bitmask ~sf v in
+  emit a
+    ((sf lsl 31) lor (opc lsl 29) lor (0b100100 lsl 23) lor (n lsl 22) lor (immr lsl 16)
+    lor (imms lsl 10) lor (rn lsl 5) lor rd)
+
+let and_imm ?(sf = 1) a rd rn v = logical_imm ~sf ~opc:0 a rd rn v
+let orr_imm ?(sf = 1) a rd rn v = logical_imm ~sf ~opc:1 a rd rn v
+let eor_imm ?(sf = 1) a rd rn v = logical_imm ~sf ~opc:2 a rd rn v
+let ands_imm ?(sf = 1) a rd rn v = logical_imm ~sf ~opc:3 a rd rn v
+
+let bitfield ~sf ~opc ~immr ~imms a rd rn =
+  let n = sf in
+  emit a
+    ((sf lsl 31) lor (opc lsl 29) lor (0b100110 lsl 23) lor (n lsl 22) lor (immr lsl 16)
+    lor (imms lsl 10) lor (rn lsl 5) lor rd)
+
+let lsl_imm ?(sf = 1) a rd rn shift =
+  let width = if sf = 1 then 64 else 32 in
+  bitfield ~sf ~opc:2 ~immr:((width - shift) mod width) ~imms:(width - 1 - shift) a rd rn
+
+let lsr_imm ?(sf = 1) a rd rn shift =
+  bitfield ~sf ~opc:2 ~immr:shift ~imms:(if sf = 1 then 63 else 31) a rd rn
+
+let asr_imm ?(sf = 1) a rd rn shift =
+  bitfield ~sf ~opc:0 ~immr:shift ~imms:(if sf = 1 then 63 else 31) a rd rn
+
+let ubfx ?(sf = 1) a rd rn ~lsb ~width = bitfield ~sf ~opc:2 ~immr:lsb ~imms:(lsb + width - 1) a rd rn
+let sbfx ?(sf = 1) a rd rn ~lsb ~width = bitfield ~sf ~opc:0 ~immr:lsb ~imms:(lsb + width - 1) a rd rn
+let sxtw a rd rn = bitfield ~sf:1 ~opc:0 ~immr:0 ~imms:31 a rd rn
+let uxtb ?(sf = 0) a rd rn = bitfield ~sf ~opc:2 ~immr:0 ~imms:7 a rd rn
+let uxth ?(sf = 0) a rd rn = bitfield ~sf ~opc:2 ~immr:0 ~imms:15 a rd rn
+
+(* --- data processing, register ----------------------------------------------- *)
+
+let addsub_reg ~sf ~op ~s ?(shift = 0) ?(amount = 0) ~rm ~rn ~rd a =
+  emit a
+    ((sf lsl 31) lor (op lsl 30) lor (s lsl 29) lor (0b01011 lsl 24) lor (shift lsl 22)
+    lor (rm lsl 16) lor (amount lsl 10) lor (rn lsl 5) lor rd)
+
+let add_reg ?(sf = 1) ?(shift = 0) ?(amount = 0) a rd rn rm =
+  addsub_reg ~sf ~op:0 ~s:0 ~shift ~amount ~rm ~rn ~rd a
+
+let adds_reg ?(sf = 1) a rd rn rm = addsub_reg ~sf ~op:0 ~s:1 ~rm ~rn ~rd a
+let sub_reg ?(sf = 1) ?(shift = 0) ?(amount = 0) a rd rn rm =
+  addsub_reg ~sf ~op:1 ~s:0 ~shift ~amount ~rm ~rn ~rd a
+
+let subs_reg ?(sf = 1) a rd rn rm = addsub_reg ~sf ~op:1 ~s:1 ~rm ~rn ~rd a
+let cmp_reg ?(sf = 1) a rn rm = subs_reg ~sf a xzr rn rm
+
+let logical_reg ~sf ~opc ~n ?(shift = 0) ?(amount = 0) ~rm ~rn ~rd a =
+  emit a
+    ((sf lsl 31) lor (opc lsl 29) lor (0b01010 lsl 24) lor (shift lsl 22) lor (n lsl 21)
+    lor (rm lsl 16) lor (amount lsl 10) lor (rn lsl 5) lor rd)
+
+let and_reg ?(sf = 1) a rd rn rm = logical_reg ~sf ~opc:0 ~n:0 ~rm ~rn ~rd a
+let orr_reg ?(sf = 1) ?(shift = 0) ?(amount = 0) a rd rn rm =
+  logical_reg ~sf ~opc:1 ~n:0 ~shift ~amount ~rm ~rn ~rd a
+let eor_reg ?(sf = 1) a rd rn rm = logical_reg ~sf ~opc:2 ~n:0 ~rm ~rn ~rd a
+let ands_reg ?(sf = 1) a rd rn rm = logical_reg ~sf ~opc:3 ~n:0 ~rm ~rn ~rd a
+let bic_reg ?(sf = 1) a rd rn rm = logical_reg ~sf ~opc:0 ~n:1 ~rm ~rn ~rd a
+let mvn_reg ?(sf = 1) a rd rm = logical_reg ~sf ~opc:1 ~n:1 ~rm ~rn:xzr ~rd a
+let mov_reg ?(sf = 1) a rd rm = orr_reg ~sf a rd xzr rm
+
+let adc ?(sf = 1) ?(s = 0) ~op a rd rn rm =
+  emit a
+    ((sf lsl 31) lor (op lsl 30) lor (s lsl 29) lor (0b11010000 lsl 21) lor (rm lsl 16)
+    lor (rn lsl 5) lor rd)
+
+let adc_reg ?(sf = 1) a rd rn rm = adc ~sf ~op:0 a rd rn rm
+let sbc_reg ?(sf = 1) a rd rn rm = adc ~sf ~op:1 a rd rn rm
+
+let condsel ~sf ~op ~o2 ~cond ~rm ~rn ~rd a =
+  emit a
+    ((sf lsl 31) lor (op lsl 30) lor (0b11010100 lsl 21) lor (rm lsl 16)
+    lor (cond_code cond lsl 12) lor (o2 lsl 10) lor (rn lsl 5) lor rd)
+
+let csel ?(sf = 1) a rd rn rm cond = condsel ~sf ~op:0 ~o2:0 ~cond ~rm ~rn ~rd a
+let csinc ?(sf = 1) a rd rn rm cond = condsel ~sf ~op:0 ~o2:1 ~cond ~rm ~rn ~rd a
+let csinv ?(sf = 1) a rd rn rm cond = condsel ~sf ~op:1 ~o2:0 ~cond ~rm ~rn ~rd a
+let csneg ?(sf = 1) a rd rn rm cond = condsel ~sf ~op:1 ~o2:1 ~cond ~rm ~rn ~rd a
+let cset ?(sf = 1) a rd cond =
+  (* alias of CSINC rd, xzr, xzr, !cond *)
+  csinc ~sf a rd xzr xzr (match cond with
+    | EQ -> NE | NE -> EQ | CS -> CC | CC -> CS | MI -> PL | PL -> MI | VS -> VC | VC -> VS
+    | HI -> LS | LS -> HI | GE -> LT | LT -> GE | GT -> LE | LE -> GT | AL -> AL)
+
+let dp3 ~sf ~o0 ~ra ~rm ~rn ~rd a =
+  emit a
+    ((sf lsl 31) lor (0b0011011000 lsl 21) lor (rm lsl 16) lor (o0 lsl 15) lor (ra lsl 10)
+    lor (rn lsl 5) lor rd)
+
+let madd ?(sf = 1) a rd rn rm ra = dp3 ~sf ~o0:0 ~ra ~rm ~rn ~rd a
+let msub ?(sf = 1) a rd rn rm ra = dp3 ~sf ~o0:1 ~ra ~rm ~rn ~rd a
+let mul ?(sf = 1) a rd rn rm = madd ~sf a rd rn rm xzr
+
+let mulh ~u a rd rn rm =
+  emit a
+    ((1 lsl 31) lor (0b0011011 lsl 24) lor (u lsl 23) lor (0b10 lsl 21) lor (rm lsl 16)
+    lor (0b011111 lsl 10) lor (rn lsl 5) lor rd)
+
+let umulh a rd rn rm = mulh ~u:1 a rd rn rm
+let smulh a rd rn rm = mulh ~u:0 a rd rn rm
+
+let dp2 ~sf ~opcode ~rm ~rn ~rd a =
+  emit a
+    ((sf lsl 31) lor (0b0011010110 lsl 21) lor (rm lsl 16) lor (opcode lsl 10) lor (rn lsl 5) lor rd)
+
+let udiv ?(sf = 1) a rd rn rm = dp2 ~sf ~opcode:2 ~rm ~rn ~rd a
+let sdiv ?(sf = 1) a rd rn rm = dp2 ~sf ~opcode:3 ~rm ~rn ~rd a
+let lslv ?(sf = 1) a rd rn rm = dp2 ~sf ~opcode:8 ~rm ~rn ~rd a
+let lsrv ?(sf = 1) a rd rn rm = dp2 ~sf ~opcode:9 ~rm ~rn ~rd a
+let asrv ?(sf = 1) a rd rn rm = dp2 ~sf ~opcode:10 ~rm ~rn ~rd a
+let rorv ?(sf = 1) a rd rn rm = dp2 ~sf ~opcode:11 ~rm ~rn ~rd a
+
+let dp1 ~sf ~opcode ~rn ~rd a =
+  emit a ((sf lsl 31) lor (1 lsl 30) lor (0b011010110 lsl 21) lor (opcode lsl 10) lor (rn lsl 5) lor rd)
+
+let rbit ?(sf = 1) a rd rn = dp1 ~sf ~opcode:0 ~rn ~rd a
+let rev16 ?(sf = 1) a rd rn = dp1 ~sf ~opcode:1 ~rn ~rd a
+let rev32 a rd rn = dp1 ~sf:1 ~opcode:2 ~rn ~rd a
+let rev64 a rd rn = dp1 ~sf:1 ~opcode:3 ~rn ~rd a
+let clz ?(sf = 1) a rd rn = dp1 ~sf ~opcode:4 ~rn ~rd a
+
+(* Extended-register add/sub (rn/rd may be SP). *)
+let addsub_ext ~sf ~op ~s ~option ~amount ~rm ~rn ~rd a =
+  emit a
+    ((sf lsl 31) lor (op lsl 30) lor (s lsl 29) lor (0b01011001 lsl 21) lor (rm lsl 16)
+    lor (option lsl 13) lor (amount lsl 10) lor (rn lsl 5) lor rd)
+
+let add_ext ?(sf = 1) ?(option = 0b011) ?(amount = 0) a rd rn rm =
+  addsub_ext ~sf ~op:0 ~s:0 ~option ~amount ~rm ~rn ~rd a
+
+let sub_ext ?(sf = 1) ?(option = 0b011) ?(amount = 0) a rd rn rm =
+  addsub_ext ~sf ~op:1 ~s:0 ~option ~amount ~rm ~rn ~rd a
+
+let extr ?(sf = 1) a rd rn rm lsb =
+  emit a
+    ((sf lsl 31) lor (0b00100111 lsl 23) lor (sf lsl 22) lor (rm lsl 16) lor (lsb lsl 10)
+    lor (rn lsl 5) lor rd)
+
+let ror_imm ?(sf = 1) a rd rn amount = extr ~sf a rd rn rn amount
+
+let ccmp_imm ?(sf = 1) a rn imm5 nzcv cond =
+  emit a
+    ((sf lsl 31) lor (1 lsl 30) lor (1 lsl 29) lor (0b11010010 lsl 21) lor (imm5 lsl 16)
+    lor (cond_code cond lsl 12) lor (1 lsl 11) lor (rn lsl 5) lor nzcv)
+
+let ccmp_reg ?(sf = 1) a rn rm nzcv cond =
+  emit a
+    ((sf lsl 31) lor (1 lsl 30) lor (1 lsl 29) lor (0b11010010 lsl 21) lor (rm lsl 16)
+    lor (cond_code cond lsl 12) lor (rn lsl 5) lor nzcv)
+
+let ccmn_reg ?(sf = 1) a rn rm nzcv cond =
+  emit a
+    ((sf lsl 31) lor (1 lsl 29) lor (0b11010010 lsl 21) lor (rm lsl 16)
+    lor (cond_code cond lsl 12) lor (rn lsl 5) lor nzcv)
+
+(* Acquire/release and exclusives. *)
+let ldar ?(size = 3) a rt rn =
+  emit a
+    ((size lsl 30) lor (0b001000 lsl 24) lor (1 lsl 23) lor (1 lsl 22) lor (0b11111 lsl 16)
+    lor (1 lsl 15) lor (0b11111 lsl 10) lor (rn lsl 5) lor rt)
+
+let stlr ?(size = 3) a rt rn =
+  emit a
+    ((size lsl 30) lor (0b001000 lsl 24) lor (1 lsl 23) lor (0b11111 lsl 16) lor (1 lsl 15)
+    lor (0b11111 lsl 10) lor (rn lsl 5) lor rt)
+
+let ldxr ?(size = 3) a rt rn =
+  emit a
+    ((size lsl 30) lor (0b001000 lsl 24) lor (1 lsl 22) lor (0b11111 lsl 16)
+    lor (0b11111 lsl 10) lor (rn lsl 5) lor rt)
+
+let stxr ?(size = 3) a rs rt rn =
+  emit a
+    ((size lsl 30) lor (0b001000 lsl 24) lor (rs lsl 16) lor (0b11111 lsl 10) lor (rn lsl 5) lor rt)
+
+(* --- SIMD (128-bit subset) ---------------------------------------------------------- *)
+
+let vec3same ~u ~size ~opcode ~rm ~rn ~rd a =
+  emit a
+    ((1 lsl 30) lor (u lsl 29) lor (0b01110 lsl 24) lor (size lsl 22) lor (1 lsl 21)
+    lor (rm lsl 16) lor (opcode lsl 11) lor (1 lsl 10) lor (rn lsl 5) lor rd)
+
+let vadd_2d a rd rn rm = vec3same ~u:0 ~size:3 ~opcode:16 ~rm ~rn ~rd a
+let vsub_2d a rd rn rm = vec3same ~u:1 ~size:3 ~opcode:16 ~rm ~rn ~rd a
+let vand a rd rn rm = vec3same ~u:0 ~size:0 ~opcode:3 ~rm ~rn ~rd a
+let vorr a rd rn rm = vec3same ~u:0 ~size:2 ~opcode:3 ~rm ~rn ~rd a
+let veor a rd rn rm = vec3same ~u:1 ~size:0 ~opcode:3 ~rm ~rn ~rd a
+
+let vfadd_2d a rd rn rm =
+  emit a
+    ((1 lsl 30) lor (0b01110 lsl 24) lor (1 lsl 22) lor (1 lsl 21) lor (rm lsl 16)
+    lor (0b110101 lsl 10) lor (rn lsl 5) lor rd)
+
+let vfmul_2d a rd rn rm =
+  emit a
+    ((1 lsl 30) lor (1 lsl 29) lor (0b01110 lsl 24) lor (1 lsl 22) lor (1 lsl 21) lor (rm lsl 16)
+    lor (0b110111 lsl 10) lor (rn lsl 5) lor rd)
+
+(* DUP Vd.2D, Xn *)
+let dup_2d a rd rn =
+  emit a ((1 lsl 30) lor (0b001110000 lsl 21) lor (0b01000 lsl 16) lor (0b000011 lsl 10) lor (rn lsl 5) lor rd)
+
+(* UMOV Xd, Vn.D[idx] *)
+let umov_d a rd rn idx =
+  emit a
+    ((1 lsl 30) lor (0b001110000 lsl 21) lor (((idx lsl 4) lor 0b1000) lsl 16)
+    lor (0b001111 lsl 10) lor (rn lsl 5) lor rd)
+
+(* 128-bit Q loads/stores (byte offset scaled by 16) *)
+let ldst_q ~opc ~imm12 ~rn ~rt a =
+  emit a
+    ((0b111 lsl 27) lor (1 lsl 26) lor (0b01 lsl 24) lor (opc lsl 22)
+    lor ((imm12 land 0xFFF) lsl 10) lor (rn lsl 5) lor rt)
+
+let ldr_q ?(off = 0) a rt rn = ldst_q ~opc:3 ~imm12:(off / 16) ~rn ~rt a
+let str_q ?(off = 0) a rt rn = ldst_q ~opc:2 ~imm12:(off / 16) ~rn ~rt a
+
+(* --- branches -------------------------------------------------------------------- *)
+
+let b a lbl =
+  fixup a Rel26 lbl;
+  emit a (0b000101 lsl 26)
+
+let bl a lbl =
+  fixup a Rel26 lbl;
+  emit a (0b100101 lsl 26)
+
+let b_cond a cond lbl =
+  fixup a Rel19 lbl;
+  emit a ((0b01010100 lsl 24) lor cond_code cond)
+
+let cbz ?(sf = 1) a rt lbl =
+  fixup a Rel19 lbl;
+  emit a ((sf lsl 31) lor (0b011010 lsl 25) lor rt)
+
+let cbnz ?(sf = 1) a rt lbl =
+  fixup a Rel19 lbl;
+  emit a ((sf lsl 31) lor (0b011010 lsl 25) lor (1 lsl 24) lor rt)
+
+let tbz a rt bit lbl =
+  fixup a Rel14 lbl;
+  emit a (((bit lsr 5) lsl 31) lor (0b011011 lsl 25) lor ((bit land 31) lsl 19) lor rt)
+
+let tbnz a rt bit lbl =
+  fixup a Rel14 lbl;
+  emit a (((bit lsr 5) lsl 31) lor (0b011011 lsl 25) lor (1 lsl 24) lor ((bit land 31) lsl 19) lor rt)
+
+let br a rn = emit a ((0b1101011 lsl 25) lor (0b0000 lsl 21) lor (0b11111 lsl 16) lor (rn lsl 5))
+let blr a rn = emit a ((0b1101011 lsl 25) lor (0b0001 lsl 21) lor (0b11111 lsl 16) lor (rn lsl 5))
+let ret ?(rn = 30) a = emit a ((0b1101011 lsl 25) lor (0b0010 lsl 21) lor (0b11111 lsl 16) lor (rn lsl 5))
+
+(* --- loads and stores --------------------------------------------------------------- *)
+
+let ldst_uimm ~size ~v ~opc ~imm12 ~rn ~rt a =
+  emit a
+    ((size lsl 30) lor (0b111 lsl 27) lor (v lsl 26) lor (0b01 lsl 24) lor (opc lsl 22)
+    lor ((imm12 land 0xFFF) lsl 10) lor (rn lsl 5) lor rt)
+
+(* Byte offsets are scaled by the access size. *)
+let ldr ?(off = 0) a rt rn = ldst_uimm ~size:3 ~v:0 ~opc:1 ~imm12:(off / 8) ~rn ~rt a
+let str ?(off = 0) a rt rn = ldst_uimm ~size:3 ~v:0 ~opc:0 ~imm12:(off / 8) ~rn ~rt a
+let ldr32 ?(off = 0) a rt rn = ldst_uimm ~size:2 ~v:0 ~opc:1 ~imm12:(off / 4) ~rn ~rt a
+let str32 ?(off = 0) a rt rn = ldst_uimm ~size:2 ~v:0 ~opc:0 ~imm12:(off / 4) ~rn ~rt a
+let ldrh ?(off = 0) a rt rn = ldst_uimm ~size:1 ~v:0 ~opc:1 ~imm12:(off / 2) ~rn ~rt a
+let strh ?(off = 0) a rt rn = ldst_uimm ~size:1 ~v:0 ~opc:0 ~imm12:(off / 2) ~rn ~rt a
+let ldrb ?(off = 0) a rt rn = ldst_uimm ~size:0 ~v:0 ~opc:1 ~imm12:off ~rn ~rt a
+let strb ?(off = 0) a rt rn = ldst_uimm ~size:0 ~v:0 ~opc:0 ~imm12:off ~rn ~rt a
+let ldrsw ?(off = 0) a rt rn = ldst_uimm ~size:2 ~v:0 ~opc:2 ~imm12:(off / 4) ~rn ~rt a
+let ldr_d ?(off = 0) a rt rn = ldst_uimm ~size:3 ~v:1 ~opc:1 ~imm12:(off / 8) ~rn ~rt a
+let str_d ?(off = 0) a rt rn = ldst_uimm ~size:3 ~v:1 ~opc:0 ~imm12:(off / 8) ~rn ~rt a
+let ldr_s ?(off = 0) a rt rn = ldst_uimm ~size:2 ~v:1 ~opc:1 ~imm12:(off / 4) ~rn ~rt a
+let str_s ?(off = 0) a rt rn = ldst_uimm ~size:2 ~v:1 ~opc:0 ~imm12:(off / 4) ~rn ~rt a
+
+let ldst_simm ~size ~v ~opc ~imm9 ~mode ~rn ~rt a =
+  emit a
+    ((size lsl 30) lor (0b111 lsl 27) lor (v lsl 26) lor (opc lsl 22)
+    lor ((imm9 land 0x1FF) lsl 12) lor (mode lsl 10) lor (rn lsl 5) lor rt)
+
+let ldr_post a rt rn off = ldst_simm ~size:3 ~v:0 ~opc:1 ~imm9:off ~mode:1 ~rn ~rt a
+let str_post a rt rn off = ldst_simm ~size:3 ~v:0 ~opc:0 ~imm9:off ~mode:1 ~rn ~rt a
+let ldr_pre a rt rn off = ldst_simm ~size:3 ~v:0 ~opc:1 ~imm9:off ~mode:3 ~rn ~rt a
+let str_pre a rt rn off = ldst_simm ~size:3 ~v:0 ~opc:0 ~imm9:off ~mode:3 ~rn ~rt a
+let ldrb_post a rt rn off = ldst_simm ~size:0 ~v:0 ~opc:1 ~imm9:off ~mode:1 ~rn ~rt a
+let strb_post a rt rn off = ldst_simm ~size:0 ~v:0 ~opc:0 ~imm9:off ~mode:1 ~rn ~rt a
+
+let ldst_reg ~size ~v ~opc ~rm ~option ~s ~rn ~rt a =
+  emit a
+    ((size lsl 30) lor (0b111 lsl 27) lor (v lsl 26) lor (opc lsl 22) lor (1 lsl 21)
+    lor (rm lsl 16) lor (option lsl 13) lor (s lsl 12) lor (0b10 lsl 10) lor (rn lsl 5) lor rt)
+
+let ldr_reg ?(scaled = false) a rt rn rm =
+  ldst_reg ~size:3 ~v:0 ~opc:1 ~rm ~option:3 ~s:(if scaled then 1 else 0) ~rn ~rt a
+
+let str_reg ?(scaled = false) a rt rn rm =
+  ldst_reg ~size:3 ~v:0 ~opc:0 ~rm ~option:3 ~s:(if scaled then 1 else 0) ~rn ~rt a
+
+let ldrb_reg a rt rn rm = ldst_reg ~size:0 ~v:0 ~opc:1 ~rm ~option:3 ~s:0 ~rn ~rt a
+
+let ldp_stp ~opc ~mode ~l ~imm7 ~rt2 ~rn ~rt a =
+  emit a
+    ((opc lsl 30) lor (0b101 lsl 27) lor (mode lsl 23) lor (l lsl 22)
+    lor ((imm7 land 0x7F) lsl 15) lor (rt2 lsl 10) lor (rn lsl 5) lor rt)
+
+let ldp ?(off = 0) a rt rt2 rn = ldp_stp ~opc:2 ~mode:2 ~l:1 ~imm7:(off / 8) ~rt2 ~rn ~rt a
+let stp ?(off = 0) a rt rt2 rn = ldp_stp ~opc:2 ~mode:2 ~l:0 ~imm7:(off / 8) ~rt2 ~rn ~rt a
+let stp_pre a rt rt2 rn off = ldp_stp ~opc:2 ~mode:3 ~l:0 ~imm7:(off / 8) ~rt2 ~rn ~rt a
+let ldp_post a rt rt2 rn off = ldp_stp ~opc:2 ~mode:1 ~l:1 ~imm7:(off / 8) ~rt2 ~rn ~rt a
+
+let ldr_lit a rt lbl =
+  fixup a Rel19 lbl;
+  emit a ((0b01 lsl 30) lor (0b011000 lsl 24) lor rt)
+
+(* --- floating point -------------------------------------------------------------------- *)
+
+let fp2src ~ftype ~opcode ~rm ~rn ~rd a =
+  emit a
+    ((0b00011110 lsl 24) lor (ftype lsl 22) lor (1 lsl 21) lor (rm lsl 16) lor (opcode lsl 12)
+    lor (0b10 lsl 10) lor (rn lsl 5) lor rd)
+
+let fmul_d a rd rn rm = fp2src ~ftype:1 ~opcode:0 ~rm ~rn ~rd a
+let fdiv_d a rd rn rm = fp2src ~ftype:1 ~opcode:1 ~rm ~rn ~rd a
+let fadd_d a rd rn rm = fp2src ~ftype:1 ~opcode:2 ~rm ~rn ~rd a
+let fsub_d a rd rn rm = fp2src ~ftype:1 ~opcode:3 ~rm ~rn ~rd a
+let fmax_d a rd rn rm = fp2src ~ftype:1 ~opcode:4 ~rm ~rn ~rd a
+let fmin_d a rd rn rm = fp2src ~ftype:1 ~opcode:5 ~rm ~rn ~rd a
+let fadd_s a rd rn rm = fp2src ~ftype:0 ~opcode:2 ~rm ~rn ~rd a
+let fmul_s a rd rn rm = fp2src ~ftype:0 ~opcode:0 ~rm ~rn ~rd a
+
+let fp1src ~ftype ~opcode ~rn ~rd a =
+  emit a
+    ((0b00011110 lsl 24) lor (ftype lsl 22) lor (1 lsl 21) lor (opcode lsl 15) lor (0b10000 lsl 10)
+    lor (rn lsl 5) lor rd)
+
+let fmov_d a rd rn = fp1src ~ftype:1 ~opcode:0 ~rn ~rd a
+let fabs_d a rd rn = fp1src ~ftype:1 ~opcode:1 ~rn ~rd a
+let fneg_d a rd rn = fp1src ~ftype:1 ~opcode:2 ~rn ~rd a
+let fsqrt_d a rd rn = fp1src ~ftype:1 ~opcode:3 ~rn ~rd a
+let fsqrt_s a rd rn = fp1src ~ftype:0 ~opcode:3 ~rn ~rd a
+let fcvt_d_to_s a rd rn = fp1src ~ftype:1 ~opcode:4 ~rn ~rd a
+let fcvt_s_to_d a rd rn = fp1src ~ftype:0 ~opcode:5 ~rn ~rd a
+
+let fcmp_d ?(zero = false) a rn rm =
+  emit a
+    ((0b00011110 lsl 24) lor (1 lsl 22) lor (1 lsl 21) lor ((if zero then 0 else rm) lsl 16)
+    lor (0b001000 lsl 10) lor (rn lsl 5) lor (if zero then 0b01000 else 0))
+
+let fmov_imm_d a rd imm8 =
+  emit a ((0b00011110 lsl 24) lor (1 lsl 22) lor (1 lsl 21) lor (imm8 lsl 13) lor (0b100 lsl 10) lor rd)
+
+let fp_int ~sf ~ftype ~rmode ~opcode ~rn ~rd a =
+  emit a
+    ((sf lsl 31) lor (0b0011110 lsl 24) lor (ftype lsl 22) lor (1 lsl 21) lor (rmode lsl 19)
+    lor (opcode lsl 16) lor (rn lsl 5) lor rd)
+
+let scvtf_d a rd rn = fp_int ~sf:1 ~ftype:1 ~rmode:0 ~opcode:2 ~rn ~rd a
+let ucvtf_d a rd rn = fp_int ~sf:1 ~ftype:1 ~rmode:0 ~opcode:3 ~rn ~rd a
+let fcvtzs_d a rd rn = fp_int ~sf:1 ~ftype:1 ~rmode:3 ~opcode:0 ~rn ~rd a
+let fcvtzu_d a rd rn = fp_int ~sf:1 ~ftype:1 ~rmode:3 ~opcode:1 ~rn ~rd a
+let fmov_d_to_x a rd rn = fp_int ~sf:1 ~ftype:1 ~rmode:0 ~opcode:6 ~rn ~rd a
+let fmov_x_to_d a rd rn = fp_int ~sf:1 ~ftype:1 ~rmode:0 ~opcode:7 ~rn ~rd a
+
+let fmadd_d a rd rn rm ra =
+  emit a ((0b00011111 lsl 24) lor (1 lsl 22) lor (rm lsl 16) lor (ra lsl 10) lor (rn lsl 5) lor rd)
+
+let fmsub_d a rd rn rm ra =
+  emit a
+    ((0b00011111 lsl 24) lor (1 lsl 22) lor (rm lsl 16) lor (1 lsl 15) lor (ra lsl 10) lor (rn lsl 5) lor rd)
+
+let fcsel_d a rd rn rm cond =
+  emit a
+    ((0b00011110 lsl 24) lor (1 lsl 22) lor (1 lsl 21) lor (rm lsl 16) lor (cond_code cond lsl 12)
+    lor (0b11 lsl 10) lor (rn lsl 5) lor rd)
+
+(* --- system ---------------------------------------------------------------------------------- *)
+
+let svc a imm = emit a ((0b11010100000 lsl 21) lor ((imm land 0xFFFF) lsl 5) lor 0b00001)
+let brk a imm = emit a ((0b11010100001 lsl 21) lor ((imm land 0xFFFF) lsl 5))
+let eret a = emit64 a 0xD69F03E0L
+let nop a = emit64 a 0xD503201FL
+let wfi a = emit64 a 0xD503207FL
+let isb a = emit64 a 0xD5033FDFL
+let dsb a = emit64 a 0xD5033F9FL
+
+(* TLBI VMALLE1 *)
+let tlbi_all a = emit64 a 0xD508871FL
+
+let mrs a rt ~o0 ~op1 ~crn ~crm ~op2 =
+  emit a
+    ((0b1101010100 lsl 22) lor (1 lsl 21) lor (1 lsl 20) lor (o0 lsl 19) lor (op1 lsl 16)
+    lor (crn lsl 12) lor (crm lsl 8) lor (op2 lsl 5) lor rt)
+
+let msr a rt ~o0 ~op1 ~crn ~crm ~op2 =
+  emit a
+    ((0b1101010100 lsl 22) lor (1 lsl 20) lor (o0 lsl 19) lor (op1 lsl 16) lor (crn lsl 12)
+    lor (crm lsl 8) lor (op2 lsl 5) lor rt)
+
+(* Named system registers *)
+let mrs_sctlr a rt = mrs a rt ~o0:1 ~op1:0 ~crn:1 ~crm:0 ~op2:0
+let msr_sctlr a rt = msr a rt ~o0:1 ~op1:0 ~crn:1 ~crm:0 ~op2:0
+let msr_ttbr0 a rt = msr a rt ~o0:1 ~op1:0 ~crn:2 ~crm:0 ~op2:0
+let msr_ttbr1 a rt = msr a rt ~o0:1 ~op1:0 ~crn:2 ~crm:0 ~op2:1
+let msr_vbar a rt = msr a rt ~o0:1 ~op1:0 ~crn:12 ~crm:0 ~op2:0
+let msr_elr a rt = msr a rt ~o0:1 ~op1:0 ~crn:4 ~crm:0 ~op2:1
+let mrs_elr a rt = mrs a rt ~o0:1 ~op1:0 ~crn:4 ~crm:0 ~op2:1
+let msr_spsr a rt = msr a rt ~o0:1 ~op1:0 ~crn:4 ~crm:0 ~op2:0
+let mrs_spsr a rt = mrs a rt ~o0:1 ~op1:0 ~crn:4 ~crm:0 ~op2:0
+let mrs_esr a rt = mrs a rt ~o0:1 ~op1:0 ~crn:5 ~crm:2 ~op2:0
+let mrs_far a rt = mrs a rt ~o0:1 ~op1:0 ~crn:6 ~crm:0 ~op2:0
+let msr_sp_el0 a rt = msr a rt ~o0:1 ~op1:0 ~crn:4 ~crm:1 ~op2:0
+let mrs_sp_el0 a rt = mrs a rt ~o0:1 ~op1:0 ~crn:4 ~crm:1 ~op2:0
+let mrs_cntvct a rt = mrs a rt ~o0:1 ~op1:3 ~crn:14 ~crm:0 ~op2:2
+let mrs_currentel a rt = mrs a rt ~o0:1 ~op1:0 ~crn:4 ~crm:2 ~op2:2
+let mrs_tpidr a rt = mrs a rt ~o0:1 ~op1:3 ~crn:13 ~crm:0 ~op2:2
+let msr_tpidr a rt = msr a rt ~o0:1 ~op1:3 ~crn:13 ~crm:0 ~op2:2
+
+(* MSR DAIFSet/DAIFClr, #imm *)
+let msr_daifset a imm =
+  emit a ((0b1101010100 lsl 22) lor (0b011 lsl 16) lor (0b0100 lsl 12) lor ((imm land 0xF) lsl 8) lor (0b110 lsl 5) lor 0b11111)
+
+let msr_daifclr a imm =
+  emit a ((0b1101010100 lsl 22) lor (0b011 lsl 16) lor (0b0100 lsl 12) lor ((imm land 0xF) lsl 8) lor (0b111 lsl 5) lor 0b11111)
+
+(* --- assembly --------------------------------------------------------------------------------- *)
+
+let assemble (a : t) : bytes =
+  let words = Array.of_list (List.rev a.words) in
+  List.iter
+    (fun (idx, kind, name) ->
+      let target =
+        match Hashtbl.find_opt a.labels name with
+        | Some t -> t
+        | None -> invalid_arg ("undefined label " ^ name)
+      in
+      let delta = target - idx in
+      let w = Int32.to_int words.(idx) land 0xFFFFFFFF in
+      let patched =
+        match kind with
+        | Rel26 ->
+          if delta < -(1 lsl 25) || delta >= 1 lsl 25 then invalid_arg "branch out of range";
+          w lor (delta land 0x3FFFFFF)
+        | Rel19 ->
+          if delta < -(1 lsl 18) || delta >= 1 lsl 18 then invalid_arg "branch out of range";
+          w lor ((delta land 0x7FFFF) lsl 5)
+        | Rel14 ->
+          if delta < -(1 lsl 13) || delta >= 1 lsl 13 then invalid_arg "branch out of range";
+          w lor ((delta land 0x3FFF) lsl 5)
+        | Adr21 ->
+          let byte_delta = delta * 4 in
+          if byte_delta < -(1 lsl 20) || byte_delta >= 1 lsl 20 then invalid_arg "adr out of range";
+          w lor ((byte_delta land 3) lsl 29) lor (((byte_delta asr 2) land 0x7FFFF) lsl 5)
+      in
+      words.(idx) <- Int32.of_int patched)
+    a.fixups;
+  let out = Bytes.create (4 * Array.length words) in
+  Array.iteri (fun i w -> Bytes.set_int32_le out (4 * i) w) words;
+  out
+
+let size_bytes a = 4 * a.count
+
+(* Pad with NOPs up to a byte offset from the assembly base. *)
+let pad_to a byte_off =
+  if byte_off land 3 <> 0 then invalid_arg "pad_to: unaligned";
+  while 4 * a.count < byte_off do
+    nop a
+  done

@@ -1,0 +1,1053 @@
+(* The ARMv8-A (AArch64) architecture description.
+
+   This is the analogue of the paper's 8,100-line ARMv8-A model: decode
+   patterns and instruction semantics in the ADL's C-like behaviour
+   language.  System-level behaviour that the paper keeps in regular
+   source files (the stage-1 MMU walker, the exception model, system
+   registers) lives in Arm_sys.
+
+   Conventions:
+   - GPR[0..30] are X0..X30; index 31 is XZR storage that helpers bypass.
+   - VEC[2n] is the low 64 bits of Vn (Dn); VEC[2n+1] the high 64 bits.
+   - NZCV is stored as a nibble: N=8, Z=4, C=2, V=1.
+   - The engine supplies the pseudo-field  __el  (current exception
+     level), so translations specialize on the guest privilege mode and
+     the code cache can key on it. *)
+
+let header =
+  {|
+arch "armv8-a" {
+  wordsize 64;
+  endian little;
+  bank GPR : uint64[32];
+  bank VEC : uint64[64];
+  reg SP_EL0 : uint64;
+  reg SP_EL1 : uint64;
+  reg NZCV : uint64;
+  reg CURRENT_EL : uint64;
+  reg DAIF : uint64;
+  reg VBAR_EL1 : uint64;
+  reg ELR_EL1 : uint64;
+  reg SPSR_EL1 : uint64;
+  reg ESR_EL1 : uint64;
+  reg FAR_EL1 : uint64;
+  reg TTBR0_EL1 : uint64;
+  reg TTBR1_EL1 : uint64;
+  reg SCTLR_EL1 : uint64;
+  reg TPIDR_EL0 : uint64;
+  reg EXCL_MONITOR : uint64;
+}
+|}
+
+let helpers =
+  {|
+// --- register access ------------------------------------------------------
+
+helper uint64 rgpr(uint64 n) {
+  return select(n == 31, 0, read_register_bank(GPR, n));
+}
+
+helper void wgpr(uint64 n, uint64 v) {
+  if (n != 31) { write_register_bank(GPR, n, v); }
+}
+
+helper uint64 rsp(uint64 el) {
+  return select(el == 0, read_register(SP_EL0), read_register(SP_EL1));
+}
+
+helper void wsp(uint64 el, uint64 v) {
+  if (el == 0) { write_register(SP_EL0, v); } else { write_register(SP_EL1, v); }
+}
+
+helper uint64 rgpr_sp(uint64 n, uint64 el) {
+  if (n == 31) { return rsp(el); }
+  return rgpr(n);
+}
+
+helper void wgpr_sp(uint64 n, uint64 el, uint64 v) {
+  if (n == 31) { wsp(el, v); } else { wgpr(n, v); }
+}
+
+helper uint64 rvec(uint64 n) { return read_register_bank(VEC, n * 2); }
+
+helper void wvec(uint64 n, uint64 v) {
+  write_register_bank(VEC, n * 2, v);
+  write_register_bank(VEC, n * 2 + 1, 0);
+}
+
+// --- condition codes --------------------------------------------------------
+
+helper uint64 cond_holds(uint64 cond) {
+  uint64 nzcv = read_register(NZCV);
+  uint64 n = (nzcv >> 3) & 1;
+  uint64 z = (nzcv >> 2) & 1;
+  uint64 c = (nzcv >> 1) & 1;
+  uint64 v = nzcv & 1;
+  uint64 r = 1;
+  uint64 base = cond >> 1;
+  if (base == 0) { r = z; }
+  if (base == 1) { r = c; }
+  if (base == 2) { r = n; }
+  if (base == 3) { r = v; }
+  if (base == 4) { r = c & (z == 0); }
+  if (base == 5) { r = n == v; }
+  if (base == 6) { r = (z == 0) & (n == v); }
+  if (base == 7) { r = 1; }
+  if ((cond & 1) == 1) {
+    if (cond != 15) { r = r == 0; }
+  }
+  return r;
+}
+
+// --- operand shifting --------------------------------------------------------
+
+helper uint64 shift64(uint64 v, uint64 ty, uint64 amt) {
+  if (ty == 0) { return v << amt; }
+  if (ty == 1) { return v >> amt; }
+  if (ty == 2) { return (uint64)((sint64)v >> amt); }
+  return ror64(v, amt);
+}
+
+helper uint64 shift32(uint64 v, uint64 ty, uint64 amt) {
+  uint64 w = v & 0xFFFFFFFF;
+  if (ty == 0) { return (w << amt) & 0xFFFFFFFF; }
+  if (ty == 1) { return w >> amt; }
+  if (ty == 2) { return ((uint64)((sint64)sign_extend(w, 32) >> amt)) & 0xFFFFFFFF; }
+  return ror32(w, amt);
+}
+
+// Extended-register operand (UXTB..SXTX) with left shift.
+helper uint64 extend_reg(uint64 v, uint64 option, uint64 amt) {
+  uint64 r = v;
+  if (option == 0) { r = v & 0xFF; }
+  if (option == 1) { r = v & 0xFFFF; }
+  if (option == 2) { r = v & 0xFFFFFFFF; }
+  if (option == 4) { r = sign_extend(v & 0xFF, 8); }
+  if (option == 5) { r = sign_extend(v & 0xFFFF, 16); }
+  if (option == 6) { r = sign_extend(v & 0xFFFFFFFF, 32); }
+  return r << amt;
+}
+
+// --- bitmask immediates (DecodeBitMasks of the ARM ARM) -----------------------
+
+helper uint64 bitmask_welem(uint64 n, uint64 immr, uint64 imms) {
+  uint64 lenbits = (n << 6) | ((~imms) & 0x3F);
+  uint64 len = 31 - clz32(lenbits);
+  uint64 esize = (uint64)1 << len;
+  uint64 levels = esize - 1;
+  uint64 s = imms & levels;
+  uint64 r = immr & levels;
+  uint64 welem = select(s == 63, 0xFFFFFFFFFFFFFFFF, ((uint64)1 << (s + 1)) - 1);
+  uint64 emask = select(esize == 64, 0xFFFFFFFFFFFFFFFF, ((uint64)1 << esize) - 1);
+  uint64 rot = select(r == 0, welem,
+                      ((welem >> r) | (welem << (esize - r))) & emask);
+  uint64 result = rot;
+  uint64 size = esize;
+  while (size < 64) {
+    result = result | (result << size);
+    size = size + size;
+  }
+  return result;
+}
+
+helper uint64 bitmask_telem(uint64 n, uint64 immr, uint64 imms) {
+  uint64 lenbits = (n << 6) | ((~imms) & 0x3F);
+  uint64 len = 31 - clz32(lenbits);
+  uint64 esize = (uint64)1 << len;
+  uint64 levels = esize - 1;
+  uint64 s = imms & levels;
+  uint64 r = immr & levels;
+  uint64 diff = (s - r) & levels;
+  uint64 telem = select(diff == 63, 0xFFFFFFFFFFFFFFFF, ((uint64)1 << (diff + 1)) - 1);
+  uint64 result = telem;
+  uint64 size = esize;
+  while (size < 64) {
+    result = result | (result << size);
+    size = size + size;
+  }
+  return result;
+}
+
+// --- floating point immediates (VFPExpandImm) ----------------------------------
+
+helper uint64 vfp_expand_imm64(uint64 imm8) {
+  uint64 sign = (imm8 >> 7) & 1;
+  uint64 b6 = (imm8 >> 6) & 1;
+  uint64 expo = ((b6 ^ 1) << 10) | (select(b6 == 1, 0xFF, 0) << 2) | ((imm8 >> 4) & 3);
+  return (sign << 63) | (expo << 52) | ((imm8 & 0xF) << 48);
+}
+
+helper uint64 vfp_expand_imm32(uint64 imm8) {
+  uint64 sign = (imm8 >> 7) & 1;
+  uint64 b6 = (imm8 >> 6) & 1;
+  uint64 expo = ((b6 ^ 1) << 7) | (select(b6 == 1, 0x1F, 0) << 2) | ((imm8 >> 4) & 3);
+  return (sign << 31) | (expo << 23) | ((imm8 & 0xF) << 19);
+}
+|}
+
+(* --- decode patterns ---------------------------------------------------- *)
+
+let decodes =
+  {|
+decode add_sub_imm   "sf:1 op:1 s:1 10001 0 sh:1 imm12:12 rn:5 rd:5";
+decode logical_imm   "sf:1 opc:2 100100 n:1 immr:6 imms:6 rn:5 rd:5" when (sf == 1 || n == 0);
+decode movwide       "sf:1 opc:2 100101 hw:2 imm16:16 rd:5" when (opc != 1 && (sf == 1 || hw < 2));
+decode adr           "op:1 immlo:2 10000 immhi:19 rd:5";
+decode bitfield      "sf:1 opc:2 100110 n:1 immr:6 imms:6 rn:5 rd:5" when (opc != 3 && n == sf);
+decode add_sub_shreg "sf:1 op:1 s:1 01011 shift:2 0 rm:5 imm6:6 rn:5 rd:5" when (shift != 3);
+decode logical_shreg "sf:1 opc:2 01010 shift:2 n:1 rm:5 imm6:6 rn:5 rd:5";
+decode adc_sbc       "sf:1 op:1 s:1 11010000 rm:5 000000 rn:5 rd:5";
+decode condsel       "sf:1 op:1 0 11010100 rm:5 cond:4 0 o2:1 rn:5 rd:5";
+decode dp3           "sf:1 00 11011 000 rm:5 o0:1 ra:5 rn:5 rd:5";
+decode mulh          "1 00 11011 u:1 10 rm:5 0 11111 rn:5 rd:5";
+decode dp2           "sf:1 0 0 11010110 rm:5 opcode:6 rn:5 rd:5"
+  when (opcode == 2 || opcode == 3 || opcode == 8 || opcode == 9 || opcode == 10 || opcode == 11);
+decode dp1           "sf:1 1 0 11010110 00000 opcode:6 rn:5 rd:5" when (opcode < 6);
+decode b_uncond      "op:1 00101 imm26:26" ends_block;
+decode b_cond        "01010100 imm19:19 0 cond:4" ends_block;
+decode cbz           "sf:1 011010 op:1 imm19:19 rt:5" ends_block;
+decode tbz           "b5:1 011011 op:1 b40:5 imm14:14 rt:5" ends_block;
+decode br_blr_ret    "1101011 opc:4 11111 000000 rn:5 00000" when (opc < 3) ends_block;
+decode ldst_uimm     "size:2 111 0 01 opc:2 imm12:12 rn:5 rt:5"
+  when (!(size == 3 && opc >= 2) && !(size == 2 && opc == 3));
+decode ldst_simm     "size:2 111 0 00 opc:2 0 imm9:9 mode:2 rn:5 rt:5"
+  when (mode != 2 && !(size == 3 && opc >= 2) && !(size == 2 && opc == 3));
+decode ldst_reg      "size:2 111 0 00 opc:2 1 rm:5 option:3 scale:1 10 rn:5 rt:5"
+  when (!(size == 3 && opc >= 2) && !(size == 2 && opc == 3) && (option & 2) != 0);
+decode ldp_stp       "opc:2 101 0 mode:3 l:1 imm7:7 rt2:5 rn:5 rt:5"
+  when ((opc == 0 || opc == 2) && (mode == 1 || mode == 2 || mode == 3));
+decode ldr_lit       "opc:2 011 0 00 imm19:19 rt:5" when (opc < 2);
+decode ldst_fp_uimm  "size:2 111 1 01 opc:2 imm12:12 rn:5 rt:5"
+  when (((size == 2 || size == 3) && opc < 2) || (size == 0 && opc >= 2));
+decode ldst_fp_simm  "size:2 111 1 00 opc:2 0 imm9:9 mode:2 rn:5 rt:5"
+  when ((size == 2 || size == 3) && opc < 2 && mode != 2);
+decode fp2src        "000 11110 ftype:2 1 rm:5 opcode:4 10 rn:5 rd:5"
+  when (ftype != 2 && ftype != 3 && (opcode < 6 || opcode == 8));
+decode fp1src        "000 11110 ftype:2 1 opcode:6 10000 rn:5 rd:5"
+  when (ftype < 2 && (opcode < 4 || (ftype == 0 && opcode == 5) || (ftype == 1 && opcode == 4)));
+decode fcmp          "000 11110 ftype:2 1 rm:5 001000 rn:5 op2:5"
+  when (ftype < 2 && (op2 == 0 || op2 == 8 || op2 == 16 || op2 == 24));
+decode fmov_imm      "000 11110 ftype:2 1 imm8:8 100 00000 rd:5" when (ftype < 2);
+decode fp_int        "sf:1 0 0 11110 ftype:2 1 rmode:2 opcode:3 000000 rn:5 rd:5"
+  when (ftype < 2 && ((rmode == 0 && (opcode == 2 || opcode == 3 || opcode == 6 || opcode == 7)) || (rmode == 3 && opcode < 2)));
+decode fmadd         "000 11111 ftype:2 0 rm:5 o0:1 ra:5 rn:5 rd:5" when (ftype < 2);
+decode fcsel         "000 11110 ftype:2 1 rm:5 cond:4 11 rn:5 rd:5" when (ftype < 2);
+decode add_sub_ext   "sf:1 op:1 s:1 01011 001 rm:5 option:3 imm3:3 rn:5 rd:5" when (imm3 < 5);
+decode extr          "sf:1 00 100111 n:1 0 rm:5 imms:6 rn:5 rd:5" when (n == sf && (sf == 1 || imms < 32));
+decode ccmp_reg      "sf:1 op:1 1 11010010 rm:5 cond:4 0 0 rn:5 0 nzcv:4";
+decode ccmp_imm      "sf:1 op:1 1 11010010 imm5:5 cond:4 1 0 rn:5 0 nzcv:4";
+decode ldar_stlr     "size:2 001000 1 l:1 0 11111 1 11111 rn:5 rt:5";
+decode ldxr          "size:2 001000 0 1 0 11111 0 11111 rn:5 rt:5";
+decode stxr          "size:2 001000 0 0 0 rs:5 0 11111 rn:5 rt:5";
+decode vec3same      "0 1 u:1 01110 size:2 1 rm:5 opcode:5 1 rn:5 rd:5"
+  when ((opcode == 16 && size == 3) || (opcode == 3 && u == 0) || (opcode == 3 && u == 1 && size == 0));
+decode vecfp3same    "0 1 u:1 01110 0 sz:1 1 rm:5 opcode:6 rn:5 rd:5"
+  when (sz == 1 && ((u == 0 && opcode == 53) || (u == 1 && opcode == 55)));
+decode dup_gen       "0 1 001110000 imm5:5 000011 rn:5 rd:5" when ((imm5 & 1) == 1 || (imm5 & 2) == 2 || (imm5 & 4) == 4 || (imm5 & 8) == 8);
+decode umov          "0 q:1 001110000 imm5:5 001111 rn:5 rd:5"
+  when ((q == 1 && (imm5 & 15) == 8) || (q == 0 && (imm5 & 3) == 2));
+decode svc           "11010100 000 imm16:16 000 01" ends_block;
+decode brk           "11010100 001 imm16:16 000 00" ends_block;
+decode eret_insn     "11010110 100 11111 0000 00 11111 00000" ends_block;
+decode wfi           "1101010100 0 00 011 0010 0000 011 11111" ends_block;
+decode hint          "1101010100 0 00 011 0010 crm:4 op2:3 11111";
+decode barrier       "1101010100 0 00 011 0011 crm:4 op2:3 11111";
+decode msr_imm       "1101010100 0 00 op1:3 0100 crm:4 op2:3 11111" ends_block;
+decode sys           "1101010100 0 01 op1:3 crn:4 crm:4 op2:3 rt:5";
+decode mrs           "1101010100 1 1 o0:1 op1:3 crn:4 crm:4 op2:3 rt:5";
+decode msr_reg       "1101010100 0 1 o0:1 op1:3 crn:4 crm:4 op2:3 rt:5" ends_block;
+|}
+
+(* --- integer semantics ------------------------------------------------------ *)
+
+let exec_int =
+  {|
+execute(add_sub_imm) {
+  uint64 imm = inst.imm12 << (inst.sh * 12);
+  uint64 a = rgpr_sp(inst.rn, inst.__el);
+  uint64 operand2 = select(inst.op == 1, ~imm, imm);
+  uint64 cin = inst.op;
+  if (inst.sf == 1) {
+    uint64 r = adc64(a, operand2, cin);
+    if (inst.s == 1) {
+      write_register(NZCV, add_flags64(a, operand2, cin));
+      wgpr(inst.rd, r);
+    } else {
+      wgpr_sp(inst.rd, inst.__el, r);
+    }
+  } else {
+    uint64 a32 = a & 0xFFFFFFFF;
+    uint64 o32 = operand2 & 0xFFFFFFFF;
+    uint64 r = adc32(a32, o32, cin);
+    if (inst.s == 1) {
+      write_register(NZCV, add_flags32(a32, o32, cin));
+      wgpr(inst.rd, r);
+    } else {
+      wgpr_sp(inst.rd, inst.__el, r);
+    }
+  }
+}
+
+execute(logical_imm) {
+  uint64 imm = bitmask_welem(inst.n, inst.immr, inst.imms);
+  uint64 a = rgpr(inst.rn);
+  uint64 r = 0;
+  if (inst.opc == 0) { r = a & imm; }
+  if (inst.opc == 1) { r = a | imm; }
+  if (inst.opc == 2) { r = a ^ imm; }
+  if (inst.opc == 3) { r = a & imm; }
+  if (inst.sf == 0) { r = r & 0xFFFFFFFF; }
+  if (inst.opc == 3) {
+    // ANDS: destination is never SP
+    if (inst.sf == 1) { write_register(NZCV, logic_flags64(r)); }
+    else { write_register(NZCV, logic_flags32(r)); }
+    wgpr(inst.rd, r);
+  } else {
+    wgpr_sp(inst.rd, inst.__el, r);
+  }
+}
+
+execute(movwide) {
+  uint64 imm = inst.imm16 << (inst.hw * 16);
+  uint64 r = 0;
+  if (inst.opc == 0) { r = ~imm; }
+  if (inst.opc == 2) { r = imm; }
+  if (inst.opc == 3) {
+    uint64 old = rgpr(inst.rd);
+    uint64 mask = (uint64)0xFFFF << (inst.hw * 16);
+    r = (old & (~mask)) | imm;
+  }
+  if (inst.sf == 0) { r = r & 0xFFFFFFFF; }
+  wgpr(inst.rd, r);
+}
+
+execute(adr) {
+  uint64 pc = read_pc();
+  uint64 imm = sign_extend((inst.immhi << 2) | inst.immlo, 21);
+  if (inst.op == 1) {
+    wgpr(inst.rd, (pc & (~(uint64)0xFFF)) + (imm << 12));
+  } else {
+    wgpr(inst.rd, pc + imm);
+  }
+}
+
+execute(bitfield) {
+  uint64 wmask = bitmask_welem(inst.n, inst.immr, inst.imms);
+  uint64 tmask = bitmask_telem(inst.n, inst.immr, inst.imms);
+  uint64 src = rgpr(inst.rn);
+  uint64 rot = select(inst.sf == 1, ror64(src, inst.immr), ror32(src & 0xFFFFFFFF, inst.immr));
+  uint64 bot = rot & wmask;
+  uint64 r = 0;
+  if (inst.opc == 2) {
+    // UBFM
+    r = bot & tmask;
+  }
+  if (inst.opc == 0) {
+    // SBFM: replicate the sign bit of src[imms] above tmask
+    uint64 sbit = (src >> inst.imms) & 1;
+    uint64 top = select(sbit == 1, 0xFFFFFFFFFFFFFFFF, 0);
+    r = (bot & tmask) | (top & (~tmask));
+  }
+  if (inst.opc == 1) {
+    // BFM: keep untouched destination bits
+    uint64 old = rgpr(inst.rd);
+    uint64 bot2 = (old & (~wmask)) | (rot & wmask);
+    r = (old & (~tmask)) | (bot2 & tmask);
+  }
+  if (inst.sf == 0) { r = r & 0xFFFFFFFF; }
+  wgpr(inst.rd, r);
+}
+
+execute(add_sub_shreg) {
+  uint64 b = rgpr(inst.rm);
+  uint64 operand2 = select(inst.sf == 1,
+                           shift64(b, inst.shift, inst.imm6),
+                           shift32(b, inst.shift, inst.imm6));
+  uint64 a = rgpr(inst.rn);
+  uint64 o2 = select(inst.op == 1, ~operand2, operand2);
+  uint64 cin = inst.op;
+  if (inst.sf == 1) {
+    uint64 r = adc64(a, o2, cin);
+    if (inst.s == 1) { write_register(NZCV, add_flags64(a, o2, cin)); }
+    wgpr(inst.rd, r);
+  } else {
+    uint64 a32 = a & 0xFFFFFFFF;
+    uint64 o32 = o2 & 0xFFFFFFFF;
+    uint64 r = adc32(a32, o32, cin);
+    if (inst.s == 1) { write_register(NZCV, add_flags32(a32, o32, cin)); }
+    wgpr(inst.rd, r);
+  }
+}
+
+execute(logical_shreg) {
+  uint64 b = rgpr(inst.rm);
+  uint64 operand2 = select(inst.sf == 1,
+                           shift64(b, inst.shift, inst.imm6),
+                           shift32(b, inst.shift, inst.imm6));
+  if (inst.n == 1) { operand2 = ~operand2; }
+  uint64 a = rgpr(inst.rn);
+  uint64 r = 0;
+  if (inst.opc == 0) { r = a & operand2; }
+  if (inst.opc == 1) { r = a | operand2; }
+  if (inst.opc == 2) { r = a ^ operand2; }
+  if (inst.opc == 3) { r = a & operand2; }
+  if (inst.sf == 0) { r = r & 0xFFFFFFFF; }
+  if (inst.opc == 3) {
+    if (inst.sf == 1) { write_register(NZCV, logic_flags64(r)); }
+    else { write_register(NZCV, logic_flags32(r)); }
+  }
+  wgpr(inst.rd, r);
+}
+
+execute(adc_sbc) {
+  uint64 a = rgpr(inst.rn);
+  uint64 b = rgpr(inst.rm);
+  uint64 cin = (read_register(NZCV) >> 1) & 1;
+  uint64 o2 = select(inst.op == 1, ~b, b);
+  if (inst.sf == 1) {
+    uint64 r = adc64(a, o2, cin);
+    if (inst.s == 1) { write_register(NZCV, add_flags64(a, o2, cin)); }
+    wgpr(inst.rd, r);
+  } else {
+    uint64 a32 = a & 0xFFFFFFFF;
+    uint64 o32 = o2 & 0xFFFFFFFF;
+    uint64 r = adc32(a32, o32, cin);
+    if (inst.s == 1) { write_register(NZCV, add_flags32(a32, o32, cin)); }
+    wgpr(inst.rd, r);
+  }
+}
+
+execute(condsel) {
+  uint64 take = cond_holds(inst.cond);
+  uint64 a = rgpr(inst.rn);
+  uint64 b = rgpr(inst.rm);
+  uint64 alt = b;
+  if (inst.op == 0 && inst.o2 == 1) { alt = b + 1; }
+  if (inst.op == 1 && inst.o2 == 0) { alt = ~b; }
+  if (inst.op == 1 && inst.o2 == 1) { alt = 0 - b; }
+  uint64 r = select(take, a, alt);
+  if (inst.sf == 0) { r = r & 0xFFFFFFFF; }
+  wgpr(inst.rd, r);
+}
+
+execute(dp3) {
+  uint64 acc = rgpr(inst.ra);
+  uint64 p = rgpr(inst.rn) * rgpr(inst.rm);
+  uint64 r = select(inst.o0 == 1, acc - p, acc + p);
+  if (inst.sf == 0) { r = r & 0xFFFFFFFF; }
+  wgpr(inst.rd, r);
+}
+
+execute(mulh) {
+  uint64 a = rgpr(inst.rn);
+  uint64 b = rgpr(inst.rm);
+  uint64 r = select(inst.u == 1, umulh64(a, b), smulh64(a, b));
+  wgpr(inst.rd, r);
+}
+
+execute(dp2) {
+  uint64 a = rgpr(inst.rn);
+  uint64 b = rgpr(inst.rm);
+  uint64 r = 0;
+  if (inst.opcode == 2) { r = select(inst.sf == 1, udiv64(a, b), udiv32(a, b)); }
+  if (inst.opcode == 3) { r = select(inst.sf == 1, sdiv64(a, b), sdiv32(a, b)); }
+  if (inst.opcode == 8) {
+    r = select(inst.sf == 1, a << (b & 63), (a << (b & 31)) & 0xFFFFFFFF);
+  }
+  if (inst.opcode == 9) {
+    r = select(inst.sf == 1, a >> (b & 63), (a & 0xFFFFFFFF) >> (b & 31));
+  }
+  if (inst.opcode == 10) {
+    r = select(inst.sf == 1,
+               (uint64)((sint64)a >> (b & 63)),
+               ((uint64)((sint64)sign_extend(a & 0xFFFFFFFF, 32) >> (b & 31))) & 0xFFFFFFFF);
+  }
+  if (inst.opcode == 11) {
+    r = select(inst.sf == 1, ror64(a, b & 63), ror32(a & 0xFFFFFFFF, b & 31));
+  }
+  wgpr(inst.rd, r);
+}
+
+execute(dp1) {
+  uint64 a = rgpr(inst.rn);
+  uint64 r = 0;
+  if (inst.opcode == 0) { r = select(inst.sf == 1, rbit64(a), rbit32(a & 0xFFFFFFFF)); }
+  if (inst.opcode == 1) {
+    // REV16: byte-swap each halfword
+    uint64 swapped = ((a & 0x00FF00FF00FF00FF) << 8) | ((a >> 8) & 0x00FF00FF00FF00FF);
+    r = select(inst.sf == 1, swapped, swapped & 0xFFFFFFFF);
+  }
+  if (inst.opcode == 2) {
+    if (inst.sf == 1) { r = (rev32(a & 0xFFFFFFFF)) | (rev32(a >> 32) << 32); }
+    else { r = rev32(a & 0xFFFFFFFF); }
+  }
+  if (inst.opcode == 3) { r = rev64(a); }
+  if (inst.opcode == 4) { r = select(inst.sf == 1, clz64(a), clz32(a & 0xFFFFFFFF)); }
+  if (inst.opcode == 5) {
+    // CLS: leading sign bits
+    uint64 x = select(inst.sf == 1, a, sign_extend(a & 0xFFFFFFFF, 32));
+    uint64 flipped = select((x >> 63) == 1, ~x, x);
+    r = select(inst.sf == 1, clz64(flipped) - 1, clz32(flipped & 0xFFFFFFFF) - 1);
+  }
+  wgpr(inst.rd, r);
+}
+|}
+
+let exec_ext =
+  {|
+execute(add_sub_ext) {
+  uint64 a = rgpr_sp(inst.rn, inst.__el);
+  uint64 operand2 = extend_reg(rgpr(inst.rm), inst.option, inst.imm3);
+  uint64 o2 = select(inst.op == 1, ~operand2, operand2);
+  uint64 cin = inst.op;
+  if (inst.sf == 1) {
+    uint64 r = adc64(a, o2, cin);
+    if (inst.s == 1) {
+      write_register(NZCV, add_flags64(a, o2, cin));
+      wgpr(inst.rd, r);
+    } else {
+      wgpr_sp(inst.rd, inst.__el, r);
+    }
+  } else {
+    uint64 a32 = a & 0xFFFFFFFF;
+    uint64 o32 = o2 & 0xFFFFFFFF;
+    uint64 r = adc32(a32, o32, cin);
+    if (inst.s == 1) {
+      write_register(NZCV, add_flags32(a32, o32, cin));
+      wgpr(inst.rd, r);
+    } else {
+      wgpr_sp(inst.rd, inst.__el, r);
+    }
+  }
+}
+
+execute(extr) {
+  uint64 lo = rgpr(inst.rm);
+  uint64 hi = rgpr(inst.rn);
+  uint64 r = 0;
+  if (inst.sf == 1) {
+    r = select(inst.imms == 0, lo, (lo >> inst.imms) | (hi << (64 - inst.imms)));
+  } else {
+    uint64 lo32 = lo & 0xFFFFFFFF;
+    uint64 hi32 = hi & 0xFFFFFFFF;
+    r = select(inst.imms == 0, lo32,
+               ((lo32 >> inst.imms) | (hi32 << (32 - inst.imms))) & 0xFFFFFFFF);
+  }
+  wgpr(inst.rd, r);
+}
+
+helper void ccmp_core(uint64 sf, uint64 op, uint64 cond, uint64 a, uint64 b, uint64 nzcv_imm) {
+  if (cond_holds(cond)) {
+    uint64 o2 = select(op == 1, ~b, b);
+    uint64 cin = op;
+    if (sf == 1) {
+      write_register(NZCV, add_flags64(a, o2, cin));
+    } else {
+      write_register(NZCV, add_flags32(a & 0xFFFFFFFF, o2 & 0xFFFFFFFF, cin));
+    }
+  } else {
+    write_register(NZCV, nzcv_imm);
+  }
+}
+
+execute(ccmp_reg) {
+  ccmp_core(inst.sf, inst.op, inst.cond, rgpr(inst.rn), rgpr(inst.rm), inst.nzcv);
+}
+
+execute(ccmp_imm) {
+  ccmp_core(inst.sf, inst.op, inst.cond, rgpr(inst.rn), inst.imm5, inst.nzcv);
+}
+|}
+
+let exec_branch =
+  {|
+execute(b_uncond) {
+  uint64 pc = read_pc();
+  uint64 off = sign_extend(inst.imm26, 26) << 2;
+  if (inst.op == 1) { wgpr(30, pc + 4); }
+  write_pc(pc + off);
+}
+
+execute(b_cond) {
+  uint64 pc = read_pc();
+  if (cond_holds(inst.cond)) {
+    write_pc(pc + (sign_extend(inst.imm19, 19) << 2));
+  } else {
+    write_pc(pc + 4);
+  }
+}
+
+execute(cbz) {
+  uint64 v = rgpr(inst.rt);
+  if (inst.sf == 0) { v = v & 0xFFFFFFFF; }
+  uint64 pc = read_pc();
+  uint64 taken = select(inst.op == 1, v != 0, v == 0);
+  if (taken) {
+    write_pc(pc + (sign_extend(inst.imm19, 19) << 2));
+  } else {
+    write_pc(pc + 4);
+  }
+}
+
+execute(tbz) {
+  uint64 bitpos = (inst.b5 << 5) | inst.b40;
+  uint64 v = (rgpr(inst.rt) >> bitpos) & 1;
+  uint64 pc = read_pc();
+  uint64 taken = select(inst.op == 1, v == 1, v == 0);
+  if (taken) {
+    write_pc(pc + (sign_extend(inst.imm14, 14) << 2));
+  } else {
+    write_pc(pc + 4);
+  }
+}
+
+execute(br_blr_ret) {
+  uint64 target = rgpr(inst.rn);
+  if (inst.opc == 1) { wgpr(30, read_pc() + 4); }
+  write_pc(target);
+}
+|}
+
+let exec_mem =
+  {|
+// Shared load/store core: size (0..3), opc per the load/store encoding.
+helper void ldst_access(uint64 size, uint64 opc, uint64 addr, uint64 rt) {
+  if (opc == 0) {
+    // store
+    uint64 v = rgpr(rt);
+    if (size == 0) { mem_write_8(addr, v); }
+    if (size == 1) { mem_write_16(addr, v); }
+    if (size == 2) { mem_write_32(addr, v); }
+    if (size == 3) { mem_write_64(addr, v); }
+  }
+  if (opc == 1) {
+    // zero-extending load
+    uint64 v = 0;
+    if (size == 0) { v = mem_read_8(addr); }
+    if (size == 1) { v = mem_read_16(addr); }
+    if (size == 2) { v = mem_read_32(addr); }
+    if (size == 3) { v = mem_read_64(addr); }
+    wgpr(rt, v);
+  }
+  if (opc == 2) {
+    // sign-extending load to 64 bits (LDRSB/LDRSH/LDRSW)
+    uint64 v = 0;
+    if (size == 0) { v = sign_extend(mem_read_8(addr), 8); }
+    if (size == 1) { v = sign_extend(mem_read_16(addr), 16); }
+    if (size == 2) { v = sign_extend(mem_read_32(addr), 32); }
+    wgpr(rt, v);
+  }
+  if (opc == 3) {
+    // sign-extending load to 32 bits
+    uint64 v = 0;
+    if (size == 0) { v = sign_extend(mem_read_8(addr), 8) & 0xFFFFFFFF; }
+    if (size == 1) { v = sign_extend(mem_read_16(addr), 16) & 0xFFFFFFFF; }
+    wgpr(rt, v);
+  }
+}
+
+execute(ldst_uimm) {
+  uint64 base = rgpr_sp(inst.rn, inst.__el);
+  uint64 addr = base + (inst.imm12 << inst.size);
+  ldst_access(inst.size, inst.opc, addr, inst.rt);
+}
+
+execute(ldst_simm) {
+  uint64 base = rgpr_sp(inst.rn, inst.__el);
+  uint64 off = sign_extend(inst.imm9, 9);
+  uint64 addr = select(inst.mode == 1, base, base + off); // post-index uses base
+  ldst_access(inst.size, inst.opc, addr, inst.rt);
+  if (inst.mode == 1 || inst.mode == 3) {
+    wgpr_sp(inst.rn, inst.__el, base + off);
+  }
+}
+
+execute(ldst_reg) {
+  uint64 base = rgpr_sp(inst.rn, inst.__el);
+  uint64 amount = inst.scale * inst.size;
+  uint64 off = extend_reg(rgpr(inst.rm), inst.option, amount);
+  ldst_access(inst.size, inst.opc, base + off, inst.rt);
+}
+
+execute(ldp_stp) {
+  uint64 scale = select(inst.opc == 2, 3, 2);
+  uint64 size = select(inst.opc == 2, 8, 4);
+  uint64 base = rgpr_sp(inst.rn, inst.__el);
+  uint64 off = sign_extend(inst.imm7, 7) << scale;
+  uint64 addr = select(inst.mode == 1, base, base + off);
+  if (inst.l == 1) {
+    if (inst.opc == 2) {
+      uint64 v1 = mem_read_64(addr);
+      uint64 v2 = mem_read_64(addr + size);
+      wgpr(inst.rt, v1);
+      wgpr(inst.rt2, v2);
+    } else {
+      uint64 v1 = mem_read_32(addr);
+      uint64 v2 = mem_read_32(addr + size);
+      wgpr(inst.rt, v1);
+      wgpr(inst.rt2, v2);
+    }
+  } else {
+    if (inst.opc == 2) {
+      mem_write_64(addr, rgpr(inst.rt));
+      mem_write_64(addr + size, rgpr(inst.rt2));
+    } else {
+      mem_write_32(addr, rgpr(inst.rt));
+      mem_write_32(addr + size, rgpr(inst.rt2));
+    }
+  }
+  if (inst.mode == 1 || inst.mode == 3) {
+    wgpr_sp(inst.rn, inst.__el, base + off);
+  }
+}
+
+execute(ldr_lit) {
+  uint64 addr = read_pc() + (sign_extend(inst.imm19, 19) << 2);
+  if (inst.opc == 0) { wgpr(inst.rt, mem_read_32(addr)); }
+  if (inst.opc == 1) { wgpr(inst.rt, mem_read_64(addr)); }
+}
+
+execute(ldst_fp_uimm) {
+  uint64 base = rgpr_sp(inst.rn, inst.__el);
+  if (inst.opc >= 2) {
+    // 128-bit Q-register access (scaled by 16)
+    uint64 addr = base + (inst.imm12 << 4);
+    if (inst.opc == 3) {
+      write_register_bank(VEC, inst.rt * 2, mem_read_64(addr));
+      write_register_bank(VEC, inst.rt * 2 + 1, mem_read_64(addr + 8));
+    } else {
+      mem_write_64(addr, read_register_bank(VEC, inst.rt * 2));
+      mem_write_64(addr + 8, read_register_bank(VEC, inst.rt * 2 + 1));
+    }
+  } else {
+    uint64 addr = base + (inst.imm12 << inst.size);
+    if (inst.opc == 1) {
+      if (inst.size == 3) { wvec(inst.rt, mem_read_64(addr)); }
+      else { wvec(inst.rt, mem_read_32(addr)); }
+    } else {
+      if (inst.size == 3) { mem_write_64(addr, rvec(inst.rt)); }
+      else { mem_write_32(addr, rvec(inst.rt) & 0xFFFFFFFF); }
+    }
+  }
+}
+
+execute(ldar_stlr) {
+  // Acquire/release: single-core, ordering is a barrier no-op.
+  uint64 addr = rgpr_sp(inst.rn, inst.__el);
+  barrier();
+  if (inst.l == 1) {
+    ldst_access(inst.size, 1, addr, inst.rt);
+  } else {
+    ldst_access(inst.size, 0, addr, inst.rt);
+  }
+}
+
+execute(ldxr) {
+  uint64 addr = rgpr_sp(inst.rn, inst.__el);
+  write_register(EXCL_MONITOR, 1);
+  ldst_access(inst.size, 1, addr, inst.rt);
+}
+
+execute(stxr) {
+  // Single core: the exclusive store succeeds iff the monitor is armed.
+  uint64 armed = read_register(EXCL_MONITOR);
+  if (armed != 0) {
+    uint64 addr = rgpr_sp(inst.rn, inst.__el);
+    ldst_access(inst.size, 0, addr, inst.rt);
+    wgpr(inst.rs, 0);
+  } else {
+    wgpr(inst.rs, 1);
+  }
+  write_register(EXCL_MONITOR, 0);
+}
+
+execute(ldst_fp_simm) {
+  uint64 base = rgpr_sp(inst.rn, inst.__el);
+  uint64 off = sign_extend(inst.imm9, 9);
+  uint64 addr = select(inst.mode == 1, base, base + off);
+  if (inst.opc == 1) {
+    if (inst.size == 3) { wvec(inst.rt, mem_read_64(addr)); }
+    else { wvec(inst.rt, mem_read_32(addr)); }
+  } else {
+    if (inst.size == 3) { mem_write_64(addr, rvec(inst.rt)); }
+    else { mem_write_32(addr, rvec(inst.rt) & 0xFFFFFFFF); }
+  }
+  if (inst.mode == 1 || inst.mode == 3) {
+    wgpr_sp(inst.rn, inst.__el, base + off);
+  }
+}
+|}
+
+let exec_fp =
+  {|
+execute(fp2src) {
+  uint64 a = rvec(inst.rn);
+  uint64 b = rvec(inst.rm);
+  uint64 r = 0;
+  if (inst.ftype == 1) {
+    // double precision
+    if (inst.opcode == 0) { r = fp64_mul(a, b); }
+    if (inst.opcode == 1) { r = fp64_div(a, b); }
+    if (inst.opcode == 2) { r = fp64_add(a, b); }
+    if (inst.opcode == 3) { r = fp64_sub(a, b); }
+    if (inst.opcode == 4) { r = fp64_max(a, b); }
+    if (inst.opcode == 5) { r = fp64_min(a, b); }
+    if (inst.opcode == 8) { r = fp64_mul(a, b) ^ 0x8000000000000000; }
+  } else {
+    uint64 a32 = a & 0xFFFFFFFF;
+    uint64 b32 = b & 0xFFFFFFFF;
+    if (inst.opcode == 0) { r = fp32_mul(a32, b32); }
+    if (inst.opcode == 1) { r = fp32_div(a32, b32); }
+    if (inst.opcode == 2) { r = fp32_add(a32, b32); }
+    if (inst.opcode == 3) { r = fp32_sub(a32, b32); }
+    if (inst.opcode == 4) { r = fp32_max(a32, b32); }
+    if (inst.opcode == 5) { r = fp32_min(a32, b32); }
+    if (inst.opcode == 8) { r = fp32_mul(a32, b32) ^ 0x80000000; }
+  }
+  wvec(inst.rd, r);
+}
+
+execute(fp1src) {
+  uint64 a = rvec(inst.rn);
+  uint64 r = 0;
+  if (inst.ftype == 1) {
+    if (inst.opcode == 0) { r = a; }
+    if (inst.opcode == 1) { r = a & 0x7FFFFFFFFFFFFFFF; }
+    if (inst.opcode == 2) { r = a ^ 0x8000000000000000; }
+    if (inst.opcode == 3) { r = fp64_sqrt(a); }
+    if (inst.opcode == 4) { r = fp64_to_fp32(a); }
+  } else {
+    uint64 a32 = a & 0xFFFFFFFF;
+    if (inst.opcode == 0) { r = a32; }
+    if (inst.opcode == 1) { r = a32 & 0x7FFFFFFF; }
+    if (inst.opcode == 2) { r = a32 ^ 0x80000000; }
+    if (inst.opcode == 3) { r = fp32_sqrt(a32); }
+    if (inst.opcode == 5) { r = fp32_to_fp64(a32); }
+  }
+  wvec(inst.rd, r);
+}
+
+execute(fcmp) {
+  // op2 bit 3 selects comparison against #0.0; bit 4 (FCMPE) only
+  // changes exception behaviour, which this model folds together.
+  uint64 a = rvec(inst.rn);
+  uint64 b = select((inst.op2 & 8) == 8, 0, rvec(inst.rm));
+  if (inst.ftype == 1) {
+    write_register(NZCV, fp64_cmp_flags(a, b));
+  } else {
+    write_register(NZCV, fp32_cmp_flags(a & 0xFFFFFFFF, b & 0xFFFFFFFF));
+  }
+}
+
+execute(fmov_imm) {
+  if (inst.ftype == 1) { wvec(inst.rd, vfp_expand_imm64(inst.imm8)); }
+  else { wvec(inst.rd, vfp_expand_imm32(inst.imm8)); }
+}
+
+execute(fp_int) {
+  if (inst.rmode == 3) {
+    // FCVTZS/FCVTZU (toward zero)
+    uint64 v = rvec(inst.rn);
+    uint64 r = 0;
+    if (inst.ftype == 1) {
+      if (inst.opcode == 0) { r = fp64_to_sint64(v); }
+      if (inst.opcode == 1) { r = fp64_to_uint64(v); }
+    } else {
+      if (inst.opcode == 0) { r = fp32_to_sint32(v & 0xFFFFFFFF); }
+      if (inst.opcode == 1) { r = fp32_to_sint32(v & 0xFFFFFFFF); }
+    }
+    if (inst.sf == 0) { r = r & 0xFFFFFFFF; }
+    wgpr(inst.rd, r);
+  } else {
+    if (inst.opcode == 2 || inst.opcode == 3) {
+      // SCVTF/UCVTF
+      uint64 v = rgpr(inst.rn);
+      if (inst.sf == 0) {
+        v = select(inst.opcode == 2, sign_extend(v & 0xFFFFFFFF, 32), v & 0xFFFFFFFF);
+      }
+      uint64 r = 0;
+      if (inst.ftype == 1) {
+        r = select(inst.opcode == 2, sint64_to_fp64(v), uint64_to_fp64(v));
+      } else {
+        r = sint64_to_fp32(v);
+      }
+      wvec(inst.rd, r);
+    }
+    if (inst.opcode == 6) {
+      // FMOV general -> X from D (or W from S)
+      uint64 v = rvec(inst.rn);
+      if (inst.sf == 0) { v = v & 0xFFFFFFFF; }
+      wgpr(inst.rd, v);
+    }
+    if (inst.opcode == 7) {
+      // FMOV D <- X (or S <- W)
+      uint64 v = rgpr(inst.rn);
+      if (inst.sf == 0) { v = v & 0xFFFFFFFF; }
+      wvec(inst.rd, v);
+    }
+  }
+}
+
+execute(fmadd) {
+  uint64 a = rvec(inst.rn);
+  uint64 b = rvec(inst.rm);
+  uint64 acc = rvec(inst.ra);
+  uint64 r = 0;
+  if (inst.ftype == 1) {
+    uint64 p = select(inst.o0 == 1, fp64_mul(a, b) ^ 0x8000000000000000, fp64_mul(a, b));
+    r = fp64_add(acc, p);
+  } else {
+    uint64 p32 = fp32_mul(a & 0xFFFFFFFF, b & 0xFFFFFFFF);
+    uint64 p = select(inst.o0 == 1, p32 ^ 0x80000000, p32);
+    r = fp32_add(acc & 0xFFFFFFFF, p);
+  }
+  wvec(inst.rd, r);
+}
+
+execute(vec3same) {
+  uint64 alo = read_register_bank(VEC, inst.rn * 2);
+  uint64 ahi = read_register_bank(VEC, inst.rn * 2 + 1);
+  uint64 blo = read_register_bank(VEC, inst.rm * 2);
+  uint64 bhi = read_register_bank(VEC, inst.rm * 2 + 1);
+  uint64 rlo = 0;
+  uint64 rhi = 0;
+  if (inst.opcode == 16) {
+    // ADD/SUB .2D: 64-bit lanes
+    rlo = select(inst.u == 1, alo - blo, alo + blo);
+    rhi = select(inst.u == 1, ahi - bhi, ahi + bhi);
+  }
+  if (inst.opcode == 3) {
+    // bitwise: AND (u=0,size=0), ORR (u=0,size=2), EOR (u=1,size=0),
+    // BIC (u=0,size=1), ORN (u=0,size=3)
+    if (inst.u == 1) { rlo = alo ^ blo; rhi = ahi ^ bhi; }
+    else {
+      if (inst.size == 0) { rlo = alo & blo; rhi = ahi & bhi; }
+      if (inst.size == 1) { rlo = alo & (~blo); rhi = ahi & (~bhi); }
+      if (inst.size == 2) { rlo = alo | blo; rhi = ahi | bhi; }
+      if (inst.size == 3) { rlo = alo | (~blo); rhi = ahi | (~bhi); }
+    }
+  }
+  write_register_bank(VEC, inst.rd * 2, rlo);
+  write_register_bank(VEC, inst.rd * 2 + 1, rhi);
+}
+
+execute(vecfp3same) {
+  // FADD/FMUL .2D: two independent double-precision lanes, mapped
+  // directly onto host FP (paper Sec. 2.5).
+  uint64 alo = read_register_bank(VEC, inst.rn * 2);
+  uint64 ahi = read_register_bank(VEC, inst.rn * 2 + 1);
+  uint64 blo = read_register_bank(VEC, inst.rm * 2);
+  uint64 bhi = read_register_bank(VEC, inst.rm * 2 + 1);
+  uint64 rlo = 0;
+  uint64 rhi = 0;
+  if (inst.u == 0) { rlo = fp64_add(alo, blo); rhi = fp64_add(ahi, bhi); }
+  if (inst.u == 1) { rlo = fp64_mul(alo, blo); rhi = fp64_mul(ahi, bhi); }
+  write_register_bank(VEC, inst.rd * 2, rlo);
+  write_register_bank(VEC, inst.rd * 2 + 1, rhi);
+}
+
+execute(dup_gen) {
+  // DUP Vd.T, Xn: replicate the general register across lanes.
+  uint64 v = rgpr(inst.rn);
+  uint64 lo = 0;
+  if ((inst.imm5 & 1) == 1) {
+    uint64 b = v & 0xFF;
+    lo = b | (b << 8) | (b << 16) | (b << 24);
+    lo = lo | (lo << 32);
+  }
+  if ((inst.imm5 & 3) == 2) {
+    uint64 h = v & 0xFFFF;
+    lo = h | (h << 16) | (h << 32) | (h << 48);
+  }
+  if ((inst.imm5 & 7) == 4) {
+    uint64 w = v & 0xFFFFFFFF;
+    lo = w | (w << 32);
+  }
+  if ((inst.imm5 & 15) == 8) { lo = v; }
+  write_register_bank(VEC, inst.rd * 2, lo);
+  write_register_bank(VEC, inst.rd * 2 + 1, lo);
+}
+
+execute(umov) {
+  // UMOV Xd, Vn.D[idx] (q=1) or Wd, Vn.S[idx] (q=0)
+  if (inst.q == 1) {
+    uint64 idx = (inst.imm5 >> 4) & 1;
+    wgpr(inst.rd, read_register_bank(VEC, inst.rn * 2 + idx));
+  } else {
+    uint64 idx = (inst.imm5 >> 2) & 3;
+    uint64 lane = read_register_bank(VEC, inst.rn * 2 + (idx >> 1));
+    uint64 r = select((idx & 1) == 1, lane >> 32, lane & 0xFFFFFFFF);
+    wgpr(inst.rd, r & 0xFFFFFFFF);
+  }
+}
+
+execute(fcsel) {
+  uint64 take = cond_holds(inst.cond);
+  uint64 r = select(take, rvec(inst.rn), rvec(inst.rm));
+  if (inst.ftype == 0) { r = r & 0xFFFFFFFF; }
+  wvec(inst.rd, r);
+}
+|}
+
+let exec_sys =
+  {|
+execute(svc) {
+  take_exception(0x15, inst.imm16);
+}
+
+execute(brk) {
+  take_exception(0x3C, inst.imm16);
+}
+
+execute(eret_insn) {
+  eret();
+}
+
+execute(wfi) {
+  write_pc(read_pc() + 4);
+  wfi();
+}
+
+execute(hint) {
+  // NOP, YIELD, SEV...: architecturally no-ops here.
+  barrier();
+}
+
+execute(barrier) {
+  barrier();
+}
+
+execute(msr_imm) {
+  // MSR DAIFSet/DAIFClr, #imm
+  uint64 daif = read_register(DAIF);
+  if (inst.op1 == 3 && inst.op2 == 6) { daif = daif | (inst.crm & 0xF); }
+  if (inst.op1 == 3 && inst.op2 == 7) { daif = daif & (~(inst.crm & 0xF)); }
+  write_register(DAIF, daif);
+  write_pc(read_pc() + 4);
+}
+
+execute(sys) {
+  // SYS: TLB maintenance (CRn=8) reaches the hypervisor; cache ops are
+  // no-ops for this memory model.
+  if (inst.crn == 8) {
+    tlb_flush();
+  } else {
+    barrier();
+  }
+}
+
+execute(mrs) {
+  uint64 id = (inst.o0 << 14) | (inst.op1 << 11) | (inst.crn << 7) | (inst.crm << 3) | inst.op2;
+  wgpr(inst.rt, read_coproc(id));
+}
+
+execute(msr_reg) {
+  uint64 id = (inst.o0 << 14) | (inst.op1 << 11) | (inst.crn << 7) | (inst.crm << 3) | inst.op2;
+  write_coproc(id, rgpr(inst.rt));
+  write_pc(read_pc() + 4);
+}
+|}
+
+let source =
+  String.concat "\n"
+    [ header; helpers; decodes; exec_int; exec_ext; exec_branch; exec_mem; exec_fp; exec_sys ]

@@ -1,0 +1,262 @@
+(* ARMv8-A system-level behaviour: register-file layout, system registers,
+   the stage-1 MMU walker, and the exception model.
+
+   These are the parts the paper keeps in "regular source-code files,
+   compiled together with the generated source-code" (Sec. 2.2). *)
+
+open Guest.Ops
+module Bits = Dbt_util.Bits
+
+(* --- register file layout --------------------------------------------------- *)
+
+(* Slot indices follow declaration order in Arm_descr.header. *)
+let sp_el0 = 0
+let sp_el1 = 1
+let nzcv = 2
+let current_el = 3
+let daif = 4
+let vbar_el1 = 5
+let elr_el1 = 6
+let spsr_el1 = 7
+let esr_el1 = 8
+let far_el1 = 9
+let ttbr0_el1 = 10
+let ttbr1_el1 = 11
+let sctlr_el1 = 12
+let tpidr_el0 = 13
+
+let bank_gpr = 0
+let bank_vec = 1
+
+let gpr_base = 0
+let vec_base = 256
+let slot_base = 768
+let regfile_size = 1024
+
+let bank_offset ~bank ~index =
+  match bank with
+  | 0 -> gpr_base + (8 * (index land 31))
+  | 1 -> vec_base + (8 * (index land 63))
+  | _ -> invalid_arg "bad bank"
+
+let slot_offset slot = slot_base + (8 * slot)
+
+(* --- system registers --------------------------------------------------------- *)
+
+let sysreg_id ~o0 ~op1 ~crn ~crm ~op2 = (o0 lsl 14) lor (op1 lsl 11) lor (crn lsl 7) lor (crm lsl 3) lor op2
+
+let id_sctlr = sysreg_id ~o0:1 ~op1:0 ~crn:1 ~crm:0 ~op2:0
+let id_ttbr0 = sysreg_id ~o0:1 ~op1:0 ~crn:2 ~crm:0 ~op2:0
+let id_ttbr1 = sysreg_id ~o0:1 ~op1:0 ~crn:2 ~crm:0 ~op2:1
+let id_vbar = sysreg_id ~o0:1 ~op1:0 ~crn:12 ~crm:0 ~op2:0
+let id_elr = sysreg_id ~o0:1 ~op1:0 ~crn:4 ~crm:0 ~op2:1
+let id_spsr = sysreg_id ~o0:1 ~op1:0 ~crn:4 ~crm:0 ~op2:0
+let id_esr = sysreg_id ~o0:1 ~op1:0 ~crn:5 ~crm:2 ~op2:0
+let id_far = sysreg_id ~o0:1 ~op1:0 ~crn:6 ~crm:0 ~op2:0
+let id_current_el = sysreg_id ~o0:1 ~op1:0 ~crn:4 ~crm:2 ~op2:2
+let id_nzcv = sysreg_id ~o0:1 ~op1:3 ~crn:4 ~crm:2 ~op2:0
+let id_daif = sysreg_id ~o0:1 ~op1:3 ~crn:4 ~crm:2 ~op2:1
+let id_sp_el0 = sysreg_id ~o0:1 ~op1:0 ~crn:4 ~crm:1 ~op2:0
+let id_tpidr_el0 = sysreg_id ~o0:1 ~op1:3 ~crn:13 ~crm:0 ~op2:2
+let id_cntvct = sysreg_id ~o0:1 ~op1:3 ~crn:14 ~crm:0 ~op2:2
+let id_cntfrq = sysreg_id ~o0:1 ~op1:3 ~crn:14 ~crm:0 ~op2:0
+let id_midr = sysreg_id ~o0:1 ~op1:0 ~crn:0 ~crm:0 ~op2:0
+let id_mpidr = sysreg_id ~o0:1 ~op1:0 ~crn:0 ~crm:0 ~op2:5
+
+let cnt_frequency = 62_500_000L
+
+let coproc_read (c : sys_ctx) id =
+  let id = Int64.to_int id in
+  if id = id_sctlr then c.read_reg sctlr_el1
+  else if id = id_ttbr0 then c.read_reg ttbr0_el1
+  else if id = id_ttbr1 then c.read_reg ttbr1_el1
+  else if id = id_vbar then c.read_reg vbar_el1
+  else if id = id_elr then c.read_reg elr_el1
+  else if id = id_spsr then c.read_reg spsr_el1
+  else if id = id_esr then c.read_reg esr_el1
+  else if id = id_far then c.read_reg far_el1
+  else if id = id_current_el then Int64.shift_left (c.read_reg current_el) 2
+  else if id = id_nzcv then Int64.shift_left (c.read_reg nzcv) 28
+  else if id = id_daif then Int64.shift_left (c.read_reg daif) 6
+  else if id = id_sp_el0 then c.read_reg sp_el0
+  else if id = id_tpidr_el0 then c.read_reg tpidr_el0
+  else if id = id_cntvct then Int64.div (Int64.of_int (c.cycles ())) 56L (* ~3.5GHz -> 62.5MHz *)
+  else if id = id_cntfrq then cnt_frequency
+  else if id = id_midr then 0x410FD070L (* Cortex-A57-ish *)
+  else if id = id_mpidr then 0x80000000L
+  else 0L
+
+let coproc_write (c : sys_ctx) id v : coproc_effect =
+  let id = Int64.to_int id in
+  if id = id_sctlr then begin
+    c.write_reg sctlr_el1 v;
+    Ce_mmu_changed
+  end
+  else if id = id_ttbr0 then begin
+    c.write_reg ttbr0_el1 v;
+    Ce_mmu_changed
+  end
+  else if id = id_ttbr1 then begin
+    c.write_reg ttbr1_el1 v;
+    Ce_mmu_changed
+  end
+  else if id = id_vbar then begin c.write_reg vbar_el1 v; Ce_none end
+  else if id = id_elr then begin c.write_reg elr_el1 v; Ce_none end
+  else if id = id_spsr then begin c.write_reg spsr_el1 v; Ce_none end
+  else if id = id_esr then begin c.write_reg esr_el1 v; Ce_none end
+  else if id = id_far then begin c.write_reg far_el1 v; Ce_none end
+  else if id = id_nzcv then begin
+    c.write_reg nzcv (Int64.logand (Int64.shift_right_logical v 28) 0xFL);
+    Ce_none
+  end
+  else if id = id_daif then begin
+    c.write_reg daif (Int64.logand (Int64.shift_right_logical v 6) 0xFL);
+    Ce_none
+  end
+  else if id = id_sp_el0 then begin c.write_reg sp_el0 v; Ce_none end
+  else if id = id_tpidr_el0 then begin c.write_reg tpidr_el0 v; Ce_none end
+  else Ce_none
+
+(* --- the stage-1 MMU walker ------------------------------------------------------ *)
+
+(* Simplified ARMv8 VMSA: 4 KiB granule, 39-bit VA, 3 levels.  TTBR0 maps
+   VAs whose bits 63:39 are zero, TTBR1 those whose bits 63:39 are ones
+   (the Linux kernel half). *)
+
+let mmu_enabled (c : sys_ctx) = Int64.logand (c.read_reg sctlr_el1) 1L <> 0L
+
+let address_space (_c : sys_ctx) va = if Int64.shift_right_logical va 39 = 0L then 0 else 1
+
+let desc_valid d = Int64.logand d 1L <> 0L
+let desc_is_table d = Int64.logand d 2L <> 0L
+let desc_addr d = Int64.logand d 0x0000_FFFF_FFFF_F000L
+
+let perms_of_desc ~user_wants_exec:_ d =
+  let ap21 = Int64.to_int (Bits.extract d ~lo:6 ~len:2) in
+  let uxn = Bits.bit d 54 in
+  let pxn = Bits.bit d 53 in
+  let puser = ap21 land 1 = 1 in
+  let pw = ap21 land 2 = 0 in
+  (* Executability is resolved against the privilege of the accessor; we
+     publish the user-execute bit when the page is user accessible and the
+     kernel-execute bit otherwise (documented simplification). *)
+  let px = if puser then not uxn else not pxn in
+  { pr = true; pw; px; puser }
+
+let mmu_translate (c : sys_ctx) ~access va : (int64 * perms, guest_fault) result =
+  if not (mmu_enabled c) then
+    Ok (va, { pr = true; pw = true; px = true; puser = true })
+  else begin
+    let high_bits = Int64.shift_right_logical va 39 in
+    let ttbr =
+      if high_bits = 0L then Some (c.read_reg ttbr0_el1)
+      else if high_bits = 0x1FFFFFFL then Some (c.read_reg ttbr1_el1)
+      else None
+    in
+    match ttbr with
+    | None -> Error (Gf_translation 0)
+    | Some root ->
+      let index level = Int64.to_int (Bits.extract va ~lo:(12 + (9 * level)) ~len:9) in
+      let rec walk table level =
+        (* level counts down: 2 = L1 (bit 30), 0 = L3 (bit 12) *)
+        let d = c.phys_read ~bits:64 (Int64.add table (Int64.of_int (8 * index level))) in
+        if not (desc_valid d) then Error (Gf_translation (3 - level))
+        else if level = 0 then
+          if desc_is_table d then begin
+            (* page descriptor *)
+            if not (Bits.bit d 10) then Error (Gf_translation 3) (* AF clear *)
+            else
+              let pa = Int64.logor (desc_addr d) (Int64.logand va 0xFFFL) in
+              Ok (pa, perms_of_desc ~user_wants_exec:(access = Afetch) d)
+          end
+          else Error (Gf_translation 3)
+        else if desc_is_table d then walk (desc_addr d) (level - 1)
+        else begin
+          (* block descriptor: 1 GiB at L1, 2 MiB at L2 *)
+          if not (Bits.bit d 10) then Error (Gf_translation (3 - level))
+          else
+            let block_bits = 12 + (9 * level) in
+            let mask = Bits.mask block_bits in
+            let pa = Int64.logor (Int64.logand (desc_addr d) (Int64.lognot mask)) (Int64.logand va mask) in
+            Ok (pa, perms_of_desc ~user_wants_exec:(access = Afetch) d)
+        end
+      in
+      walk (Int64.logand root 0x0000_FFFF_FFFF_F000L) 2
+  end
+
+(* --- exceptions -------------------------------------------------------------------- *)
+
+let spsr_of (c : sys_ctx) =
+  let n = Int64.shift_left (c.read_reg nzcv) 28 in
+  let d = Int64.shift_left (c.read_reg daif) 6 in
+  let m = if c.read_reg current_el = 1L then 0x5L else 0x0L in
+  Int64.logor n (Int64.logor d m)
+
+let vector_offset ~from_el ~kind =
+  let base = if from_el = 0L then 0x400L else 0x200L in
+  match kind with `Sync -> base | `Irq -> Int64.add base 0x80L
+
+let enter_exception (c : sys_ctx) ~kind ~elr =
+  let from_el = c.read_reg current_el in
+  c.write_reg spsr_el1 (spsr_of c);
+  c.write_reg elr_el1 elr;
+  c.write_reg daif (Int64.logor (c.read_reg daif) 2L); (* mask IRQ *)
+  c.write_reg current_el 1L;
+  c.set_pc (Int64.add (c.read_reg vbar_el1) (vector_offset ~from_el ~kind))
+
+let take_exception (c : sys_ctx) ~ec ~iss =
+  let pc = c.get_pc () in
+  (* SVC-class exceptions return to the following instruction. *)
+  let elr = if ec = 0x15L then Int64.add pc 4L else pc in
+  let esr = Int64.logor (Int64.shift_left ec 26) (Int64.logor 0x2000000L (Int64.logand iss 0x1FFFFFFL)) in
+  c.write_reg esr_el1 esr;
+  enter_exception c ~kind:`Sync ~elr
+
+let fault_iss ~(access : access) ~(fault : guest_fault) =
+  let dfsc =
+    match fault with
+    | Gf_translation level -> 0b000100 lor level
+    | Gf_permission level -> 0b001100 lor level
+    | Gf_alignment -> 0b100001
+  in
+  let wnr = if access = Astore then 1 lsl 6 else 0 in
+  Int64.of_int (dfsc lor wnr)
+
+let data_abort (c : sys_ctx) ~va ~access ~fault =
+  let from_el = c.read_reg current_el in
+  let ec = if from_el = 0L then 0x24L else 0x25L in
+  c.write_reg far_el1 va;
+  take_exception c ~ec ~iss:(fault_iss ~access ~fault)
+
+let insn_abort (c : sys_ctx) ~va ~fault =
+  let from_el = c.read_reg current_el in
+  let ec = if from_el = 0L then 0x20L else 0x21L in
+  c.write_reg far_el1 va;
+  take_exception c ~ec ~iss:(fault_iss ~access:Afetch ~fault)
+
+let undefined_insn (c : sys_ctx) = take_exception c ~ec:0L ~iss:0L
+
+let eret (c : sys_ctx) =
+  let spsr = c.read_reg spsr_el1 in
+  c.write_reg nzcv (Int64.logand (Int64.shift_right_logical spsr 28) 0xFL);
+  c.write_reg daif (Int64.logand (Int64.shift_right_logical spsr 6) 0xFL);
+  c.write_reg current_el (Int64.logand (Int64.shift_right_logical spsr 2) 3L);
+  c.set_pc (c.read_reg elr_el1)
+
+let deliver_irq (c : sys_ctx) =
+  let el = c.read_reg current_el in
+  let masked = Int64.logand (c.read_reg daif) 2L <> 0L in
+  if masked then false
+  else begin
+    enter_exception c ~kind:`Irq ~elr:(c.get_pc ());
+    ignore el;
+    true
+  end
+
+let privilege_level (c : sys_ctx) = Int64.to_int (c.read_reg current_el)
+
+let reset (c : sys_ctx) ~entry =
+  c.write_reg current_el 1L;
+  c.write_reg daif 0xFL;
+  c.write_reg sctlr_el1 0L;
+  c.set_pc entry

@@ -1,0 +1,1 @@
+lib/core/common.ml: Adl Array Guest Hostir Hvm List

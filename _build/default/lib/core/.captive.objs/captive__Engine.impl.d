@@ -1,0 +1,1 @@
+lib/core/engine.ml: Adl Array Bytes Common Dbt_util Guest Hashtbl Hostir Hvm Int64 List Option Printf Ssa String Sys Unix

@@ -1,0 +1,1 @@
+lib/core/reference.ml: Adl Common Guest Hostir Hvm Int64 List Option Ssa

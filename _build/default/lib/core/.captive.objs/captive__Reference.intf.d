@@ -1,0 +1,1 @@
+lib/core/reference.mli: Bytes Guest Hostir Hvm

@@ -1,0 +1,87 @@
+(* Glue shared by the DBT engines: building the guest sys_ctx over the
+   executor state, and the helper tables that generated code calls into. *)
+
+module Exec = Hostir.Exec
+module Machine = Hvm.Machine
+module Ops = Guest.Ops
+
+let sys_ctx (guest : Ops.ops) (ctx : Exec.ctx) : Ops.sys_ctx =
+  {
+    Ops.read_reg = (fun slot -> Exec.rf_read ctx (guest.Ops.slot_offset slot));
+    write_reg = (fun slot v -> Exec.rf_write ctx (guest.Ops.slot_offset slot) v);
+    read_bank = (fun bank i -> Exec.rf_read ctx (guest.Ops.bank_offset ~bank ~index:i));
+    write_bank = (fun bank i v -> Exec.rf_write ctx (guest.Ops.bank_offset ~bank ~index:i) v);
+    get_pc = (fun () -> ctx.Exec.pc);
+    set_pc = (fun v -> ctx.Exec.pc <- v);
+    phys_read = (fun ~bits pa -> Machine.phys_read ctx.Exec.machine ~bits pa);
+    cycles = (fun () -> ctx.Exec.machine.Machine.cycles);
+  }
+
+let access_of : Machine.access -> Ops.access = function
+  | Machine.Read -> Ops.Aload
+  | Machine.Write -> Ops.Astore
+  | Machine.Exec -> Ops.Afetch
+
+(* Fixed helper indices shared by both engines; engine-specific helpers
+   (address-space switching, softmmu fills) use indices >= [first_free]. *)
+let h_coproc_read = 0
+let h_coproc_write = 1
+let h_take_exception = 2
+let h_eret = 3
+let h_tlb_flush = 4
+let h_tlb_flush_page = 5
+let h_halt = 6
+let h_wfi = 7
+let h_barrier = 8
+let h_as_switch = 9
+let h_softmmu_fill_read = 10
+let h_softmmu_fill_write = 11
+let first_softfloat = 12
+
+let effect_helper_index = function
+  | "take_exception" -> h_take_exception
+  | "eret" -> h_eret
+  | "tlb_flush" -> h_tlb_flush
+  | "tlb_flush_page" -> h_tlb_flush_page
+  | "halt" -> h_halt
+  | "wfi" -> h_wfi
+  | "barrier" -> h_barrier
+  | other -> invalid_arg ("no helper for effect " ^ other)
+
+(* Softfloat helper table: every FP intrinsic evaluated through the shared
+   softfloat implementation (QEMU-style FP, and Captive's Sec. 3.6.2
+   ablation). *)
+let softfloat_names =
+  [
+    "fp64_add"; "fp64_sub"; "fp64_mul"; "fp64_div"; "fp64_sqrt"; "fp64_min"; "fp64_max";
+    "fp32_add"; "fp32_sub"; "fp32_mul"; "fp32_div"; "fp32_sqrt"; "fp32_min"; "fp32_max";
+    "fp64_cmp_flags"; "fp32_cmp_flags"; "fp32_to_fp64"; "fp64_to_fp32"; "fp64_to_sint64";
+    "fp64_to_uint64"; "fp32_to_sint32"; "sint64_to_fp64"; "uint64_to_fp64"; "sint32_to_fp32";
+    "sint64_to_fp32"; "fp64_muladd";
+  ]
+
+let softfloat_index name =
+  let rec go i = function
+    | [] -> None
+    | n :: rest -> if n = name then Some (first_softfloat + i) else go (i + 1) rest
+  in
+  go 0 softfloat_names
+
+(* A softfloat helper evaluates the intrinsic via the ADL's own evaluator,
+   so helper-based FP is bit-identical to translation-time folding.  The
+   cost models QEMU's software FP routines (tens of cycles of integer
+   work per operation, paper Sec. 2.5). *)
+let softfloat_helper name : Exec.helper =
+  {
+    Exec.fn =
+      (fun _ctx args ->
+        match Adl.Eval.builtin name (Array.to_list args) with
+        | Some v -> v
+        | None -> invalid_arg ("softfloat helper " ^ name));
+    cost = 55;
+  }
+
+let nargs_of_intrinsic name =
+  match Adl.Builtins.find name with
+  | Some sg -> List.length sg.Adl.Builtins.bi_params
+  | None -> invalid_arg name

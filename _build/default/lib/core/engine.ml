@@ -1,0 +1,623 @@
+(* The Captive DBT hypervisor engine (paper Sec. 2.3, 2.4, 2.6, 2.7).
+
+   - Translations are produced by the four-phase pipeline: decode ->
+     translate (generator functions over the invocation DAG) -> register
+     allocation -> encode; each phase is timed for Fig. 20.
+   - The code cache is indexed by guest *physical* address (plus exception
+     level and MMU regime); guest page-table changes do not invalidate it.
+   - Guest page tables are mapped onto host page tables on demand by the
+     host-page-fault handler; guest user code runs in host ring 3.
+   - Two host page-table sets cover the guest's lower (TTBR0) and upper
+     (TTBR1) address spaces; generated code checks the VA split and
+     switches sets under distinct PCIDs (Sec. 2.7.5).
+   - Self-modifying code is caught by write-protecting host mappings of
+     guest pages that contain translated code (Sec. 2.6). *)
+
+module Exec = Hostir.Exec
+module Encode = Hostir.Encode
+module Dag = Hostir.Dag
+module Regalloc = Hostir.Regalloc
+module Hir = Hostir.Hir
+module Machine = Hvm.Machine
+module Cost = Hvm.Cost
+module Ops = Guest.Ops
+module Bits = Dbt_util.Bits
+
+type config = {
+  hw_fp : bool; (* hardware FP (Captive) vs softfloat helpers (Sec. 3.6.2) *)
+  chaining : bool;
+  pcid : bool; (* use PCIDs when switching address-space roots *)
+  split_va_check : bool; (* 64-bit guest address-space split handling *)
+  mem_size : int;
+  max_block : int; (* maximum guest instructions per translation block *)
+}
+
+let default_config =
+  {
+    hw_fp = true;
+    chaining = true;
+    pcid = true;
+    split_va_check = true;
+    mem_size = 256 * 1024 * 1024;
+    max_block = 64;
+  }
+
+type phase_stats = {
+  mutable t_decode : float;
+  mutable t_translate : float;
+  mutable t_regalloc : float;
+  mutable t_encode : float;
+  mutable blocks_translated : int;
+  mutable guest_instrs_translated : int;
+  mutable host_instrs_emitted : int;
+  mutable host_bytes_emitted : int;
+  mutable dead_marked : int;
+  mutable spills : int;
+  mutable blocks_executed : int;
+  mutable chain_hits : int;
+  mutable smc_invalidations : int;
+}
+
+let new_phase_stats () =
+  {
+    t_decode = 0.;
+    t_translate = 0.;
+    t_regalloc = 0.;
+    t_encode = 0.;
+    blocks_translated = 0;
+    guest_instrs_translated = 0;
+    host_instrs_emitted = 0;
+    host_bytes_emitted = 0;
+    dead_marked = 0;
+    spills = 0;
+    blocks_executed = 0;
+    chain_hits = 0;
+    smc_invalidations = 0;
+  }
+
+type translation = {
+  t_key : int64 * int * bool;
+  t_va : int64; (* VA it was translated from (for per-block statistics) *)
+  t_program : Encode.program;
+  t_n_guest : int;
+  t_n_host : int;
+  t_bytes : int;
+  mutable t_chain : (int64 * int * translation) option; (* expected (va, el) -> target *)
+  mutable t_exec_count : int;
+  mutable t_cycles : int;
+}
+
+type t = {
+  guest : Ops.ops;
+  config : config;
+  machine : Machine.t;
+  mutable ctx : Exec.ctx;
+  cache : (int64 * int * bool, translation) Hashtbl.t;
+  by_page : (int64, (int64 * int * bool) list ref) Hashtbl.t;
+  protected : (int64, unit) Hashtbl.t; (* guest phys pages holding code *)
+  mappings : (int64, (int * int64) list ref) Hashtbl.t; (* phys page -> (as, masked va page) *)
+  roots : int64 array; (* host page-table roots: [|low; high|] *)
+  mutable current_as : int;
+  itlb : (int64 * int * bool, int64) Hashtbl.t; (* fetch va page -> pa page *)
+  stats : phase_stats;
+  (* devices *)
+  uart : Hvm.Device.Uart.state;
+  timer : Hvm.Device.Timer.state;
+  syscon : Hvm.Device.Syscon.state;
+}
+
+let now () = Unix.gettimeofday ()
+(* Optional fault/transition tracing for debugging guest bring-up. *)
+let tracing = Sys.getenv_opt "CAPTIVE_TRACE" <> None
+let trace_events = ref 0
+
+let trace fmt =
+  if tracing && !trace_events < 400 then begin
+    incr trace_events;
+    Printf.eprintf fmt
+  end
+  else Printf.ifprintf stderr fmt
+
+(* --- engine construction ------------------------------------------------------ *)
+
+let as_tag_value = function 0 -> 0L | _ -> 0x1FFFFL (* va >> 47 for each half *)
+
+let make_machine config =
+  let intc = Hvm.Device.Intc.create () in
+  let uart = Hvm.Device.Uart.create () in
+  let timer = Hvm.Device.Timer.create intc in
+  let syscon = Hvm.Device.Syscon.create () in
+  let devices =
+    [
+      Hvm.Device.Intc.device intc;
+      Hvm.Device.Uart.device uart;
+      Hvm.Device.Timer.device timer;
+      Hvm.Device.Syscon.device syscon;
+    ]
+  in
+  let machine = Machine.create ~mem_size:config.mem_size ~devices ~intc () in
+  (machine, uart, timer, syscon)
+
+let lower_intrinsic config name : Dag.lowering =
+  let is_fp = String.length name > 2 && (String.sub name 0 2 = "fp" || String.length name > 4 && String.sub name 0 4 = "sint" || String.sub name 0 4 = "uint") in
+  if (not config.hw_fp) && is_fp then
+    match Common.softfloat_index name with Some h -> Dag.L_helper h | None -> Dag.L_inline
+  else Dag.L_inline
+
+let rec create ?(config = default_config) (guest : Ops.ops) : t =
+  let machine, uart, timer, syscon = make_machine config in
+  machine.Machine.paging <- true;
+  let roots = [| Hvm.Palloc.alloc machine.Machine.palloc; Hvm.Palloc.alloc machine.Machine.palloc |] in
+  machine.Machine.cr3 <- roots.(0);
+  let engine_ref = ref None in
+  let engine () = Option.get !engine_ref in
+  let sys ctx = Common.sys_ctx guest ctx in
+  let charge_int ctx = Machine.charge ctx.Exec.machine Cost.soft_interrupt in
+  let helpers = Array.make (Common.first_softfloat + List.length Common.softfloat_names)
+      { Exec.fn = (fun _ _ -> 0L); cost = 0 } in
+  helpers.(Common.h_coproc_read) <-
+    { Exec.fn = (fun ctx args -> guest.Ops.coproc_read (sys ctx) args.(0)); cost = 30 };
+  helpers.(Common.h_coproc_write) <-
+    {
+      Exec.fn =
+        (fun ctx args ->
+          charge_int ctx;
+          (match guest.Ops.coproc_write (sys ctx) args.(0) args.(1) with
+          | Ops.Ce_none -> ()
+          | Ops.Ce_mmu_changed | Ops.Ce_tlb_flush ->
+            let e = engine () in
+            flush_host_mappings e);
+          0L);
+      cost = 30;
+    };
+  (* Guest exception entry/return is a direct transfer inside the
+     ring-0 execution engine - no software interrupt needed. *)
+  helpers.(Common.h_take_exception) <-
+    {
+      Exec.fn =
+        (fun ctx args ->
+          guest.Ops.take_exception (sys ctx) ~ec:args.(0) ~iss:args.(1);
+          0L);
+      cost = 60;
+    };
+  helpers.(Common.h_eret) <-
+    {
+      Exec.fn =
+        (fun ctx _ ->
+          guest.Ops.eret (sys ctx);
+          0L);
+      cost = 60;
+    };
+  helpers.(Common.h_tlb_flush) <-
+    {
+      Exec.fn =
+        (fun ctx _ ->
+          charge_int ctx;
+          flush_host_mappings (engine ());
+          0L);
+      cost = 40;
+    };
+  helpers.(Common.h_tlb_flush_page) <-
+    {
+      Exec.fn =
+        (fun ctx _args ->
+          charge_int ctx;
+          (* Single-page invalidation: conservatively flush everything. *)
+          flush_host_mappings (engine ());
+          0L);
+      cost = 40;
+    };
+  helpers.(Common.h_halt) <- { Exec.fn = (fun _ _ -> raise (Machine.Powered_off 0)); cost = 0 };
+  helpers.(Common.h_wfi) <-
+    {
+      Exec.fn =
+        (fun ctx _ ->
+          (* Fast-forward to the next timer event if one is pending. *)
+          let e = engine () in
+          let t = e.timer in
+          if t.Hvm.Device.Timer.enabled && t.Hvm.Device.Timer.irq_enabled then
+            Machine.charge ctx.Exec.machine (t.Hvm.Device.Timer.value + 1)
+          else Machine.charge ctx.Exec.machine 1000;
+          0L);
+      cost = 10;
+    };
+  helpers.(Common.h_barrier) <- { Exec.fn = (fun _ _ -> 0L); cost = 0 };
+  helpers.(Common.h_as_switch) <-
+    {
+      Exec.fn =
+        (fun ctx args ->
+          let e = engine () in
+          let target_as = if args.(0) = 0L then 0 else 1 in
+          e.current_as <- target_as;
+          Machine.set_page_table ctx.Exec.machine ~root:e.roots.(target_as) ~pcid:target_as
+            ~keep_tlb:e.config.pcid;
+          ctx.Exec.regs.(Dag.as_tag_preg) <- as_tag_value target_as;
+          trace "SWITCH as=%d pc=%Lx\n%!" target_as ctx.Exec.pc;
+          0L);
+      cost = 5;
+    };
+  List.iteri
+    (fun i name -> helpers.(Common.first_softfloat + i) <- Common.softfloat_helper name)
+    Common.softfloat_names;
+  let fault_handler ctx access va ~bits ~value = handle_fault (engine ()) ctx access va ~bits ~value in
+  let ctx = Exec.create ~machine ~helpers ~fault_handler in
+  let e =
+    {
+      guest;
+      config;
+      machine;
+      ctx;
+      cache = Hashtbl.create 1024;
+      by_page = Hashtbl.create 256;
+      protected = Hashtbl.create 64;
+      mappings = Hashtbl.create 1024;
+      roots;
+      current_as = 0;
+      itlb = Hashtbl.create 256;
+      stats = new_phase_stats ();
+      uart;
+      timer;
+      syscon;
+    }
+  in
+  engine_ref := Some e;
+  guest.Ops.reset (sys ctx) ~entry:0L;
+  e
+
+(* Invalidate all host page-table mappings of the guest halves (the
+   paper's TLB-flush intercept: clear the low 256 PML4 entries of each
+   set and flush the host TLB). *)
+and flush_host_mappings (e : t) =
+  Array.iter (fun root -> Hvm.Pagetable.clear_low_half e.machine.Machine.mem e.machine.Machine.palloc ~root) e.roots;
+  Hvm.Tlb.flush_all e.machine.Machine.tlb;
+  Machine.charge e.machine Cost.tlb_flush;
+  Hashtbl.reset e.mappings;
+  Hashtbl.reset e.itlb
+
+(* --- host page fault handling (Sec. 2.7.3) --------------------------------------- *)
+
+and device_of e pa = Machine.find_device e.machine pa
+
+and invalidate_page e phys_page =
+  (match Hashtbl.find_opt e.by_page phys_page with
+  | Some keys ->
+    List.iter (fun k -> Hashtbl.remove e.cache k) !keys;
+    Hashtbl.remove e.by_page phys_page;
+    e.stats.smc_invalidations <- e.stats.smc_invalidations + 1
+  | None -> ());
+  Hashtbl.remove e.protected phys_page
+
+and protect_page e phys_page =
+  if not (Hashtbl.mem e.protected phys_page) then begin
+    Hashtbl.replace e.protected phys_page ();
+    (* Downgrade any existing writable host mapping of this guest page. *)
+    match Hashtbl.find_opt e.mappings phys_page with
+    | Some lst ->
+      List.iter
+        (fun (asid, va_page) ->
+          let root = e.roots.(asid) in
+          match fst (Hvm.Pagetable.walk e.machine.Machine.mem ~root va_page) with
+          | Some (pte_addr, pte) when Int64.logand pte Hvm.Pagetable.pte_present <> 0L ->
+            let flags = Hvm.Pagetable.flags_of_bits pte in
+            Hvm.Pagetable.protect e.machine.Machine.mem ~root va_page
+              { flags with Hvm.Pagetable.writable = false };
+            ignore pte_addr;
+            Hvm.Tlb.flush_page e.machine.Machine.tlb (Int64.shift_right_logical va_page 12)
+          | _ -> ())
+        !lst
+    | None -> ()
+  end
+
+and handle_fault (e : t) ctx (access : Machine.access) va ~bits ~value : Exec.fault_response =
+  trace "FAULT va=%Lx access=%s as=%d ring=%d pc=%Lx tag=%Lx\n%!" va
+    (match access with Machine.Read -> "R" | Machine.Write -> "W" | Machine.Exec -> "X")
+    e.current_as e.machine.Machine.ring ctx.Exec.pc ctx.Exec.regs.(Dag.as_tag_preg);
+  let sys = Common.sys_ctx e.guest ctx in
+  (* Reconstruct the full guest VA from the masked lower-half address. *)
+  let gva = if e.current_as = 1 then Int64.logor va 0xFFFF_8000_0000_0000L else va in
+  match e.guest.Ops.mmu_translate sys ~access:(Common.access_of access) gva with
+  | Error fault ->
+    Machine.charge e.machine Cost.guest_fault_bookkeeping;
+    e.guest.Ops.data_abort sys ~va:gva ~access:(Common.access_of access) ~fault;
+    raise Ops.Guest_trap
+  | Ok (pa, perms) -> (
+    let el = e.guest.Ops.privilege_level sys in
+    let allowed =
+      (el > 0 || perms.Ops.puser)
+      && (access <> Machine.Write || perms.Ops.pw)
+    in
+    if not allowed then begin
+      Machine.charge e.machine Cost.guest_fault_bookkeeping;
+      e.guest.Ops.data_abort sys ~va:gva ~access:(Common.access_of access)
+        ~fault:(Ops.Gf_permission 3);
+      raise Ops.Guest_trap
+    end;
+    match device_of e pa with
+    | Some d ->
+      (* MMIO: emulated by the hypervisor (an exit from the HVM). *)
+      Machine.charge e.machine Cost.soft_interrupt;
+      Machine.sync_devices e.machine;
+      let off = Int64.to_int (Int64.sub pa d.Hvm.Device.base) in
+      (match access with
+      | Machine.Write ->
+        d.Hvm.Device.write off bits (Option.value value ~default:0L);
+        Exec.Mmio_done
+      | Machine.Read | Machine.Exec -> Exec.Mmio_value (d.Hvm.Device.read off bits))
+    | None ->
+      let phys_page = Bits.align_down pa 4096 in
+      let va_page = Bits.align_down va 4096 in
+      (* Self-modifying code: a permitted write to a protected code page
+         invalidates that page's translations and restores write access. *)
+      if access = Machine.Write && Hashtbl.mem e.protected phys_page then
+        invalidate_page e phys_page;
+      let writable = perms.Ops.pw && not (Hashtbl.mem e.protected phys_page) in
+      let flags =
+        {
+          Hvm.Pagetable.writable;
+          user = perms.Ops.puser;
+          executable = perms.Ops.px;
+        }
+      in
+      let root = e.roots.(e.current_as) in
+      Hvm.Pagetable.map e.machine.Machine.mem e.machine.Machine.palloc ~root va_page phys_page flags;
+      (let lst =
+         match Hashtbl.find_opt e.mappings phys_page with
+         | Some l -> l
+         | None ->
+           let l = ref [] in
+           Hashtbl.replace e.mappings phys_page l;
+           l
+       in
+       if not (List.mem (e.current_as, va_page) !lst) then lst := (e.current_as, va_page) :: !lst);
+      Exec.Retry)
+
+(* --- instruction fetch and translation -------------------------------------------- *)
+
+let fetch_translate (e : t) sys va : (int64, unit) result =
+  (* Translate a fetch VA to PA via the guest MMU; takes the guest
+     instruction-abort path on failure. *)
+  match e.guest.Ops.mmu_translate sys ~access:Ops.Afetch va with
+  | Error fault ->
+    e.guest.Ops.insn_abort sys ~va ~fault;
+    Error ()
+  | Ok (pa, perms) ->
+    let el = e.guest.Ops.privilege_level sys in
+    if (el = 0 && not perms.Ops.puser) || not perms.Ops.px then begin
+      e.guest.Ops.insn_abort sys ~va ~fault:(Ops.Gf_permission 3);
+      Error ()
+    end
+    else Ok pa
+
+let field_fn (e : t) sys (d : Adl.Decode.decoded) =
+  let el = Int64.of_int (e.guest.Ops.privilege_level sys) in
+  fun name ->
+    if name = "__el" then el
+    else
+      match List.assoc_opt name d.Adl.Decode.field_values with
+      | Some v -> v
+      | None -> invalid_arg (Printf.sprintf "no field %s in %s" name d.Adl.Decode.name)
+
+let translate_block (e : t) sys ~va ~pa ~el ~mmu_on : translation =
+  let s = e.stats in
+  let model = e.guest.Ops.model in
+  (* Phase 1: decode one guest basic block. *)
+  let t0 = now () in
+  let decoded = ref [] in
+  let n = ref 0 in
+  let undefined_stub = ref false in
+  let continue_ = ref true in
+  while !continue_ do
+    let insn_va = Int64.add va (Int64.of_int (4 * !n)) in
+    let insn_pa = Int64.add pa (Int64.of_int (4 * !n)) in
+    let word = Machine.phys_read e.machine ~bits:32 insn_pa in
+    (match Ssa.Offline.decode model word with
+    | Some d ->
+      decoded := d :: !decoded;
+      incr n;
+      if d.Adl.Decode.ends_block || !n >= e.config.max_block
+         || Int64.logand insn_va 0xFFFL = 0xFFCL (* stop at page boundary *)
+      then continue_ := false
+    | None ->
+      if !n = 0 then undefined_stub := true;
+      continue_ := false)
+  done;
+  let decoded = List.rev !decoded in
+  s.t_decode <- s.t_decode +. (now () -. t0);
+  (* Phase 2: translation via generator functions over the invocation DAG. *)
+  let t1 = now () in
+  let dag_config =
+    {
+      Dag.bank_offset = e.guest.Ops.bank_offset;
+      slot_offset = e.guest.Ops.slot_offset;
+      lower_intrinsic = lower_intrinsic e.config;
+      effect_helper = Common.effect_helper_index;
+      coproc_read_helper = Common.h_coproc_read;
+      coproc_write_helper = Common.h_coproc_write;
+      split_va_check = e.config.split_va_check && mmu_on;
+      as_switch_helper = Common.h_as_switch;
+    }
+  in
+  let dag = Dag.create dag_config in
+  let em = Dag.emitter dag in
+  if !undefined_stub then
+    (* An undefined first instruction gets a cached stub that raises the
+       guest's undefined-instruction exception. *)
+    em.Ssa.Emitter.effect "take_exception" [ em.Ssa.Emitter.const 0L; em.Ssa.Emitter.const 0L ]
+  else
+    List.iter
+      (fun d ->
+        let action = Ssa.Offline.action model d.Adl.Decode.name in
+        let field = field_fn e sys d in
+        let inc_pc = if d.Adl.Decode.ends_block then None else Some e.guest.Ops.insn_size in
+        Ssa.Gen.translate em action ~field ~inc_pc)
+      decoded;
+  Dag.raw dag (Hir.Exit 0);
+  let instrs = Dag.finish dag in
+  s.t_translate <- s.t_translate +. (now () -. t1);
+  (* Phase 3: register allocation. *)
+  let t2 = now () in
+  let ra = Regalloc.run instrs in
+  s.t_regalloc <- s.t_regalloc +. (now () -. t2);
+  (* Phase 4: encoding to host machine code + patching. *)
+  let t3 = now () in
+  let code = Encode.encode ra in
+  let program = Encode.decode_program ~n_slots:ra.Regalloc.n_slots code in
+  s.t_encode <- s.t_encode +. (now () -. t3);
+  (* Charge JIT compilation time to the cycle model: Captive's pipeline
+     makes several passes (DAG build, liveness, allocation, encode),
+     costed per guest instruction and per emitted host instruction.  The
+     resulting translation is ~2-3x more expensive than the QEMU-style
+     engine's single direct pass (paper Sec. 3.4). *)
+  let n_host = Array.length instrs in
+  Machine.charge e.machine ((1400 * !n) + (260 * n_host));
+  s.blocks_translated <- s.blocks_translated + 1;
+  s.guest_instrs_translated <- s.guest_instrs_translated + !n;
+  s.host_instrs_emitted <- s.host_instrs_emitted + n_host;
+  s.host_bytes_emitted <- s.host_bytes_emitted + Bytes.length code;
+  s.dead_marked <- s.dead_marked + ra.Regalloc.n_dead;
+  s.spills <- s.spills + ra.Regalloc.n_spilled;
+  let tr =
+    {
+      t_key = (pa, el, mmu_on);
+      t_va = va;
+      t_program = program;
+      t_n_guest = !n;
+      t_n_host = n_host;
+      t_bytes = Bytes.length code;
+      t_chain = None;
+      t_exec_count = 0;
+      t_cycles = 0;
+    }
+  in
+  (* Register in the cache and write-protect the code's guest pages. *)
+  Hashtbl.replace e.cache tr.t_key tr;
+  (* Blocks never cross a page boundary (decode stops at it), so exactly
+     one guest page holds this translation's code. *)
+  let page = Bits.align_down pa 4096 in
+  (match Hashtbl.find_opt e.by_page page with
+  | Some l -> l := tr.t_key :: !l
+  | None -> Hashtbl.replace e.by_page page (ref [ tr.t_key ]));
+  protect_page e page;
+  tr
+
+(* --- dispatch loop ------------------------------------------------------------------- *)
+
+type exit_reason = Poweroff of int | Cycle_limit | Block_limit
+
+let lookup_fetch (e : t) sys va ~el ~mmu_on =
+  let va_page = Bits.align_down va 4096 in
+  match Hashtbl.find_opt e.itlb (va_page, el, mmu_on) with
+  | Some pa_page -> Ok (Int64.logor pa_page (Int64.logand va 0xFFFL))
+  | None -> (
+    match fetch_translate e sys va with
+    | Error () -> Error ()
+    | Ok pa ->
+      Hashtbl.replace e.itlb (va_page, el, mmu_on) (Bits.align_down pa 4096);
+      Ok pa)
+
+let prepare_as (e : t) va =
+  (* Set the active page-table set to match the next PC's half. *)
+  let target_as = if Int64.shift_right_logical va 47 = 0L then 0 else 1 in
+  if target_as <> e.current_as then begin
+    e.current_as <- target_as;
+    Machine.set_page_table e.machine ~root:e.roots.(target_as) ~pcid:target_as
+      ~keep_tlb:e.config.pcid
+  end;
+  trace "PREPARE va=%Lx as=%d\n%!" va target_as;
+  e.ctx.Exec.regs.(Dag.as_tag_preg) <- as_tag_value target_as
+
+let run ?(max_cycles = max_int) ?(max_blocks = max_int) (e : t) : exit_reason =
+  let sys = Common.sys_ctx e.guest e.ctx in
+  let result = ref None in
+  (try
+     while !result = None do
+       if e.syscon.Hvm.Device.Syscon.poweroff then
+         result := Some (Poweroff e.syscon.Hvm.Device.Syscon.exit_code)
+       else if e.machine.Machine.cycles > max_cycles then result := Some Cycle_limit
+       else if e.stats.blocks_executed > max_blocks then result := Some Block_limit
+       else begin
+         (* Interrupts are taken at block boundaries. *)
+         if Machine.irq_pending e.machine then ignore (e.guest.Ops.deliver_irq sys);
+         let el = e.guest.Ops.privilege_level sys in
+         let mmu_on = e.guest.Ops.mmu_enabled sys in
+         e.machine.Machine.ring <- (if el = 0 then 3 else 0);
+         let va = e.ctx.Exec.pc in
+         Machine.charge e.machine Cost.dispatch_lookup;
+         match lookup_fetch e sys va ~el ~mmu_on with
+         | Error () -> () (* instruction abort redirected the PC *)
+         | Ok pa -> (
+           let key = (pa, el, mmu_on) in
+           let tr =
+             match Hashtbl.find_opt e.cache key with
+             | Some tr -> tr
+             | None -> translate_block e sys ~va ~pa ~el ~mmu_on
+           in
+           prepare_as e va;
+           (* Execute, following chain links while they hit. *)
+           try
+             let cur = ref tr in
+             let continue_chain = ref true in
+             while !continue_chain do
+               let c0 = e.machine.Machine.cycles in
+               Machine.charge e.machine Cost.block_entry;
+               ignore (Exec.run e.ctx !cur.t_program);
+               !cur.t_exec_count <- !cur.t_exec_count + 1;
+               !cur.t_cycles <- !cur.t_cycles + (e.machine.Machine.cycles - c0);
+               e.stats.blocks_executed <- e.stats.blocks_executed + 1;
+               let next_va = e.ctx.Exec.pc in
+               let next_el = e.guest.Ops.privilege_level sys in
+               if
+                 e.config.chaining
+                 && (not (Machine.irq_pending e.machine))
+                 && e.stats.blocks_executed <= max_blocks
+                 && e.machine.Machine.cycles <= max_cycles
+               then begin
+                 match !cur.t_chain with
+                 | Some (cva, cel, target) when cva = next_va && cel = next_el ->
+                   Machine.charge e.machine Cost.branch;
+                   e.stats.chain_hits <- e.stats.chain_hits + 1;
+                   cur := target
+                 | _ -> (
+                   (* Try to link: only when the target is already
+                      translated and the MMU regime is unchanged. *)
+                   let mmu_on' = e.guest.Ops.mmu_enabled sys in
+                   if mmu_on' = mmu_on && Int64.shift_right_logical next_va 47 = Int64.shift_right_logical va 47 then begin
+                     match Hashtbl.find_opt e.itlb (Bits.align_down next_va 4096, next_el, mmu_on') with
+                     | Some pa_page -> (
+                       let npa = Int64.logor pa_page (Int64.logand next_va 0xFFFL) in
+                       match Hashtbl.find_opt e.cache (npa, next_el, mmu_on') with
+                       | Some target ->
+                         !cur.t_chain <- Some (next_va, next_el, target);
+                         Machine.charge e.machine Cost.dispatch_lookup;
+                         cur := target
+                       | None -> continue_chain := false)
+                     | None -> continue_chain := false
+                   end
+                   else continue_chain := false)
+               end
+               else continue_chain := false
+             done
+           with Ops.Guest_trap -> () (* guest exception taken mid-block *))
+       end
+     done
+   with Machine.Powered_off code -> result := Some (Poweroff code));
+  Option.get !result
+
+(* --- guest setup utilities -------------------------------------------------------------- *)
+
+let sys (e : t) = Common.sys_ctx e.guest e.ctx
+
+let load_image (e : t) ~addr (image : bytes) = Hvm.Mem.blit_in e.machine.Machine.mem ~addr image
+
+let set_entry (e : t) entry = e.guest.Ops.reset (sys e) ~entry
+
+let uart_output (e : t) = Hvm.Device.Uart.output e.uart
+let cycles (e : t) = e.machine.Machine.cycles
+
+(* Per-translation execution statistics, for the Fig. 21 code-quality
+   analysis: (translation VA, guest instrs, host instrs, executions,
+   accumulated cycles). *)
+let block_stats (e : t) =
+  Hashtbl.fold
+    (fun _ tr acc -> (tr.t_va, tr.t_n_guest, tr.t_n_host, tr.t_exec_count, tr.t_cycles) :: acc)
+    e.cache []

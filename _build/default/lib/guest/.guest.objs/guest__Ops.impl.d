@@ -1,0 +1,1 @@
+lib/guest/ops.ml: Ssa

@@ -1,0 +1,70 @@
+(* The interface between the guest-agnostic DBT engines and a guest
+   architecture module.
+
+   A guest provides: its ADL model (decoder + optimized SSA actions), the
+   register-file layout, and the system-level behaviours that the paper
+   notes are written as regular source code compiled alongside the
+   generated parts - the MMU walker, the exception model, system-register
+   access, and interrupt delivery. *)
+
+(* Callbacks onto the live guest state, provided by the engine (the
+   register file lives in engine-owned memory). *)
+type sys_ctx = {
+  read_reg : int -> int64; (* by ADL slot index *)
+  write_reg : int -> int64 -> unit;
+  read_bank : int -> int -> int64;
+  write_bank : int -> int -> int64 -> unit;
+  get_pc : unit -> int64;
+  set_pc : int64 -> unit;
+  (* Guest-physical memory access (for page-table walks). *)
+  phys_read : bits:int -> int64 -> int64;
+  (* Host cycle counter, for guest counter registers. *)
+  cycles : unit -> int;
+}
+
+type perms = { pr : bool; pw : bool; px : bool; puser : bool }
+
+type guest_fault =
+  | Gf_translation of int (* level *)
+  | Gf_permission of int
+  | Gf_alignment
+
+type access = Aload | Astore | Afetch
+
+(* What a system-register write requires of the engine. *)
+type coproc_effect = Ce_none | Ce_mmu_changed | Ce_tlb_flush
+
+type ops = {
+  name : string;
+  description : string;
+  model : Ssa.Offline.model;
+  insn_size : int;
+  regfile_size : int;
+  bank_offset : bank:int -> index:int -> int;
+  slot_offset : int -> int;
+  (* --- virtual memory ---------------------------------------------- *)
+  mmu_enabled : sys_ctx -> bool;
+  (* Walk the guest page tables: va -> (pa, perms). *)
+  mmu_translate : sys_ctx -> access:access -> int64 -> (int64 * perms, guest_fault) result;
+  (* Which translation regime the address belongs to (e.g. TTBR0 vs
+     TTBR1); used for the dual lower/upper host-page-table sets. *)
+  address_space : sys_ctx -> int64 -> int;
+  (* --- privilege ----------------------------------------------------- *)
+  privilege_level : sys_ctx -> int; (* 0 = user *)
+  (* --- exceptions ----------------------------------------------------- *)
+  take_exception : sys_ctx -> ec:int64 -> iss:int64 -> unit;
+  data_abort : sys_ctx -> va:int64 -> access:access -> fault:guest_fault -> unit;
+  insn_abort : sys_ctx -> va:int64 -> fault:guest_fault -> unit;
+  undefined_insn : sys_ctx -> unit;
+  eret : sys_ctx -> unit;
+  deliver_irq : sys_ctx -> bool; (* true if the IRQ was taken *)
+  (* --- system registers ------------------------------------------------ *)
+  coproc_read : sys_ctx -> int64 -> int64;
+  coproc_write : sys_ctx -> int64 -> int64 -> coproc_effect;
+  (* --- reset ------------------------------------------------------------ *)
+  reset : sys_ctx -> entry:int64 -> unit;
+}
+
+(* Raised by engine helpers when guest execution must leave the current
+   translation (exception taken, mode change). *)
+exception Guest_trap

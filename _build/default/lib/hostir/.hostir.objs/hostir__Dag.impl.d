@@ -1,0 +1,1 @@
+lib/hostir/dag.ml: Adl Array Hashtbl Hir Int64 List Option Printf Ssa String

@@ -1,0 +1,1 @@
+lib/hostir/encode.ml: Array Buffer Bytes Hashtbl Hir Int32 Int64 List Printf Regalloc

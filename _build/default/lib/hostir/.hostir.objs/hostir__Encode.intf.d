@@ -1,0 +1,1 @@
+lib/hostir/encode.mli: Hir Regalloc

@@ -1,0 +1,1 @@
+lib/hostir/exec.ml: Array Bytes Dbt_util Encode F32 F64 Hir Hvm Int64 Sf_core Sf_types Softfloat

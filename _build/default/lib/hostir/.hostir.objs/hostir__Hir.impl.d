@@ -1,0 +1,1 @@
+lib/hostir/hir.ml: Array Option Printf String

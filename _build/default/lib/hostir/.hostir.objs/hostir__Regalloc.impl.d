@@ -1,0 +1,1 @@
+lib/hostir/regalloc.ml: Array Hashtbl Hir List

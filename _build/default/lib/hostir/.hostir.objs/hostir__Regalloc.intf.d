@@ -1,0 +1,1 @@
+lib/hostir/regalloc.mli: Hir

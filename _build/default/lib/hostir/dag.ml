@@ -1,0 +1,571 @@
+(* The invocation DAG builder (paper Sec. 2.3.2, Fig. 9).
+
+   Generator functions call into this backend; pure operations build DAG
+   nodes lazily, and operations with runtime side effects collapse the
+   trees rooted at their inputs into low-level IR immediately
+   (feed-forward emission).  Node memoization turns repeated subtrees
+   (e.g. two reads of the same guest register within a block) into shared
+   IR - the "weak form of tree pattern matching on demand" the paper
+   describes, including the PC-increment specialization of Fig. 9(d). *)
+
+open Hir
+
+type lowering = L_inline | L_helper of int
+
+type config = {
+  bank_offset : bank:int -> index:int -> int; (* guest register file layout *)
+  slot_offset : int -> int;
+  lower_intrinsic : string -> lowering; (* hardware-FP vs softfloat-helper choice *)
+  effect_helper : string -> int;
+  coproc_read_helper : int;
+  coproc_write_helper : int;
+  (* Sec. 2.7.5: for 64-bit guests, memory accesses check whether the
+     guest VA crosses the host address-space split; on a regime change a
+     helper switches page-table sets (with PCIDs), and the VA is masked
+     into the lower half. *)
+  split_va_check : bool;
+  as_switch_helper : int; (* helper performing the page-table-set switch *)
+}
+
+(* The dedicated host register holding the current address-space tag
+   (the value of va >> 47 for the active page-table set). *)
+let as_tag_preg = 12
+
+type nop =
+  | NConst of int64
+  | NLoadRf of int
+  | NLoadPc
+  | NLoadTemp of int
+  | NBin of Adl.Ast.binop * bool
+  | NNorm of int * bool
+  | NSelect
+  | NUn of Adl.Ast.unop
+  | NIntr of string
+  | NDone (* created pre-materialized (memory reads, helper results) *)
+
+type node = {
+  nid : int;
+  op : nop;
+  args : node list;
+  mutable mat : operand option;
+}
+
+type chunk = { label : int option; mutable body : instr list (* reversed *) }
+
+type t = {
+  config : config;
+  mutable chunks : chunk list; (* reversed creation order *)
+  mutable current : chunk;
+  mutable next_vreg : int;
+  mutable next_node : int;
+  mutable next_label : int;
+  mutable next_temp : int;
+  temp_vregs : (int, int) Hashtbl.t;
+  memo : (string, node) Hashtbl.t;
+  mutable pending : node list; (* lazy loads not yet materialized *)
+  mutable temp_aliases : node list; (* NLoadTemp nodes materialized as aliases *)
+  mutable n_instrs : int;
+}
+
+let create config =
+  let entry = { label = None; body = [] } in
+  {
+    config;
+    chunks = [ entry ];
+    current = entry;
+    next_vreg = 0;
+    next_node = 0;
+    next_label = 0;
+    next_temp = 0;
+    temp_vregs = Hashtbl.create 8;
+    memo = Hashtbl.create 64;
+    pending = [];
+    temp_aliases = [];
+    n_instrs = 0;
+  }
+
+let emit t i =
+  t.current.body <- i :: t.current.body;
+  t.n_instrs <- t.n_instrs + 1
+
+let fresh t =
+  let v = t.next_vreg in
+  t.next_vreg <- v + 1;
+  Vreg v
+
+let mk_node t op args =
+  let n = { nid = t.next_node; op; args; mat = None } in
+  t.next_node <- t.next_node + 1;
+  n
+
+(* Memoized node construction: structurally identical pure nodes are
+   shared, so their IR is emitted once per block. *)
+let memoized t key op args =
+  match Hashtbl.find_opt t.memo key with
+  | Some n -> n
+  | None ->
+    let n = mk_node t op args in
+    Hashtbl.replace t.memo key n;
+    (match op with
+    | NLoadRf _ | NLoadPc | NLoadTemp _ -> t.pending <- n :: t.pending
+    | _ -> ());
+    n
+
+let cond_of_binop (op : Adl.Ast.binop) signed =
+  match (op, signed) with
+  | Adl.Ast.Eq, _ -> Ceq
+  | Adl.Ast.Ne, _ -> Cne
+  | Adl.Ast.Lt, false -> Cult
+  | Adl.Ast.Le, false -> Cule
+  | Adl.Ast.Gt, false -> Cugt
+  | Adl.Ast.Ge, false -> Cuge
+  | Adl.Ast.Lt, true -> Cslt
+  | Adl.Ast.Le, true -> Csle
+  | Adl.Ast.Gt, true -> Csgt
+  | Adl.Ast.Ge, true -> Csge
+  | _ -> invalid_arg "cond_of_binop"
+
+exception Unsupported_lowering of string
+
+let rec materialize t (n : node) : operand =
+  match n.mat with
+  | Some o -> o
+  | None ->
+    let o =
+      match n.op with
+      | NConst c -> Imm c
+      | NLoadRf off ->
+        let d = fresh t in
+        emit t (Ldrf (d, off));
+        d
+      | NLoadPc ->
+        let d = fresh t in
+        emit t (Load_pc d);
+        d
+      | NLoadTemp tmp ->
+        (* Alias the temp's register directly; copy-on-write happens in
+           write_temp if the temp is later overwritten. *)
+        let v = Hashtbl.find t.temp_vregs tmp in
+        t.temp_aliases <- n :: t.temp_aliases;
+        Vreg v
+      | NBin (op, signed) -> lower_bin t op signed n.args
+      | NNorm (bits, signed) ->
+        let s = materialize t (List.hd n.args) in
+        let d = fresh t in
+        emit t (Ext (signed, bits, d, s));
+        d
+      | NSelect -> (
+        match n.args with
+        | [ c; x; y ] ->
+          let oc = materialize t c in
+          let ox = materialize t x in
+          let oy = materialize t y in
+          let d = fresh t in
+          emit t (Cmov (d, oc, ox, oy));
+          d
+        | _ -> assert false)
+      | NUn op -> (
+        let s = materialize t (List.hd n.args) in
+        let d = fresh t in
+        (match op with
+        | Adl.Ast.Neg -> emit t (Neg (d, s))
+        | Adl.Ast.Not -> emit t (Not (d, s))
+        | Adl.Ast.Lnot -> emit t (Setcc (Ceq, d, s, Imm 0L)));
+        d)
+      | NIntr name -> lower_intrinsic t name n.args
+      | NDone -> assert false
+    in
+    n.mat <- Some o;
+    t.pending <- List.filter (fun p -> p.nid <> n.nid) t.pending;
+    o
+
+and lower_bin t op signed args =
+  let a, b = match args with [ a; b ] -> (a, b) | _ -> assert false in
+  let oa = materialize t a in
+  let ob = materialize t b in
+  let d = fresh t in
+  (match op with
+  | Adl.Ast.Add -> emit t (Alu (Aadd, d, oa, ob))
+  | Adl.Ast.Sub -> emit t (Alu (Asub, d, oa, ob))
+  | Adl.Ast.Mul -> emit t (Alu (Amul, d, oa, ob))
+  | Adl.Ast.And -> emit t (Alu (Aand, d, oa, ob))
+  | Adl.Ast.Or -> emit t (Alu (Aor, d, oa, ob))
+  | Adl.Ast.Xor -> emit t (Alu (Axor, d, oa, ob))
+  | Adl.Ast.Shl -> emit t (Alu (Ashl, d, oa, ob))
+  | Adl.Ast.Shr -> emit t (Alu ((if signed then Asar else Ashr), d, oa, ob))
+  | Adl.Ast.Div -> emit t (Divrem (signed, false, d, oa, ob))
+  | Adl.Ast.Rem -> emit t (Divrem (signed, true, d, oa, ob))
+  | Adl.Ast.Eq | Adl.Ast.Ne | Adl.Ast.Lt | Adl.Ast.Le | Adl.Ast.Gt | Adl.Ast.Ge ->
+    emit t (Setcc (cond_of_binop op signed, d, oa, ob))
+  | Adl.Ast.Land | Adl.Ast.Lor -> assert false (* rewritten by the type checker *));
+  d
+
+and lower_intrinsic t name args =
+  match t.config.lower_intrinsic name with
+  | L_helper h ->
+    let ops = List.map (materialize t) args in
+    let d = fresh t in
+    emit t (Call (h, Array.of_list ops, Some d));
+    d
+  | L_inline -> (
+    let m i = materialize t (List.nth args i) in
+    let un op =
+      let s = m 0 in
+      let d = fresh t in
+      emit t (op d s);
+      d
+    in
+    let bin op =
+      let a = m 0 in
+      let b = m 1 in
+      let d = fresh t in
+      emit t (op d a b);
+      d
+    in
+    match name with
+    | "sign_extend" -> (
+      match (List.nth args 1).op with
+      | NConst bits ->
+        let s = m 0 in
+        let d = fresh t in
+        emit t (Ext (true, Int64.to_int bits, d, s));
+        d
+      | _ -> raise (Unsupported_lowering "sign_extend with dynamic width"))
+    | "clz32" -> un (fun d s -> Bit1 (Bclz32, d, s))
+    | "clz64" -> un (fun d s -> Bit1 (Bclz64, d, s))
+    | "popcount64" -> un (fun d s -> Bit1 (Bpopcnt, d, s))
+    | "rbit32" -> un (fun d s -> Bit1 (Brbit32, d, s))
+    | "rbit64" -> un (fun d s -> Bit1 (Brbit64, d, s))
+    | "rev16" -> un (fun d s -> Bit1 (Bswap16, d, s))
+    | "rev32" -> un (fun d s -> Bit1 (Bswap32, d, s))
+    | "rev64" -> un (fun d s -> Bit1 (Bswap64, d, s))
+    | "ror32" -> bin (fun d a b -> Bit2 (Bror32, d, a, b))
+    | "ror64" -> bin (fun d a b -> Bit2 (Bror64, d, a, b))
+    | "umulh64" -> bin (fun d a b -> Mulhi (false, d, a, b))
+    | "smulh64" -> bin (fun d a b -> Mulhi (true, d, a, b))
+    | "udiv64" -> bin (fun d a b -> Divrem (false, false, d, a, b))
+    | "sdiv64" -> bin (fun d a b -> Divrem (true, false, d, a, b))
+    | "udiv32" ->
+      let a = m 0 and b = m 1 in
+      let a32 = fresh t and b32 = fresh t and d = fresh t in
+      emit t (Ext (false, 32, a32, a));
+      emit t (Ext (false, 32, b32, b));
+      emit t (Divrem (false, false, d, a32, b32));
+      d
+    | "sdiv32" ->
+      let a = m 0 and b = m 1 in
+      let a32 = fresh t and b32 = fresh t and q = fresh t and d = fresh t in
+      emit t (Ext (true, 32, a32, a));
+      emit t (Ext (true, 32, b32, b));
+      emit t (Divrem (true, false, q, a32, b32));
+      emit t (Ext (false, 32, d, q));
+      d
+    | "adc64" ->
+      let a = m 0 and b = m 1 and c = m 2 in
+      let s = fresh t and d = fresh t in
+      emit t (Alu (Aadd, s, a, b));
+      emit t (Alu (Aadd, d, s, c));
+      d
+    | "adc32" ->
+      let a = m 0 and b = m 1 and c = m 2 in
+      let s = fresh t and s2 = fresh t and d = fresh t in
+      emit t (Alu (Aadd, s, a, b));
+      emit t (Alu (Aadd, s2, s, c));
+      emit t (Ext (false, 32, d, s2));
+      d
+    | "add_flags64" ->
+      let a = m 0 and b = m 1 and c = m 2 in
+      let d = fresh t in
+      emit t (Flags_add (64, d, a, b, c));
+      d
+    | "add_flags32" ->
+      let a = m 0 and b = m 1 and c = m 2 in
+      let d = fresh t in
+      emit t (Flags_add (32, d, a, b, c));
+      d
+    | "logic_flags64" -> un (fun d s -> Flags_logic (64, d, s))
+    | "logic_flags32" -> un (fun d s -> Flags_logic (32, d, s))
+    | "fp64_add" -> bin (fun d a b -> Fp2 (Fadd64, d, a, b))
+    | "fp64_sub" -> bin (fun d a b -> Fp2 (Fsub64, d, a, b))
+    | "fp64_mul" -> bin (fun d a b -> Fp2 (Fmul64, d, a, b))
+    | "fp64_div" -> bin (fun d a b -> Fp2 (Fdiv64, d, a, b))
+    | "fp64_min" -> bin (fun d a b -> Fp2 (Fmin64, d, a, b))
+    | "fp64_max" -> bin (fun d a b -> Fp2 (Fmax64, d, a, b))
+    | "fp32_add" -> bin (fun d a b -> Fp2 (Fadd32, d, a, b))
+    | "fp32_sub" -> bin (fun d a b -> Fp2 (Fsub32, d, a, b))
+    | "fp32_mul" -> bin (fun d a b -> Fp2 (Fmul32, d, a, b))
+    | "fp32_div" -> bin (fun d a b -> Fp2 (Fdiv32, d, a, b))
+    | "fp32_min" -> bin (fun d a b -> Fp2 (Fmin32, d, a, b))
+    | "fp32_max" -> bin (fun d a b -> Fp2 (Fmax32, d, a, b))
+    | "fp64_sqrt" ->
+      (* The host SQRTSD returns the negative "indefinite" NaN for invalid
+         inputs where ARM's FSQRT returns the positive default NaN
+         (Table 2); emit the inline fix-up the paper describes. *)
+      let s = m 0 in
+      let r = fresh t in
+      emit t (Fp1 (Fsqrt64, r, s));
+      let absin = fresh t and in_nan = fresh t and is_ind = fresh t and not_nan = fresh t in
+      let fix = fresh t and d = fresh t in
+      emit t (Alu (Aand, absin, s, Imm 0x7FFFFFFFFFFFFFFFL));
+      emit t (Setcc (Cugt, in_nan, absin, Imm 0x7FF0000000000000L));
+      emit t (Setcc (Ceq, is_ind, r, Imm 0xFFF8000000000000L));
+      emit t (Setcc (Ceq, not_nan, in_nan, Imm 0L));
+      emit t (Alu (Aand, fix, is_ind, not_nan));
+      emit t (Cmov (d, fix, Imm 0x7FF8000000000000L, r));
+      d
+    | "fp32_sqrt" ->
+      let s = m 0 in
+      let r = fresh t in
+      emit t (Fp1 (Fsqrt32, r, s));
+      let absin = fresh t and in_nan = fresh t and is_ind = fresh t and not_nan = fresh t in
+      let fix = fresh t and d = fresh t in
+      emit t (Alu (Aand, absin, s, Imm 0x7FFFFFFFL));
+      emit t (Setcc (Cugt, in_nan, absin, Imm 0x7F800000L));
+      emit t (Setcc (Ceq, is_ind, r, Imm 0xFFC00000L));
+      emit t (Setcc (Ceq, not_nan, in_nan, Imm 0L));
+      emit t (Alu (Aand, fix, is_ind, not_nan));
+      emit t (Cmov (d, fix, Imm 0x7FC00000L, r));
+      d
+    | "fp64_cmp_flags" -> bin (fun d a b -> Fcmp_flags (64, d, a, b))
+    | "fp32_cmp_flags" -> bin (fun d a b -> Fcmp_flags (32, d, a, b))
+    | "fp32_to_fp64" -> un (fun d s -> Fp1 (Fcvt_32_64, d, s))
+    | "fp64_to_fp32" -> un (fun d s -> Fp1 (Fcvt_64_32, d, s))
+    | "fp64_to_sint64" -> un (fun d s -> Fp1 (Fcvt_64_s64, d, s))
+    | "fp64_to_uint64" -> un (fun d s -> Fp1 (Fcvt_64_u64, d, s))
+    | "fp32_to_sint32" -> un (fun d s -> Fp1 (Fcvt_32_s32, d, s))
+    | "sint64_to_fp64" -> un (fun d s -> Fp1 (Fcvt_s64_64, d, s))
+    | "uint64_to_fp64" -> un (fun d s -> Fp1 (Fcvt_u64_64, d, s))
+    | "sint32_to_fp32" -> un (fun d s -> Fp1 (Fcvt_s32_32, d, s))
+    | "sint64_to_fp32" -> un (fun d s -> Fp1 (Fcvt_s64_32, d, s))
+    | "fp64_muladd" ->
+      let a = m 0 and b = m 1 and c = m 2 in
+      let p = fresh t and d = fresh t in
+      emit t (Fp2 (Fmul64, p, a, b));
+      emit t (Fp2 (Fadd64, d, p, c));
+      d
+    | other -> raise (Unsupported_lowering other))
+
+(* --- hazard management ------------------------------------------------------ *)
+
+(* Before mutating a location, force any lazy load of it that was built
+   earlier, so the pre-mutation value is captured. *)
+let hazard t pred =
+  let hit, rest = List.partition pred t.pending in
+  t.pending <- rest;
+  List.iter (fun n -> ignore (materialize t n)) hit
+
+let hazard_rf t off = hazard t (fun n -> match n.op with NLoadRf o -> o = off | _ -> false)
+let hazard_pc t = hazard t (fun n -> match n.op with NLoadPc -> true | _ -> false)
+
+let hazard_temp t tmp =
+  hazard t (fun n -> match n.op with NLoadTemp x -> x = tmp | _ -> false);
+  (* Copy-on-write for alias-materialized temp reads. *)
+  let hit, rest =
+    List.partition (fun n -> match n.op with NLoadTemp x -> x = tmp | _ -> false) t.temp_aliases
+  in
+  t.temp_aliases <- rest;
+  List.iter
+    (fun n ->
+      let d = fresh t in
+      emit t (Mov (d, Option.get n.mat));
+      n.mat <- Some d)
+    hit
+
+(* Full barrier: helper calls with effects may touch any guest state. *)
+let barrier t =
+  hazard t (fun _ -> true);
+  Hashtbl.reset t.memo
+
+let invalidate t key = Hashtbl.remove t.memo key
+
+(* Emit the Sec. 2.7.5 address-space-split check around a guest memory
+   access: compare va>>47 against the dedicated tag register; on mismatch
+   call the switch helper (which reloads CR3 with the other page-table set
+   under a different PCID); then mask the address into the lower half. *)
+let guarded_address t (oa : operand) : operand =
+  if not t.config.split_va_check then oa
+  else begin
+    let hi = fresh t in
+    emit t (Alu (Ashr, hi, oa, Imm 47L));
+    let miss = fresh t in
+    emit t (Setcc (Cne, miss, hi, Preg as_tag_preg));
+    let l_switch = t.next_label in
+    let l_cont = t.next_label + 1 in
+    t.next_label <- t.next_label + 2;
+    let switch_chunk = { label = Some l_switch; body = [] } in
+    let cont_chunk = { label = Some l_cont; body = [] } in
+    t.chunks <- cont_chunk :: switch_chunk :: t.chunks;
+    emit t (Br (miss, l_switch, l_cont));
+    let saved = t.current in
+    t.current <- switch_chunk;
+    emit t (Call (t.config.as_switch_helper, [| hi |], None));
+    emit t (Jmp l_cont);
+    t.current <- cont_chunk;
+    ignore saved;
+    let masked = fresh t in
+    emit t (Alu (Aand, masked, oa, Imm 0x7FFF_FFFF_FFFFL));
+    masked
+  end
+
+(* --- the Emitter interface --------------------------------------------------- *)
+
+let key_of_args args = String.concat "," (List.map (fun n -> string_of_int n.nid) args)
+
+let emitter (t : t) : node Ssa.Emitter.t =
+  let pure_key op args = op ^ ":" ^ key_of_args args in
+  {
+    Ssa.Emitter.const = (fun c -> memoized t (Printf.sprintf "c%Ld" c) (NConst c) []);
+    binary =
+      (fun op ~signed a b ->
+        let opn = Printf.sprintf "b%s%b" (Ssa.Ir.string_of_binop op) signed in
+        memoized t (pure_key opn [ a; b ]) (NBin (op, signed)) [ a; b ]);
+    unary =
+      (fun op a ->
+        let opn = match op with Adl.Ast.Neg -> "neg" | Adl.Ast.Not -> "not" | Adl.Ast.Lnot -> "lnot" in
+        memoized t (pure_key opn [ a ]) (NUn op) [ a ]);
+    normalize =
+      (fun ~bits ~signed a ->
+        memoized t (pure_key (Printf.sprintf "norm%d%b" bits signed) [ a ]) (NNorm (bits, signed)) [ a ]);
+    select = (fun c x y -> memoized t (pure_key "sel" [ c; x; y ]) NSelect [ c; x; y ]);
+    intrinsic =
+      (fun name args ->
+        (* Pure intrinsics are CSE-able; anything else gets a unique node. *)
+        match Adl.Builtins.find name with
+        | Some { Adl.Builtins.bi_kind = Adl.Builtins.Pure; _ } ->
+          memoized t (pure_key name args) (NIntr name) args
+        | _ ->
+          let n = mk_node t (NIntr name) args in
+          ignore (materialize t n);
+          n);
+    load_bankreg =
+      (fun ~bank ~index ->
+        let off = t.config.bank_offset ~bank ~index in
+        memoized t (Printf.sprintf "rf%d" off) (NLoadRf off) []);
+    store_bankreg =
+      (fun ~bank ~index v ->
+        let off = t.config.bank_offset ~bank ~index in
+        hazard_rf t off;
+        invalidate t (Printf.sprintf "rf%d" off);
+        emit t (Strf (off, materialize t v)));
+    load_reg =
+      (fun ~slot ->
+        let off = t.config.slot_offset slot in
+        memoized t (Printf.sprintf "rf%d" off) (NLoadRf off) []);
+    store_reg =
+      (fun ~slot v ->
+        let off = t.config.slot_offset slot in
+        hazard_rf t off;
+        invalidate t (Printf.sprintf "rf%d" off);
+        emit t (Strf (off, materialize t v)));
+    load_pc = (fun () -> memoized t "pc" NLoadPc []);
+    store_pc =
+      (fun v ->
+        (* Fig. 9(d): a PC store of (pc + const) collapses to one host add
+           on the dedicated PC register.  The consumed load_pc node is
+           dropped from the pending set; semantics never read the PC again
+           after writing it within one instruction, so no other consumer
+           can observe the post-increment value. *)
+        match (v.op, v.args) with
+        | NBin (Adl.Ast.Add, _), [ ({ op = NLoadPc; _ } as pcn); { op = NConst k; _ } ]
+        | NBin (Adl.Ast.Add, _), [ { op = NConst k; _ }; ({ op = NLoadPc; _ } as pcn) ] ->
+          t.pending <- List.filter (fun p -> p.nid <> pcn.nid) t.pending;
+          invalidate t "pc";
+          emit t (Inc_pc (Int64.to_int k))
+        | _ ->
+          hazard_pc t;
+          invalidate t "pc";
+          emit t (Store_pc (materialize t v)));
+    inc_pc =
+      (fun n ->
+        hazard_pc t;
+        invalidate t "pc";
+        emit t (Inc_pc n));
+    mem_read =
+      (fun ~bits a ->
+        (* Memory reads can fault: they execute at their program point. *)
+        let oa = guarded_address t (materialize t a) in
+        let d = fresh t in
+        emit t (Mem_ld (bits, d, oa));
+        let n = mk_node t NDone [] in
+        n.mat <- Some d;
+        n);
+    mem_write =
+      (fun ~bits ~addr ~value ->
+        let ov = materialize t value in
+        let oa = guarded_address t (materialize t addr) in
+        emit t (Mem_st (bits, oa, ov)));
+    coproc_read =
+      (fun idx ->
+        let oi = materialize t idx in
+        let d = fresh t in
+        emit t (Call (t.config.coproc_read_helper, [| oi |], Some d));
+        let n = mk_node t NDone [] in
+        n.mat <- Some d;
+        n);
+    coproc_write =
+      (fun idx v ->
+        let oi = materialize t idx in
+        let ov = materialize t v in
+        barrier t;
+        emit t (Call (t.config.coproc_write_helper, [| oi; ov |], None)));
+    effect =
+      (fun name args ->
+        let ops = List.map (materialize t) args in
+        barrier t;
+        emit t (Call (t.config.effect_helper name, Array.of_list ops, None)));
+    create_block =
+      (fun () ->
+        let l = t.next_label in
+        t.next_label <- l + 1;
+        t.chunks <- { label = Some l; body = [] } :: t.chunks;
+        l);
+    jump =
+      (fun l ->
+        t.pending <- [];
+        Hashtbl.reset t.memo;
+        emit t (Jmp l));
+    branch =
+      (fun c lt lf ->
+        let oc = materialize t c in
+        t.pending <- [];
+        Hashtbl.reset t.memo;
+        emit t (Br (oc, lt, lf)));
+    set_block =
+      (fun l ->
+        t.pending <- [];
+        t.temp_aliases <- [];
+        Hashtbl.reset t.memo;
+        t.current <- List.find (fun c -> c.label = Some l) t.chunks);
+    new_temp =
+      (fun () ->
+        let tmp = t.next_temp in
+        t.next_temp <- tmp + 1;
+        Hashtbl.replace t.temp_vregs tmp
+          (match fresh t with Vreg v -> v | _ -> assert false);
+        tmp);
+    read_temp = (fun tmp -> memoized t (Printf.sprintf "tmp%d" tmp) (NLoadTemp tmp) []);
+    write_temp =
+      (fun tmp v ->
+        hazard_temp t tmp;
+        invalidate t (Printf.sprintf "tmp%d" tmp);
+        let ov = materialize t v in
+        emit t (Mov (Vreg (Hashtbl.find t.temp_vregs tmp), ov)));
+  }
+
+(* Append a raw instruction (prologue/epilogue/exits, emitted by the
+   engine). *)
+let raw t i = emit t i
+
+(* Flatten the chunks into the final instruction stream. *)
+let finish t : instr array =
+  let chunks = List.rev t.chunks in
+  let buf = ref [] in
+  List.iter
+    (fun c ->
+      (match c.label with Some l -> buf := Label l :: !buf | None -> ());
+      List.iter (fun i -> buf := i :: !buf) (List.rev c.body))
+    chunks;
+  Array.of_list (List.rev !buf)
+
+let vreg_count t = t.next_vreg
+let instr_count t = t.n_instrs

@@ -1,0 +1,409 @@
+(* Instruction encoding (paper Sec. 2.3.4): the allocated low-level IR is
+   lowered into the byte-level machine code of the simulated host, dead
+   instructions are skipped, and a final pass patches jump targets, whose
+   values are only known once every instruction has been emitted and
+   therefore sized.
+
+   Encoding format (one instruction):
+     opcode:u8 [subop:u8] operands...
+   Operand: tag:u8 then payload - 0:preg(u8) 1:imm8(i8) 2:imm32(i32)
+   3:imm64(i64) 4:slot(u16).  Jump targets are 32-bit byte offsets,
+   patched after emission. *)
+
+open Hir
+
+exception Encode_error of string
+
+let opcode = function
+  | Mov _ -> 0x01
+  | Alu _ -> 0x02
+  | Mulhi _ -> 0x03
+  | Divrem _ -> 0x04
+  | Setcc _ -> 0x05
+  | Cmov _ -> 0x06
+  | Ext _ -> 0x07
+  | Neg _ -> 0x08
+  | Not _ -> 0x09
+  | Bit1 _ -> 0x0A
+  | Bit2 _ -> 0x0B
+  | Fp2 _ -> 0x0C
+  | Fp1 _ -> 0x0D
+  | Fcmp_flags _ -> 0x0E
+  | Flags_add _ -> 0x0F
+  | Flags_logic _ -> 0x10
+  | Ldrf _ -> 0x11
+  | Strf _ -> 0x12
+  | Load_pc _ -> 0x13
+  | Store_pc _ -> 0x14
+  | Inc_pc _ -> 0x15
+  | Mem_ld _ -> 0x16
+  | Mem_st _ -> 0x17
+  | Call _ -> 0x18
+  | Jmp _ -> 0x19
+  | Br _ -> 0x1A
+  | Exit _ -> 0x1B
+  | Label _ -> 0x00 (* never encoded *)
+
+let alu_code = function
+  | Aadd -> 0 | Asub -> 1 | Aand -> 2 | Aor -> 3 | Axor -> 4 | Ashl -> 5 | Ashr -> 6
+  | Asar -> 7 | Amul -> 8
+
+let alu_of_code = [| Aadd; Asub; Aand; Aor; Axor; Ashl; Ashr; Asar; Amul |]
+
+let cond_code = function
+  | Ceq -> 0 | Cne -> 1 | Cult -> 2 | Cule -> 3 | Cugt -> 4 | Cuge -> 5 | Cslt -> 6
+  | Csle -> 7 | Csgt -> 8 | Csge -> 9
+
+let cond_of_code = [| Ceq; Cne; Cult; Cule; Cugt; Cuge; Cslt; Csle; Csgt; Csge |]
+
+let bit1_code = function
+  | Bclz32 -> 0 | Bclz64 -> 1 | Bpopcnt -> 2 | Bswap16 -> 3 | Bswap32 -> 4 | Bswap64 -> 5
+  | Brbit32 -> 6 | Brbit64 -> 7
+
+let bit1_of_code = [| Bclz32; Bclz64; Bpopcnt; Bswap16; Bswap32; Bswap64; Brbit32; Brbit64 |]
+
+let bit2_code = function Bror32 -> 0 | Bror64 -> 1
+let bit2_of_code = [| Bror32; Bror64 |]
+
+let fp2_code = function
+  | Fadd64 -> 0 | Fsub64 -> 1 | Fmul64 -> 2 | Fdiv64 -> 3 | Fmin64 -> 4 | Fmax64 -> 5
+  | Fadd32 -> 6 | Fsub32 -> 7 | Fmul32 -> 8 | Fdiv32 -> 9 | Fmin32 -> 10 | Fmax32 -> 11
+
+let fp2_of_code =
+  [| Fadd64; Fsub64; Fmul64; Fdiv64; Fmin64; Fmax64; Fadd32; Fsub32; Fmul32; Fdiv32; Fmin32; Fmax32 |]
+
+let fp1_code = function
+  | Fsqrt64 -> 0 | Fsqrt32 -> 1 | Fcvt_32_64 -> 2 | Fcvt_64_32 -> 3 | Fcvt_64_s64 -> 4
+  | Fcvt_64_u64 -> 5 | Fcvt_32_s32 -> 6 | Fcvt_s64_64 -> 7 | Fcvt_u64_64 -> 8
+  | Fcvt_s32_32 -> 9 | Fcvt_s64_32 -> 10
+
+let fp1_of_code =
+  [| Fsqrt64; Fsqrt32; Fcvt_32_64; Fcvt_64_32; Fcvt_64_s64; Fcvt_64_u64; Fcvt_32_s32;
+     Fcvt_s64_64; Fcvt_u64_64; Fcvt_s32_32; Fcvt_s64_32 |]
+
+(* --- emission ----------------------------------------------------------------- *)
+
+type encoder = {
+  buf : Buffer.t;
+  mutable patches : (int * int) list; (* buffer position, label *)
+  labels : (int, int) Hashtbl.t; (* label -> byte offset *)
+}
+
+let u8 e v = Buffer.add_uint8 e.buf (v land 0xFF)
+let u16 e v = Buffer.add_uint16_le e.buf (v land 0xFFFF)
+let i32 e v = Buffer.add_int32_le e.buf (Int32.of_int v)
+let i64 e v = Buffer.add_int64_le e.buf v
+
+let operand e = function
+  | Preg r ->
+    u8 e 0;
+    u8 e r
+  | Imm v when v >= -128L && v < 128L ->
+    u8 e 1;
+    u8 e (Int64.to_int v land 0xFF)
+  | Imm v when v >= Int64.of_int32 Int32.min_int && v <= Int64.of_int32 Int32.max_int ->
+    u8 e 2;
+    Buffer.add_int32_le e.buf (Int64.to_int32 v)
+  | Imm v ->
+    u8 e 3;
+    i64 e v
+  | Slot s ->
+    u8 e 4;
+    u16 e s
+  | Vreg v -> raise (Encode_error (Printf.sprintf "unallocated vreg %%v%d reached the encoder" v))
+
+let target e l =
+  e.patches <- (Buffer.length e.buf, l) :: e.patches;
+  i32 e 0
+
+let encode_instr e (i : instr) =
+  match i with
+  | Label l -> Hashtbl.replace e.labels l (Buffer.length e.buf)
+  | _ -> (
+    u8 e (opcode i);
+    match i with
+    | Mov (d, s) ->
+      operand e d;
+      operand e s
+    | Alu (op, d, a, b) ->
+      u8 e (alu_code op);
+      operand e d;
+      operand e a;
+      operand e b
+    | Mulhi (s, d, a, b) ->
+      u8 e (if s then 1 else 0);
+      operand e d;
+      operand e a;
+      operand e b
+    | Divrem (s, r, d, a, b) ->
+      u8 e ((if s then 1 else 0) lor if r then 2 else 0);
+      operand e d;
+      operand e a;
+      operand e b
+    | Setcc (c, d, a, b) ->
+      u8 e (cond_code c);
+      operand e d;
+      operand e a;
+      operand e b
+    | Cmov (d, c, a, b) ->
+      operand e d;
+      operand e c;
+      operand e a;
+      operand e b
+    | Ext (s, bits, d, src) ->
+      u8 e ((if s then 0x80 else 0) lor bits);
+      operand e d;
+      operand e src
+    | Neg (d, s) ->
+      operand e d;
+      operand e s
+    | Not (d, s) ->
+      operand e d;
+      operand e s
+    | Bit1 (op, d, s) ->
+      u8 e (bit1_code op);
+      operand e d;
+      operand e s
+    | Bit2 (op, d, a, b) ->
+      u8 e (bit2_code op);
+      operand e d;
+      operand e a;
+      operand e b
+    | Fp2 (op, d, a, b) ->
+      u8 e (fp2_code op);
+      operand e d;
+      operand e a;
+      operand e b
+    | Fp1 (op, d, s) ->
+      u8 e (fp1_code op);
+      operand e d;
+      operand e s
+    | Fcmp_flags (w, d, a, b) ->
+      u8 e w;
+      operand e d;
+      operand e a;
+      operand e b
+    | Flags_add (w, d, a, b, c) ->
+      u8 e w;
+      operand e d;
+      operand e a;
+      operand e b;
+      operand e c
+    | Flags_logic (w, d, s) ->
+      u8 e w;
+      operand e d;
+      operand e s
+    | Ldrf (d, off) ->
+      operand e d;
+      i32 e off
+    | Strf (off, s) ->
+      i32 e off;
+      operand e s
+    | Load_pc d -> operand e d
+    | Store_pc s -> operand e s
+    | Inc_pc n -> i32 e n
+    | Mem_ld (w, d, a) ->
+      u8 e w;
+      operand e d;
+      operand e a
+    | Mem_st (w, a, v) ->
+      u8 e w;
+      operand e a;
+      operand e v
+    | Call (h, args, ret) ->
+      u16 e h;
+      u8 e (Array.length args);
+      Array.iter (operand e) args;
+      (match ret with
+      | Some r ->
+        u8 e 1;
+        operand e r
+      | None -> u8 e 0)
+    | Jmp l -> target e l
+    | Br (c, t, f) ->
+      operand e c;
+      target e t;
+      target e f
+    | Exit slot -> u16 e slot
+    | Label _ -> assert false)
+
+(* Encode an allocated instruction stream; dead instructions are skipped.
+   Returns the machine-code bytes. *)
+let encode (ra : Regalloc.result) : bytes =
+  let e = { buf = Buffer.create 256; patches = []; labels = Hashtbl.create 8 } in
+  Array.iteri (fun idx i -> if not ra.Regalloc.dead.(idx) then encode_instr e i) ra.Regalloc.instrs;
+  let code = Buffer.to_bytes e.buf in
+  (* Patch pass: fill in jump targets. *)
+  List.iter
+    (fun (pos, l) ->
+      match Hashtbl.find_opt e.labels l with
+      | Some off -> Bytes.set_int32_le code pos (Int32.of_int off)
+      | None -> raise (Encode_error (Printf.sprintf "undefined label L%d" l)))
+    e.patches;
+  code
+
+(* --- decoding (the executor's instruction fetch) -------------------------------- *)
+
+type program = {
+  code : instr array; (* Jmp/Br targets rewritten to instruction indices *)
+  byte_size : int;
+  n_slots : int;
+}
+
+let decode_program ?(n_slots = 0) (code : bytes) : program =
+  let pos = ref 0 in
+  let len = Bytes.length code in
+  let u8 () =
+    let v = Bytes.get_uint8 code !pos in
+    incr pos;
+    v
+  in
+  let u16 () =
+    let v = Bytes.get_uint16_le code !pos in
+    pos := !pos + 2;
+    v
+  in
+  let i32 () =
+    let v = Int32.to_int (Bytes.get_int32_le code !pos) in
+    pos := !pos + 4;
+    v
+  in
+  let i64 () =
+    let v = Bytes.get_int64_le code !pos in
+    pos := !pos + 8;
+    v
+  in
+  let operand () =
+    match u8 () with
+    | 0 -> Preg (u8 ())
+    | 1 ->
+      let v = u8 () in
+      Imm (Int64.of_int (if v >= 128 then v - 256 else v))
+    | 2 -> Imm (Int64.of_int (i32 ()))
+    | 3 -> Imm (i64 ())
+    | 4 -> Slot (u16 ())
+    | t -> raise (Encode_error (Printf.sprintf "bad operand tag %d" t))
+  in
+  let instrs = ref [] in
+  let offsets = ref [] in
+  while !pos < len do
+    let start = !pos in
+    let op = u8 () in
+    let i =
+      match op with
+      | 0x01 -> let d = operand () in Mov (d, operand ())
+      | 0x02 ->
+        let sub = u8 () in
+        let d = operand () in
+        let a = operand () in
+        Alu (alu_of_code.(sub), d, a, operand ())
+      | 0x03 ->
+        let sub = u8 () in
+        let d = operand () in
+        let a = operand () in
+        Mulhi (sub land 1 <> 0, d, a, operand ())
+      | 0x04 ->
+        let sub = u8 () in
+        let d = operand () in
+        let a = operand () in
+        Divrem (sub land 1 <> 0, sub land 2 <> 0, d, a, operand ())
+      | 0x05 ->
+        let sub = u8 () in
+        let d = operand () in
+        let a = operand () in
+        Setcc (cond_of_code.(sub), d, a, operand ())
+      | 0x06 ->
+        let d = operand () in
+        let c = operand () in
+        let a = operand () in
+        Cmov (d, c, a, operand ())
+      | 0x07 ->
+        let sub = u8 () in
+        let d = operand () in
+        Ext (sub land 0x80 <> 0, sub land 0x7F, d, operand ())
+      | 0x08 -> let d = operand () in Neg (d, operand ())
+      | 0x09 -> let d = operand () in Not (d, operand ())
+      | 0x0A ->
+        let sub = u8 () in
+        let d = operand () in
+        Bit1 (bit1_of_code.(sub), d, operand ())
+      | 0x0B ->
+        let sub = u8 () in
+        let d = operand () in
+        let a = operand () in
+        Bit2 (bit2_of_code.(sub), d, a, operand ())
+      | 0x0C ->
+        let sub = u8 () in
+        let d = operand () in
+        let a = operand () in
+        Fp2 (fp2_of_code.(sub), d, a, operand ())
+      | 0x0D ->
+        let sub = u8 () in
+        let d = operand () in
+        Fp1 (fp1_of_code.(sub), d, operand ())
+      | 0x0E ->
+        let w = u8 () in
+        let d = operand () in
+        let a = operand () in
+        Fcmp_flags (w, d, a, operand ())
+      | 0x0F ->
+        let w = u8 () in
+        let d = operand () in
+        let a = operand () in
+        let b = operand () in
+        Flags_add (w, d, a, b, operand ())
+      | 0x10 ->
+        let w = u8 () in
+        let d = operand () in
+        Flags_logic (w, d, operand ())
+      | 0x11 -> let d = operand () in Ldrf (d, i32 ())
+      | 0x12 -> let off = i32 () in Strf (off, operand ())
+      | 0x13 -> Load_pc (operand ())
+      | 0x14 -> Store_pc (operand ())
+      | 0x15 -> Inc_pc (i32 ())
+      | 0x16 ->
+        let w = u8 () in
+        let d = operand () in
+        Mem_ld (w, d, operand ())
+      | 0x17 ->
+        let w = u8 () in
+        let a = operand () in
+        Mem_st (w, a, operand ())
+      | 0x18 ->
+        let h = u16 () in
+        let n = u8 () in
+        let args = Array.init n (fun _ -> operand ()) in
+        let has_ret = u8 () in
+        Call (h, args, if has_ret = 1 then Some (operand ()) else None)
+      | 0x19 -> Jmp (i32 ())
+      | 0x1A ->
+        let c = operand () in
+        let t = i32 () in
+        Br (c, t, i32 ())
+      | 0x1B -> Exit (u16 ())
+      | _ -> raise (Encode_error (Printf.sprintf "bad opcode %#x at %d" op start))
+    in
+    instrs := i :: !instrs;
+    offsets := start :: !offsets
+  done;
+  let instrs = Array.of_list (List.rev !instrs) in
+  let offsets = Array.of_list (List.rev !offsets) in
+  (* Map byte offsets in jump targets back to instruction indices. *)
+  let index_of_offset = Hashtbl.create 32 in
+  Array.iteri (fun idx off -> Hashtbl.replace index_of_offset off idx) offsets;
+  let fix_target off =
+    if off = len then Array.length instrs (* jump to end = fall off *)
+    else
+      match Hashtbl.find_opt index_of_offset off with
+      | Some idx -> idx
+      | None -> raise (Encode_error (Printf.sprintf "jump into the middle of an instruction (%d)" off))
+  in
+  let code =
+    Array.map
+      (function
+        | Jmp t -> Jmp (fix_target t)
+        | Br (c, t, f) -> Br (c, fix_target t, fix_target f)
+        | i -> i)
+      instrs
+  in
+  { code; byte_size = len; n_slots }

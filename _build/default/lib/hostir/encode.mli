@@ -1,0 +1,23 @@
+(** Instruction encoding (paper Sec. 2.3.4): allocated low-level IR is
+    lowered to the byte-level machine code of the simulated host, dead
+    instructions are skipped, and a final pass patches jump targets —
+    which are only known once every instruction has been emitted and
+    therefore sized.
+
+    The executor's instruction fetch is {!decode_program}, which parses
+    the bytes back once per translation (the analogue of the host CPU's
+    decoded-uop cache). *)
+
+exception Encode_error of string
+
+(** Encode an allocated stream (dead instructions skipped) and patch
+    jumps; returns the machine-code bytes. *)
+val encode : Regalloc.result -> bytes
+
+type program = {
+  code : Hir.instr array;  (** jump targets rewritten to indices *)
+  byte_size : int;
+  n_slots : int;
+}
+
+val decode_program : ?n_slots:int -> bytes -> program

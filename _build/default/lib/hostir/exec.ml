@@ -1,0 +1,285 @@
+(* Execution of encoded host machine code against the HVM.
+
+   Decoded programs (Encode.program) are interpreted with per-instruction
+   cycle charging from Hvm.Cost.  Host page faults raised by the MMU are
+   delivered to the engine-installed fault handler; [Retry] re-executes
+   the faulting instruction once the handler has populated the host page
+   tables, [Mmio_*] completes the access by device emulation, and guest
+   exceptions simply propagate as OCaml exceptions to the engine's run
+   loop. *)
+
+open Hir
+module Machine = Hvm.Machine
+module Cost = Hvm.Cost
+
+type fault_response =
+  | Retry
+  | Mmio_value of int64 (* a load serviced by device emulation *)
+  | Mmio_done (* a store serviced by device emulation *)
+
+type ctx = {
+  machine : Machine.t;
+  regfile : Bytes.t; (* guest register file (lives in HVM memory space) *)
+  mutable pc : int64; (* the dedicated guest-PC host register (r15) *)
+  helpers : helper array;
+  fault_handler : ctx -> Machine.access -> int64 -> bits:int -> value:int64 option -> fault_response;
+  regs : int64 array; (* host GPRs *)
+  mutable slots : int64 array; (* current translation frame *)
+  (* statistics *)
+  mutable instrs_executed : int;
+}
+
+and helper = {
+  fn : ctx -> int64 array -> int64;
+  cost : int; (* charged in addition to the call overhead *)
+}
+
+let create ~machine ~helpers ~fault_handler =
+  {
+    machine;
+    regfile = Bytes.make 8192 '\000';
+    pc = 0L;
+    helpers;
+    fault_handler;
+    regs = Array.make 16 0L;
+    slots = [||];
+    instrs_executed = 0;
+  }
+
+let rf_read ctx off = Bytes.get_int64_le ctx.regfile off
+let rf_write ctx off v = Bytes.set_int64_le ctx.regfile off v
+
+(* Operand access; spill-slot traffic costs an extra L1 access. *)
+let rd ctx = function
+  | Preg r -> ctx.regs.(r)
+  | Imm v -> v
+  | Slot s ->
+    Machine.charge ctx.machine 1;
+    ctx.slots.(s)
+  | Vreg _ -> invalid_arg "executor: virtual register"
+
+let wr ctx o v =
+  match o with
+  | Preg r -> ctx.regs.(r) <- v
+  | Slot s ->
+    Machine.charge ctx.machine 1;
+    ctx.slots.(s) <- v
+  | Imm _ | Vreg _ -> invalid_arg "executor: bad destination"
+
+module Bits = Dbt_util.Bits
+open Softfloat
+
+let flags = Sf_types.new_flags ()
+
+let exec_fp2 op a b =
+  match op with
+  | Fadd64 -> F64.add flags a b
+  | Fsub64 -> F64.sub flags a b
+  | Fmul64 -> F64.mul flags a b
+  | Fdiv64 -> F64.div flags a b
+  | Fmin64 -> F64.min_ flags a b
+  | Fmax64 -> F64.max_ flags a b
+  | Fadd32 -> F32.add flags (Bits.zero_extend a ~width:32) (Bits.zero_extend b ~width:32)
+  | Fsub32 -> F32.sub flags (Bits.zero_extend a ~width:32) (Bits.zero_extend b ~width:32)
+  | Fmul32 -> F32.mul flags (Bits.zero_extend a ~width:32) (Bits.zero_extend b ~width:32)
+  | Fdiv32 -> F32.div flags (Bits.zero_extend a ~width:32) (Bits.zero_extend b ~width:32)
+  | Fmin32 -> F32.min_ flags (Bits.zero_extend a ~width:32) (Bits.zero_extend b ~width:32)
+  | Fmax32 -> F32.max_ flags (Bits.zero_extend a ~width:32) (Bits.zero_extend b ~width:32)
+
+(* The simulated host FPU: square root has x86 NaN-sign semantics (the
+   engine emits the paper's inline fix-up); everything else follows the
+   shared softfloat propagation rules. *)
+let exec_fp1 op s =
+  match op with
+  | Fsqrt64 -> F64.sqrt ~style:Sf_types.X86_nan flags s
+  | Fsqrt32 -> F32.sqrt ~style:Sf_types.X86_nan flags (Bits.zero_extend s ~width:32)
+  | Fcvt_32_64 -> F32.to_f64 flags (Bits.zero_extend s ~width:32)
+  | Fcvt_64_32 -> F64.to_f32 flags s
+  | Fcvt_64_s64 -> F64.to_int64 flags s
+  | Fcvt_64_u64 -> Sf_core.to_uint64 Sf_core.f64_fmt flags s
+  | Fcvt_32_s32 -> (
+    let v = F32.to_int64 flags (Bits.zero_extend s ~width:32) in
+    let v = if v > 2147483647L then 2147483647L else if v < -2147483648L then -2147483648L else v in
+    Bits.zero_extend v ~width:32)
+  | Fcvt_s64_64 -> F64.of_int64 flags s
+  | Fcvt_u64_64 -> F64.of_uint64 flags s
+  | Fcvt_s32_32 -> F32.of_int64 flags (Bits.sign_extend s ~width:32)
+  | Fcvt_s64_32 -> F32.of_int64 flags s
+
+let fcmp_nzcv w a b =
+  let c =
+    if w = 64 then F64.compare_ flags a b
+    else F32.compare_ flags (Bits.zero_extend a ~width:32) (Bits.zero_extend b ~width:32)
+  in
+  match c with
+  | Sf_core.Cmp_lt -> 8L
+  | Sf_core.Cmp_eq -> 6L
+  | Sf_core.Cmp_gt -> 2L
+  | Sf_core.Cmp_unordered -> 3L
+
+let flags_nzcv ~width r c v =
+  let n = if Bits.bit r (width - 1) then 8L else 0L in
+  let z = if Bits.zero_extend r ~width = 0L then 4L else 0L in
+  Int64.logor (Int64.logor n z) (Int64.logor (if c then 2L else 0L) (if v then 1L else 0L))
+
+let cond_holds c a b =
+  match c with
+  | Ceq -> a = b
+  | Cne -> a <> b
+  | Cult -> Bits.ult a b
+  | Cule -> Bits.ule a b
+  | Cugt -> Bits.ult b a
+  | Cuge -> Bits.ule b a
+  | Cslt -> a < b
+  | Csle -> a <= b
+  | Csgt -> a > b
+  | Csge -> a >= b
+
+let instr_cost = function
+  | Mov _ | Neg _ | Not _ | Bit1 _ | Bit2 _ | Setcc _ | Cmov _ | Ext _ -> Cost.mov
+  | Alu (Amul, _, _, _) -> Cost.int_mul
+  | Alu _ -> Cost.alu
+  | Mulhi _ -> Cost.int_mul
+  | Divrem _ -> Cost.int_div
+  | Fp2 ((Fdiv64 | Fdiv32), _, _, _) -> Cost.fp_div
+  | Fp2 _ -> Cost.fp
+  | Fp1 ((Fsqrt64 | Fsqrt32), _, _) -> Cost.fp_sqrt
+  | Fp1 _ -> Cost.fp
+  | Fcmp_flags _ -> Cost.fp + 2
+  | Flags_add _ -> 2
+  | Flags_logic _ -> 1
+  | Ldrf _ | Strf _ -> 1 (* register-file access: L1-resident, pipelined *)
+  | Load_pc _ | Store_pc _ | Inc_pc _ -> Cost.mov
+  | Mem_ld _ | Mem_st _ -> 0 (* charged inside the MMU model *)
+  | Call _ -> Cost.helper_call_overhead
+  | Jmp _ -> Cost.branch
+  | Br _ -> Cost.branch
+  | Exit _ -> 0
+  | Label _ -> 0
+
+(* Run a decoded program; returns the chain-slot id of the exit taken. *)
+let run (ctx : ctx) (p : Encode.program) : int =
+  let m = ctx.machine in
+  if Array.length ctx.slots < p.Encode.n_slots then ctx.slots <- Array.make p.Encode.n_slots 0L;
+  let code = p.Encode.code in
+  let n = Array.length code in
+  let idx = ref 0 in
+  let result = ref (-1) in
+  while !result < 0 && !idx < n do
+    let i = code.(!idx) in
+    Machine.charge m (instr_cost i);
+    ctx.instrs_executed <- ctx.instrs_executed + 1;
+    let next = ref (!idx + 1) in
+    (try
+       (match i with
+       | Label _ -> ()
+       | Mov (d, s) -> wr ctx d (rd ctx s)
+       | Alu (op, d, a, b) ->
+         let a = rd ctx a and b = rd ctx b in
+         let v =
+           match op with
+           | Aadd -> Int64.add a b
+           | Asub -> Int64.sub a b
+           | Aand -> Int64.logand a b
+           | Aor -> Int64.logor a b
+           | Axor -> Int64.logxor a b
+           | Ashl -> Bits.shl a (Int64.to_int (Int64.logand b 63L))
+           | Ashr -> Bits.shr a (Int64.to_int (Int64.logand b 63L))
+           | Asar -> Bits.sar a (Int64.to_int (Int64.logand b 63L))
+           | Amul -> Int64.mul a b
+         in
+         wr ctx d v
+       | Mulhi (signed, d, a, b) ->
+         let a = rd ctx a and b = rd ctx b in
+         let hi, _ = Sf_core.mul64_wide a b in
+         let hi = if signed && a < 0L then Int64.sub hi b else hi in
+         let hi = if signed && b < 0L then Int64.sub hi a else hi in
+         wr ctx d hi
+       | Divrem (signed, want_rem, d, a, b) ->
+         let a = rd ctx a and b = rd ctx b in
+         let v =
+           if b = 0L then if want_rem then a else 0L
+           else if signed then if want_rem then Int64.rem a b else Int64.div a b
+           else if want_rem then Int64.unsigned_rem a b
+           else Int64.unsigned_div a b
+         in
+         wr ctx d v
+       | Setcc (c, d, a, b) -> wr ctx d (if cond_holds c (rd ctx a) (rd ctx b) then 1L else 0L)
+       | Cmov (d, c, a, b) -> wr ctx d (if rd ctx c <> 0L then rd ctx a else rd ctx b)
+       | Ext (signed, bits, d, s) ->
+         let v = rd ctx s in
+         wr ctx d (if signed then Bits.sign_extend v ~width:bits else Bits.zero_extend v ~width:bits)
+       | Neg (d, s) -> wr ctx d (Int64.neg (rd ctx s))
+       | Not (d, s) -> wr ctx d (Int64.lognot (rd ctx s))
+       | Bit1 (op, d, s) ->
+         let v = rd ctx s in
+         let r =
+           match op with
+           | Bclz32 -> Int64.of_int (Bits.clz ~width:32 (Bits.zero_extend v ~width:32))
+           | Bclz64 -> Int64.of_int (Bits.clz v)
+           | Bpopcnt -> Int64.of_int (Bits.popcount v)
+           | Bswap16 -> Bits.byte_swap v ~width:16
+           | Bswap32 -> Bits.byte_swap (Bits.zero_extend v ~width:32) ~width:32
+           | Bswap64 -> Bits.byte_swap v ~width:64
+           | Brbit32 -> Bits.bit_reverse (Bits.zero_extend v ~width:32) ~width:32
+           | Brbit64 -> Bits.bit_reverse v ~width:64
+         in
+         wr ctx d r
+       | Bit2 (op, d, a, b) ->
+         let a = rd ctx a and b = rd ctx b in
+         let r =
+           match op with
+           | Bror32 ->
+             Bits.rotate_right (Bits.zero_extend a ~width:32)
+               (Int64.to_int (Int64.logand b 31L)) ~width:32
+           | Bror64 -> Bits.rotate_right a (Int64.to_int (Int64.logand b 63L)) ~width:64
+         in
+         wr ctx d r
+       | Fp2 (op, d, a, b) -> wr ctx d (exec_fp2 op (rd ctx a) (rd ctx b))
+       | Fp1 (op, d, s) -> wr ctx d (exec_fp1 op (rd ctx s))
+       | Fcmp_flags (w, d, a, b) -> wr ctx d (fcmp_nzcv w (rd ctx a) (rd ctx b))
+       | Flags_add (w, d, a, b, c) ->
+         let a = rd ctx a and b = rd ctx b and cin = rd ctx c in
+         let r, carry, ovf = Bits.add_with_carry ~width:w a b (cin <> 0L) in
+         wr ctx d (flags_nzcv ~width:w r carry ovf)
+       | Flags_logic (w, d, s) ->
+         let r = rd ctx s in
+         wr ctx d (flags_nzcv ~width:w r false false)
+       | Ldrf (d, off) -> wr ctx d (rf_read ctx off)
+       | Strf (off, s) -> rf_write ctx off (rd ctx s)
+       | Load_pc d -> wr ctx d ctx.pc
+       | Store_pc s -> ctx.pc <- rd ctx s
+       | Inc_pc n -> ctx.pc <- Int64.add ctx.pc (Int64.of_int n)
+       | Mem_ld (w, d, a) -> wr ctx d (Machine.mem_read m ~bits:w (rd ctx a))
+       | Mem_st (w, a, v) -> Machine.mem_write m ~bits:w (rd ctx a) (rd ctx v)
+       | Call (h, args, ret) ->
+         let helper = ctx.helpers.(h) in
+         Machine.charge m helper.cost;
+         let vals = Array.map (rd ctx) args in
+         let r = helper.fn ctx vals in
+         (match ret with Some dst -> wr ctx dst r | None -> ())
+       | Jmp t -> next := t
+       | Br (c, t, f) -> next := (if rd ctx c <> 0L then t else f)
+       | Exit slot -> result := slot);
+       idx := !next
+     with Machine.Host_fault { va; access } -> (
+       m.Machine.faults <- m.Machine.faults + 1;
+       Machine.charge m Cost.fault_roundtrip;
+       let bits, value =
+         match i with
+         | Mem_ld (w, _, _) -> (w, None)
+         | Mem_st (w, _, v) -> (w, Some (rd ctx v))
+         | _ -> (0, None)
+       in
+       match ctx.fault_handler ctx access va ~bits ~value with
+       | Retry -> () (* re-execute the same instruction *)
+       | Mmio_value v -> (
+         match i with
+         | Mem_ld (_, d, _) ->
+           wr ctx d v;
+           idx := !idx + 1
+         | _ -> invalid_arg "Mmio_value for a non-load")
+       | Mmio_done -> idx := !idx + 1))
+  done;
+  if !result < 0 then invalid_arg "translation fell off the end without an exit";
+  !result

@@ -1,0 +1,213 @@
+(* The low-level host IR (paper Sec. 2.3.2, Fig. 10): "effectively x86
+   machine instructions, but with virtual register operands in place of
+   physical registers".
+
+   Three-address form; any source operand may be an immediate.  After
+   register allocation, virtual registers are replaced by physical
+   registers or spill slots. *)
+
+type operand =
+  | Vreg of int (* virtual, before allocation *)
+  | Preg of int (* physical host register *)
+  | Imm of int64
+  | Slot of int (* spill slot in the translation frame *)
+
+type cond = Ceq | Cne | Cult | Cule | Cugt | Cuge | Cslt | Csle | Csgt | Csge
+
+type aluop = Aadd | Asub | Aand | Aor | Axor | Ashl | Ashr | Asar | Amul
+
+type bit1op =
+  | Bclz32
+  | Bclz64
+  | Bpopcnt
+  | Bswap16
+  | Bswap32
+  | Bswap64
+  | Brbit32
+  | Brbit64
+
+type bit2op = Bror32 | Bror64
+
+type fp2op =
+  | Fadd64 | Fsub64 | Fmul64 | Fdiv64 | Fmin64 | Fmax64
+  | Fadd32 | Fsub32 | Fmul32 | Fdiv32 | Fmin32 | Fmax32
+
+type fp1op =
+  | Fsqrt64 | Fsqrt32
+  | Fcvt_32_64 (* f32 -> f64 *)
+  | Fcvt_64_32
+  | Fcvt_64_s64 (* f64 -> signed int64, truncating *)
+  | Fcvt_64_u64
+  | Fcvt_32_s32
+  | Fcvt_s64_64 (* signed int64 -> f64 *)
+  | Fcvt_u64_64
+  | Fcvt_s32_32
+  | Fcvt_s64_32
+
+type instr =
+  | Mov of operand * operand (* dst, src *)
+  | Alu of aluop * operand * operand * operand (* dst, a, b *)
+  | Mulhi of bool * operand * operand * operand (* signed, dst, a, b *)
+  | Divrem of bool * bool * operand * operand * operand
+    (* signed, want-remainder, dst, a, b; ARM-style guarded divide *)
+  | Setcc of cond * operand * operand * operand (* dst = (a cond b) *)
+  | Cmov of operand * operand * operand * operand (* dst = c <> 0 ? a : b *)
+  | Ext of bool * int * operand * operand (* signed, bits, dst, src *)
+  | Neg of operand * operand
+  | Not of operand * operand
+  | Bit1 of bit1op * operand * operand
+  | Bit2 of bit2op * operand * operand * operand
+  | Fp2 of fp2op * operand * operand * operand
+  | Fp1 of fp1op * operand * operand
+  | Fcmp_flags of int * operand * operand * operand (* width 32/64; NZCV nibble *)
+  | Flags_add of int * operand * operand * operand * operand (* width, dst, a, b, cin *)
+  | Flags_logic of int * operand * operand
+  | Ldrf of operand * int (* load from guest register file at byte offset *)
+  | Strf of int * operand
+  | Load_pc of operand
+  | Store_pc of operand
+  | Inc_pc of int
+  | Mem_ld of int * operand * operand (* width bits, dst, addr *)
+  | Mem_st of int * operand * operand (* width bits, addr, value *)
+  | Call of int * operand array * operand option (* helper index, args, result *)
+  | Label of int
+  | Jmp of int
+  | Br of operand * int * int (* condition value, then-label, else-label *)
+  | Exit of int (* exit via chain slot n *)
+
+let string_of_operand = function
+  | Vreg v -> Printf.sprintf "%%v%d" v
+  | Preg r -> Printf.sprintf "%%r%d" r
+  | Imm i -> Printf.sprintf "$%Ld" i
+  | Slot s -> Printf.sprintf "[slot%d]" s
+
+let string_of_alu = function
+  | Aadd -> "add" | Asub -> "sub" | Aand -> "and" | Aor -> "or" | Axor -> "xor"
+  | Ashl -> "shl" | Ashr -> "shr" | Asar -> "sar" | Amul -> "imul"
+
+let string_of_cond = function
+  | Ceq -> "e" | Cne -> "ne" | Cult -> "b" | Cule -> "be" | Cugt -> "a" | Cuge -> "ae"
+  | Cslt -> "l" | Csle -> "le" | Csgt -> "g" | Csge -> "ge"
+
+let to_string (i : instr) =
+  let o = string_of_operand in
+  match i with
+  | Mov (d, s) -> Printf.sprintf "mov %s, %s" (o d) (o s)
+  | Alu (op, d, a, b) -> Printf.sprintf "%s %s, %s, %s" (string_of_alu op) (o d) (o a) (o b)
+  | Mulhi (s, d, a, b) -> Printf.sprintf "%s %s, %s, %s" (if s then "imulh" else "mulh") (o d) (o a) (o b)
+  | Divrem (s, r, d, a, b) ->
+    Printf.sprintf "%s%s %s, %s, %s" (if s then "i" else "") (if r then "rem" else "div") (o d) (o a) (o b)
+  | Setcc (c, d, a, b) -> Printf.sprintf "set%s %s, %s, %s" (string_of_cond c) (o d) (o a) (o b)
+  | Cmov (d, c, a, b) -> Printf.sprintf "cmov %s, %s ? %s : %s" (o d) (o c) (o a) (o b)
+  | Ext (s, bits, d, src) -> Printf.sprintf "%s%d %s, %s" (if s then "movsx" else "movzx") bits (o d) (o src)
+  | Neg (d, s) -> Printf.sprintf "neg %s, %s" (o d) (o s)
+  | Not (d, s) -> Printf.sprintf "not %s, %s" (o d) (o s)
+  | Bit1 (_, d, s) -> Printf.sprintf "bit1 %s, %s" (o d) (o s)
+  | Bit2 (_, d, a, b) -> Printf.sprintf "bit2 %s, %s, %s" (o d) (o a) (o b)
+  | Fp2 (_, d, a, b) -> Printf.sprintf "fp2 %s, %s, %s" (o d) (o a) (o b)
+  | Fp1 (_, d, s) -> Printf.sprintf "fp1 %s, %s" (o d) (o s)
+  | Fcmp_flags (w, d, a, b) -> Printf.sprintf "fcmp%d %s, %s, %s" w (o d) (o a) (o b)
+  | Flags_add (w, d, a, b, c) -> Printf.sprintf "flags_add%d %s, %s, %s, %s" w (o d) (o a) (o b) (o c)
+  | Flags_logic (w, d, s) -> Printf.sprintf "flags_logic%d %s, %s" w (o d) (o s)
+  | Ldrf (d, off) -> Printf.sprintf "mov %s, 0x%x(%%rbp)" (o d) off
+  | Strf (off, s) -> Printf.sprintf "mov 0x%x(%%rbp), %s" off (o s)
+  | Load_pc d -> Printf.sprintf "mov %s, %%r15" (o d)
+  | Store_pc s -> Printf.sprintf "mov %%r15, %s" (o s)
+  | Inc_pc n -> Printf.sprintf "add $%d, %%r15" n
+  | Mem_ld (w, d, a) -> Printf.sprintf "ld%d %s, (%s)" w (o d) (o a)
+  | Mem_st (w, a, v) -> Printf.sprintf "st%d (%s), %s" w (o a) (o v)
+  | Call (h, args, ret) ->
+    Printf.sprintf "call helper%d(%s)%s" h
+      (String.concat ", " (Array.to_list (Array.map o args)))
+      (match ret with Some r -> " -> " ^ o r | None -> "")
+  | Label l -> Printf.sprintf "L%d:" l
+  | Jmp l -> Printf.sprintf "jmp L%d" l
+  | Br (c, t, f) -> Printf.sprintf "br %s, L%d, L%d" (o c) t f
+  | Exit slot -> Printf.sprintf "exit (chain slot %d)" slot
+
+(* Operand accessors used by the register allocator. *)
+let sources = function
+  | Mov (_, s) | Ext (_, _, _, s) | Neg (_, s) | Not (_, s) | Bit1 (_, _, s) | Fp1 (_, _, s)
+  | Flags_logic (_, _, s) ->
+    [ s ]
+  | Alu (_, _, a, b)
+  | Mulhi (_, _, a, b)
+  | Divrem (_, _, _, a, b)
+  | Setcc (_, _, a, b)
+  | Bit2 (_, _, a, b)
+  | Fp2 (_, _, a, b)
+  | Fcmp_flags (_, _, a, b) ->
+    [ a; b ]
+  | Mem_ld (_, _, a) -> [ a ]
+  | Cmov (_, c, a, b) -> [ c; a; b ]
+  | Flags_add (_, _, a, b, c) -> [ a; b; c ]
+  | Strf (_, s) | Store_pc s -> [ s ]
+  | Mem_st (_, a, v) -> [ a; v ]
+  | Call (_, args, _) -> Array.to_list args
+  | Br (c, _, _) -> [ c ]
+  | Ldrf _ | Load_pc _ | Inc_pc _ | Label _ | Jmp _ | Exit _ -> []
+
+let dest = function
+  | Mov (d, _)
+  | Alu (_, d, _, _)
+  | Mulhi (_, d, _, _)
+  | Divrem (_, _, d, _, _)
+  | Setcc (_, d, _, _)
+  | Cmov (d, _, _, _)
+  | Ext (_, _, d, _)
+  | Neg (d, _)
+  | Not (d, _)
+  | Bit1 (_, d, _)
+  | Bit2 (_, d, _, _)
+  | Fp2 (_, d, _, _)
+  | Fp1 (_, d, _)
+  | Fcmp_flags (_, d, _, _)
+  | Flags_add (_, d, _, _, _)
+  | Flags_logic (_, d, _)
+  | Ldrf (d, _)
+  | Load_pc d
+  | Mem_ld (_, d, _) ->
+    Some d
+  | Call (_, _, ret) -> ret
+  | Strf _ | Store_pc _ | Inc_pc _ | Mem_st _ | Label _ | Jmp _ | Br _ | Exit _ -> None
+
+(* Instructions with no side effect beyond their destination: removable when
+   the destination is never used. *)
+let pure = function
+  | Mov _ | Alu _ | Mulhi _ | Divrem _ | Setcc _ | Cmov _ | Ext _ | Neg _ | Not _ | Bit1 _
+  | Bit2 _ | Fp2 _ | Fp1 _ | Fcmp_flags _ | Flags_add _ | Flags_logic _ | Ldrf _ | Load_pc _ ->
+    true
+  | Strf _ | Store_pc _ | Inc_pc _ | Mem_ld _ | Mem_st _ | Call _ | Label _ | Jmp _ | Br _
+  | Exit _ ->
+    false
+
+let map_operands f (i : instr) : instr =
+  match i with
+  | Mov (d, s) -> Mov (f d, f s)
+  | Alu (op, d, a, b) -> Alu (op, f d, f a, f b)
+  | Mulhi (s, d, a, b) -> Mulhi (s, f d, f a, f b)
+  | Divrem (s, r, d, a, b) -> Divrem (s, r, f d, f a, f b)
+  | Setcc (c, d, a, b) -> Setcc (c, f d, f a, f b)
+  | Cmov (d, c, a, b) -> Cmov (f d, f c, f a, f b)
+  | Ext (s, w, d, src) -> Ext (s, w, f d, f src)
+  | Neg (d, s) -> Neg (f d, f s)
+  | Not (d, s) -> Not (f d, f s)
+  | Bit1 (op, d, s) -> Bit1 (op, f d, f s)
+  | Bit2 (op, d, a, b) -> Bit2 (op, f d, f a, f b)
+  | Fp2 (op, d, a, b) -> Fp2 (op, f d, f a, f b)
+  | Fp1 (op, d, s) -> Fp1 (op, f d, f s)
+  | Fcmp_flags (w, d, a, b) -> Fcmp_flags (w, f d, f a, f b)
+  | Flags_add (w, d, a, b, c) -> Flags_add (w, f d, f a, f b, f c)
+  | Flags_logic (w, d, s) -> Flags_logic (w, f d, f s)
+  | Ldrf (d, off) -> Ldrf (f d, off)
+  | Strf (off, s) -> Strf (off, f s)
+  | Load_pc d -> Load_pc (f d)
+  | Store_pc s -> Store_pc (f s)
+  | Inc_pc n -> Inc_pc n
+  | Mem_ld (w, d, a) -> Mem_ld (w, f d, f a)
+  | Mem_st (w, a, v) -> Mem_st (w, f a, f v)
+  | Call (h, args, ret) -> Call (h, Array.map f args, Option.map f ret)
+  | Label l -> Label l
+  | Jmp l -> Jmp l
+  | Br (c, t, fl) -> Br (f c, t, fl)
+  | Exit s -> Exit s

@@ -1,0 +1,24 @@
+(** Register allocation (paper Sec. 2.3.3).
+
+    A forward pass discovers live ranges over the flat instruction stream,
+    ranges crossing loop back-edges are extended to cover the whole loop,
+    and a fast linear scan maps virtual registers onto the physical pool,
+    spilling the furthest-ending interval under pressure (spilled operands
+    become {!Hir.operand.Slot}s priced by the executor).  Pure instructions
+    whose destination is never used are marked dead so the encoder skips
+    them, as the paper describes. *)
+
+(** Number of allocatable host registers (16 GPRs minus the dedicated
+    guest-PC register, the register-file base, the address-space tag and
+    scratch). *)
+val num_allocatable : int
+
+type result = {
+  instrs : Hir.instr array;  (** operands are Preg/Imm/Slot only *)
+  dead : bool array;  (** instructions the encoder must skip *)
+  n_slots : int;  (** spill-frame size *)
+  n_spilled : int;
+  n_dead : int;
+}
+
+val run : Hir.instr array -> result

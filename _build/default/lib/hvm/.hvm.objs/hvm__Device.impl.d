@@ -1,0 +1,1 @@
+lib/hvm/device.ml: Buffer Char Dbt_util Int64 List String

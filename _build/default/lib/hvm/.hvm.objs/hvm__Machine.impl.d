@@ -1,0 +1,1 @@
+lib/hvm/machine.ml: Cost Device Int64 List Mem Pagetable Palloc Tlb

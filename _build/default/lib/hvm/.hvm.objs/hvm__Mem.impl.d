@@ -1,0 +1,1 @@
+lib/hvm/mem.ml: Bytes Char Int64

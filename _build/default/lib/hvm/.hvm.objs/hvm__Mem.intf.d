@@ -1,0 +1,1 @@
+lib/hvm/mem.mli: Bytes

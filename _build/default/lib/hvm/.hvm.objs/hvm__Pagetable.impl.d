@@ -1,0 +1,1 @@
+lib/hvm/pagetable.ml: Dbt_util Int64 Mem Palloc

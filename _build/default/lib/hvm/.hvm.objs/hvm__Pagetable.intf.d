@@ -1,0 +1,1 @@
+lib/hvm/pagetable.mli: Mem Palloc

@@ -1,0 +1,1 @@
+lib/hvm/palloc.ml: Int64 List Mem

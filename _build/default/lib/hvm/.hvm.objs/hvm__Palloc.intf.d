@@ -1,0 +1,1 @@
+lib/hvm/palloc.mli: Mem

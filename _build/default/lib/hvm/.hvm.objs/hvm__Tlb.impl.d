@@ -1,0 +1,1 @@
+lib/hvm/tlb.ml: Array Int64 Pagetable

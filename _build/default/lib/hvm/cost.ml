@@ -1,0 +1,66 @@
+(* The cycle model of the simulated host machine.
+
+   This is the single place where "time" comes from: both DBT engines
+   execute their generated code on the same executor, which charges these
+   costs.  Neither engine has a private notion of time, so the performance
+   comparisons in the bench harness are produced by the *designs* (what
+   code each engine emits, which architectural mechanisms it uses), not by
+   per-engine constants.
+
+   Magnitudes are modelled on a ~3.5 GHz Xeon (the paper's host): simple
+   ALU ops 1 cycle, L1 access a few cycles, hardware page walk tens of
+   cycles, fault delivery into a handler hundreds of cycles. *)
+
+(* Costs are *throughput* oriented: a modern out-of-order host retires
+   several independent ops per cycle, so dependent-latency charging would
+   overstate everything uniformly.  The residual gap to real superscalar
+   execution is captured by [Native_model.host_ipc]. *)
+let alu = 1
+let mov = 1
+let fp = 2
+let fp_div = 8
+let fp_sqrt = 12
+let int_div = 12
+let int_mul = 1
+let branch = 1
+let branch_indirect = 4
+let call = 4 (* direct call/ret pair amortized *)
+
+(* A helper call from generated code: call + ret + argument marshalling +
+   clobbered-register traffic around the call (the paper's motivation for
+   avoiding helper calls in hot paths). *)
+let helper_call_overhead = 22
+
+(* Memory access: L1 hit, throughput-ish. *)
+let mem_access = 2
+
+(* Hardware TLB miss serviced by the page-table walker. *)
+let tlb_miss_walk = 36
+
+(* Taking a fault into a ring-0 handler and returning.  Captive's fault
+   handler runs inside the HVM (same privilege, no VM exit), so this is
+   fault entry + IRET plus handler dispatch. *)
+let fault_roundtrip = 220
+
+(* Extra book-keeping when the faulting access turns out to be a *guest*
+   fault: reconstructing the faulting VA and syndrome for the guest
+   exception (the paper's Sec. 3.5 explanation of the Data-Fault
+   slowdown). *)
+let guest_fault_bookkeeping = 600
+
+(* Software interrupt into the hypervisor (int imm): used by Captive for
+   non-trivial system operations. *)
+let soft_interrupt = 280
+
+(* Full host TLB flush (mov cr3). *)
+let tlb_flush = 120
+
+(* Switching page-table roots with PCID (no TLB flush). *)
+let pcid_switch = 30
+
+(* Per-translation dispatch: code-cache hash lookup in the execution
+   engine when block chaining cannot be used. *)
+let dispatch_lookup = 18
+
+(* Entering/leaving a translation (prologue/epilogue). *)
+let block_entry = 2

@@ -1,0 +1,157 @@
+(* The host virtual machine: physical memory, the hardware-MMU model, the
+   device bus, and the global cycle counter that all execution charges. *)
+
+type access = Read | Write | Exec
+
+exception Host_fault of { va : int64; access : access }
+
+(* Raised when host execution must stop (guest powered off, etc.). *)
+exception Powered_off of int
+
+type t = {
+  mem : Mem.t;
+  tlb : Tlb.t;
+  palloc : Palloc.t;
+  devices : Device.t list;
+  intc : Device.Intc.state;
+  mutable cr3 : int64; (* current page-table root *)
+  mutable pcid : int;
+  mutable ring : int; (* 0 = kernel, 3 = user *)
+  mutable paging : bool; (* generated code uses the host MMU *)
+  mutable cycles : int;
+  (* statistics *)
+  mutable mem_ops : int;
+  mutable faults : int;
+  mutable devs_ticked_at : int;
+}
+
+let charge t n = t.cycles <- t.cycles + n
+
+(* Lazy device time: devices are advanced to the current cycle count when
+   something might observe them (MMIO access, interrupt poll). *)
+let sync_devices t =
+  let delta = t.cycles - t.devs_ticked_at in
+  if delta > 0 then begin
+    List.iter (fun d -> d.Device.tick delta) t.devices;
+    t.devs_ticked_at <- t.cycles
+  end
+
+let create ?(mem_size = 256 * 1024 * 1024) ?(devices = []) ?(intc = Device.Intc.create ()) () =
+  let mem = Mem.create mem_size in
+  (* The top of physical memory (32 MiB, or a quarter for small machines)
+     is reserved for hypervisor structures (page tables). *)
+  let pt_reserve = min (32 * 1024 * 1024) (mem_size / 4) in
+  let pt_base = Int64.of_int (mem_size - pt_reserve) in
+  {
+    mem;
+    tlb = Tlb.create ();
+    palloc = Palloc.create mem ~base:pt_base ~limit:(Int64.of_int mem_size);
+    devices;
+    intc;
+    cr3 = 0L;
+    pcid = 0;
+    ring = 0;
+    paging = false;
+    cycles = 0;
+    mem_ops = 0;
+    faults = 0;
+    devs_ticked_at = 0;
+  }
+
+let find_device t pa =
+  List.find_opt
+    (fun d ->
+      Int64.unsigned_compare pa d.Device.base >= 0
+      && Int64.unsigned_compare pa (Int64.add d.Device.base (Int64.of_int d.Device.size)) < 0)
+    t.devices
+
+(* Translate a virtual address through the host MMU model: TLB lookup, then
+   hardware page walk on miss; permission checks against the current ring.
+   Raises [Host_fault]; the DBT engine installs the handler that services
+   these (populating host page tables from guest page tables). *)
+let translate t ~(access : access) va =
+  if not t.paging then va
+  else begin
+    let vpn = Int64.shift_right_logical va 12 in
+    let check ~writable ~user ~executable frame =
+      (match access with
+      | Write when not writable -> raise (Host_fault { va; access })
+      | Exec when not executable -> raise (Host_fault { va; access })
+      | _ -> ());
+      if t.ring = 3 && not user then raise (Host_fault { va; access });
+      Int64.logor frame (Int64.logand va 0xFFFL)
+    in
+    match Tlb.lookup t.tlb ~pcid:t.pcid vpn with
+    | Some e -> check ~writable:e.Tlb.writable ~user:e.Tlb.user ~executable:e.Tlb.executable e.Tlb.frame
+    | None -> (
+      charge t Cost.tlb_miss_walk;
+      match fst (Pagetable.walk t.mem ~root:t.cr3 va) with
+      | None ->
+        t.faults <- t.faults + 1;
+        raise (Host_fault { va; access })
+      | Some (_, pte) ->
+        let flags = Pagetable.flags_of_bits pte in
+        let frame = Pagetable.frame_of pte in
+        let result =
+          check ~writable:flags.Pagetable.writable ~user:flags.Pagetable.user
+            ~executable:flags.Pagetable.executable frame
+        in
+        Tlb.insert t.tlb ~pcid:t.pcid ~vpn ~frame ~flags ~global:false;
+        result)
+  end
+
+(* Memory access from generated code: translation plus the physical access,
+   with MMIO routed to devices. *)
+let mem_read t ~bits va =
+  t.mem_ops <- t.mem_ops + 1;
+  charge t Cost.mem_access;
+  let pa = translate t ~access:Read va in
+  match find_device t pa with
+  | Some d ->
+    sync_devices t;
+    d.Device.read (Int64.to_int (Int64.sub pa d.Device.base)) bits
+  | None -> Mem.read t.mem ~bits pa
+
+let mem_write t ~bits va v =
+  t.mem_ops <- t.mem_ops + 1;
+  charge t Cost.mem_access;
+  let pa = translate t ~access:Write va in
+  match find_device t pa with
+  | Some d ->
+    sync_devices t;
+    d.Device.write (Int64.to_int (Int64.sub pa d.Device.base)) bits v
+  | None -> Mem.write t.mem ~bits pa v
+
+(* Physical (ring-independent) access, used by the hypervisor itself. *)
+let phys_read t ~bits pa =
+  match find_device t pa with
+  | Some d ->
+    sync_devices t;
+    d.Device.read (Int64.to_int (Int64.sub pa d.Device.base)) bits
+  | None -> Mem.read t.mem ~bits pa
+
+let phys_write t ~bits pa v =
+  match find_device t pa with
+  | Some d ->
+    sync_devices t;
+    d.Device.write (Int64.to_int (Int64.sub pa d.Device.base)) bits v
+  | None -> Mem.write t.mem ~bits pa v
+
+(* Switch page-table root.  With [pcid] the TLB entries of the previous
+   address space stay resident (paper Sec. 2.7.5); without it the current
+   PCID's entries are flushed, as a plain CR3 write would. *)
+let set_page_table t ~root ~pcid ~keep_tlb =
+  t.cr3 <- root;
+  if keep_tlb then begin
+    t.pcid <- pcid;
+    charge t Cost.pcid_switch
+  end
+  else begin
+    t.pcid <- pcid;
+    Tlb.flush_pcid t.tlb pcid;
+    charge t Cost.tlb_flush
+  end
+
+let irq_pending t =
+  sync_devices t;
+  Device.Intc.asserted t.intc

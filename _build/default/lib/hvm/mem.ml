@@ -1,0 +1,72 @@
+(* Physical memory of the host virtual machine.
+
+   Little-endian, byte addressable.  Out-of-range accesses raise
+   [Bus_error], which the machine surfaces like a hardware machine-check. *)
+
+exception Bus_error of int64
+
+type t = {
+  bytes : Bytes.t;
+  size : int;
+}
+
+let create size = { bytes = Bytes.make size '\000'; size }
+
+let check t addr len =
+  let a = Int64.to_int addr in
+  if addr < 0L || Int64.compare addr (Int64.of_int t.size) >= 0 || a + len > t.size then
+    raise (Bus_error addr);
+  a
+
+let read8 t addr = Int64.of_int (Char.code (Bytes.get t.bytes (check t addr 1)))
+let write8 t addr v =
+  Bytes.set t.bytes (check t addr 1) (Char.chr (Int64.to_int (Int64.logand v 0xFFL)))
+
+let read16 t addr =
+  let a = check t addr 2 in
+  Int64.of_int (Bytes.get_uint16_le t.bytes a)
+
+let write16 t addr v =
+  let a = check t addr 2 in
+  Bytes.set_uint16_le t.bytes a (Int64.to_int (Int64.logand v 0xFFFFL))
+
+let read32 t addr =
+  let a = check t addr 4 in
+  Int64.logand (Int64.of_int32 (Bytes.get_int32_le t.bytes a)) 0xFFFFFFFFL
+
+let write32 t addr v =
+  let a = check t addr 4 in
+  Bytes.set_int32_le t.bytes a (Int64.to_int32 v)
+
+let read64 t addr =
+  let a = check t addr 8 in
+  Bytes.get_int64_le t.bytes a
+
+let write64 t addr v =
+  let a = check t addr 8 in
+  Bytes.set_int64_le t.bytes a v
+
+let read t ~bits addr =
+  match bits with
+  | 8 -> read8 t addr
+  | 16 -> read16 t addr
+  | 32 -> read32 t addr
+  | 64 -> read64 t addr
+  | _ -> invalid_arg "Mem.read: bad width"
+
+let write t ~bits addr v =
+  match bits with
+  | 8 -> write8 t addr v
+  | 16 -> write16 t addr v
+  | 32 -> write32 t addr v
+  | 64 -> write64 t addr v
+  | _ -> invalid_arg "Mem.write: bad width"
+
+(* Bulk load (e.g. kernel images). *)
+let blit_in t ~addr (src : Bytes.t) =
+  let a = check t addr (Bytes.length src) in
+  Bytes.blit src 0 t.bytes a (Bytes.length src)
+
+let zero_range t ~addr ~len =
+  let a = check t addr len in
+  Bytes.fill t.bytes a len '\000'

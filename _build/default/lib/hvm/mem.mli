@@ -1,0 +1,31 @@
+(** Physical memory of the host virtual machine: little-endian, byte
+    addressable.  Out-of-range accesses raise {!Bus_error}, surfaced by
+    the machine like a hardware machine-check. *)
+
+exception Bus_error of int64
+
+type t = {
+  bytes : Bytes.t;
+  size : int;
+}
+
+val create : int -> t
+
+val read8 : t -> int64 -> int64
+val write8 : t -> int64 -> int64 -> unit
+val read16 : t -> int64 -> int64
+val write16 : t -> int64 -> int64 -> unit
+val read32 : t -> int64 -> int64
+val write32 : t -> int64 -> int64 -> unit
+val read64 : t -> int64 -> int64
+val write64 : t -> int64 -> int64 -> unit
+
+(** Width-dispatched access; [bits] is 8, 16, 32 or 64. *)
+val read : t -> bits:int -> int64 -> int64
+
+val write : t -> bits:int -> int64 -> int64 -> unit
+
+(** Bulk load (kernel and user images). *)
+val blit_in : t -> addr:int64 -> Bytes.t -> unit
+
+val zero_range : t -> addr:int64 -> len:int -> unit

@@ -1,0 +1,112 @@
+(* Four-level host page tables, x86-64 style, stored *in* host physical
+   memory so that hypervisor-level tricks (clearing the low half of the
+   PML4 on guest TLB flushes, write-protecting pages for self-modifying
+   code detection) are real memory operations, exactly as in the paper.
+
+   Entry layout (per level):
+     bit 0   present
+     bit 1   writable
+     bit 2   user accessible
+     bit 63  no-execute
+     bits 12..51  physical frame number << 12 *)
+
+module Bits = Dbt_util.Bits
+
+let pte_present = 0x1L
+let pte_writable = 0x2L
+let pte_user = 0x4L
+let pte_nx = Int64.min_int (* bit 63 *)
+
+let frame_of pte = Int64.logand pte 0x000F_FFFF_FFFF_F000L
+
+type flags = { writable : bool; user : bool; executable : bool }
+
+let flags_to_bits f =
+  Int64.logor pte_present
+    (Int64.logor
+       (if f.writable then pte_writable else 0L)
+       (Int64.logor (if f.user then pte_user else 0L) (if f.executable then 0L else pte_nx)))
+
+let flags_of_bits pte =
+  {
+    writable = Int64.logand pte pte_writable <> 0L;
+    user = Int64.logand pte pte_user <> 0L;
+    executable = Int64.logand pte pte_nx = 0L;
+  }
+
+let index level va =
+  (* level 3 = PML4 (bits 39..47) ... level 0 = PT (bits 12..20) *)
+  Int64.to_int (Bits.extract va ~lo:(12 + (9 * level)) ~len:9)
+
+(* Walk to the leaf PTE; returns the physical address of the PTE and its
+   value, or None if a level is not present.  Counts one memory access per
+   level for the cycle model via [accesses]. *)
+let walk mem ~root va =
+  let rec go table level accesses =
+    let pte_addr = Int64.add table (Int64.of_int (8 * index level va)) in
+    let pte = Mem.read64 mem pte_addr in
+    if Int64.logand pte pte_present = 0L then (None, accesses + 1)
+    else if level = 0 then (Some (pte_addr, pte), accesses + 1)
+    else go (frame_of pte) (level - 1) (accesses + 1)
+  in
+  go root 3 0
+
+(* Install a 4 KiB mapping va -> pa, allocating intermediate tables.
+   Intermediate entries are created maximally permissive; the leaf carries
+   the effective permissions (x86 ANDs permissions across levels). *)
+let map mem palloc ~root va pa (f : flags) =
+  let rec go table level =
+    let pte_addr = Int64.add table (Int64.of_int (8 * index level va)) in
+    if level = 0 then
+      Mem.write64 mem pte_addr (Int64.logor (Int64.logand pa 0x000F_FFFF_FFFF_F000L) (flags_to_bits f))
+    else begin
+      let pte = Mem.read64 mem pte_addr in
+      let next =
+        if Int64.logand pte pte_present = 0L then begin
+          let frame = Palloc.alloc palloc in
+          Mem.write64 mem pte_addr
+            (Int64.logor frame (Int64.logor pte_present (Int64.logor pte_writable pte_user)));
+          frame
+        end
+        else frame_of pte
+      in
+      go next (level - 1)
+    end
+  in
+  go root 3
+
+(* Remove a single mapping (clear the present bit of the leaf). *)
+let unmap mem ~root va =
+  match fst (walk mem ~root va) with
+  | Some (pte_addr, pte) -> Mem.write64 mem pte_addr (Int64.logand pte (Int64.lognot pte_present))
+  | None -> ()
+
+(* Clear the present bit on the leaf and rewrite its permissions. *)
+let protect mem ~root va (f : flags) =
+  match fst (walk mem ~root va) with
+  | Some (pte_addr, pte) ->
+    Mem.write64 mem pte_addr (Int64.logor (frame_of pte) (flags_to_bits f))
+  | None -> ()
+
+(* Recursively release a table subtree back to the frame allocator. *)
+let rec free_subtree mem palloc table level =
+  if level > 0 then
+    for i = 0 to 511 do
+      let pte = Mem.read64 mem (Int64.add table (Int64.of_int (8 * i))) in
+      if Int64.logand pte pte_present <> 0L then free_subtree mem palloc (frame_of pte) (level - 1)
+    done;
+  Palloc.release palloc table
+
+(* The paper's guest-TLB-flush intercept: on x86-64 hosts "we only need to
+   invalidate the first 256 entries on the top-level page table" - the
+   lower (guest) half of the address space.  Invalidated subtrees are
+   released so repopulation starts from clean tables. *)
+let clear_low_half mem palloc ~root =
+  for i = 0 to 255 do
+    let pte_addr = Int64.add root (Int64.of_int (8 * i)) in
+    let pte = Mem.read64 mem pte_addr in
+    if Int64.logand pte pte_present <> 0L then begin
+      free_subtree mem palloc (frame_of pte) 2;
+      Mem.write64 mem pte_addr 0L
+    end
+  done

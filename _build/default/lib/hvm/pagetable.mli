@@ -1,0 +1,43 @@
+(** Four-level host page tables, x86-64 style, stored in host physical
+    memory — so hypervisor-level operations (clearing the low half of the
+    PML4 on guest TLB flushes, write-protecting pages for self-modifying
+    code detection) are real memory operations, as in the paper. *)
+
+val pte_present : int64
+val pte_writable : int64
+val pte_user : int64
+val pte_nx : int64
+
+(** Physical frame of a PTE. *)
+val frame_of : int64 -> int64
+
+type flags = { writable : bool; user : bool; executable : bool }
+
+val flags_to_bits : flags -> int64
+val flags_of_bits : int64 -> flags
+
+(** Table index of a VA at the given level (3 = PML4 ... 0 = PT). *)
+val index : int -> int64 -> int
+
+(** Walk to the leaf PTE: returns its physical address and value (or
+    [None] at the first non-present level) and the number of memory
+    accesses performed (for the cycle model). *)
+val walk : Mem.t -> root:int64 -> int64 -> (int64 * int64) option * int
+
+(** Install a 4 KiB mapping, allocating intermediate tables from the
+    frame allocator.  Intermediate levels are maximally permissive; the
+    leaf carries the effective permissions. *)
+val map : Mem.t -> Palloc.t -> root:int64 -> int64 -> int64 -> flags -> unit
+
+(** Clear the present bit of the leaf mapping. *)
+val unmap : Mem.t -> root:int64 -> int64 -> unit
+
+(** Rewrite the leaf's permissions in place. *)
+val protect : Mem.t -> root:int64 -> int64 -> flags -> unit
+
+(** Release a table subtree's frames back to the allocator. *)
+val free_subtree : Mem.t -> Palloc.t -> int64 -> int -> unit
+
+(** The paper's guest-TLB-flush intercept: invalidate the 256 low
+    (guest-half) PML4 entries, releasing their subtrees. *)
+val clear_low_half : Mem.t -> Palloc.t -> root:int64 -> unit

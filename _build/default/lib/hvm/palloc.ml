@@ -1,0 +1,36 @@
+(* Physical frame allocator over a reserved region of host physical memory
+   (used for page tables and other hypervisor structures). *)
+
+type t = {
+  mem : Mem.t;
+  base : int64;
+  limit : int64;
+  mutable next : int64;
+  mutable free : int64 list;
+}
+
+let create mem ~base ~limit = { mem; base; limit; next = base; free = [] }
+
+exception Out_of_frames
+
+let alloc t =
+  match t.free with
+  | f :: rest ->
+    t.free <- rest;
+    Mem.zero_range t.mem ~addr:f ~len:4096;
+    f
+  | [] ->
+    if Int64.compare t.next t.limit >= 0 then raise Out_of_frames;
+    let f = t.next in
+    t.next <- Int64.add t.next 4096L;
+    Mem.zero_range t.mem ~addr:f ~len:4096;
+    f
+
+let release t f = t.free <- f :: t.free
+
+let reset t =
+  t.next <- t.base;
+  t.free <- []
+
+let frames_used t =
+  Int64.to_int (Int64.div (Int64.sub t.next t.base) 4096L) - List.length t.free

@@ -1,0 +1,19 @@
+(** Physical frame allocator over a reserved region of host physical
+    memory (page tables and other hypervisor structures).  Frames are
+    4 KiB and zeroed on allocation. *)
+
+type t = {
+  mem : Mem.t;
+  base : int64;
+  limit : int64;
+  mutable next : int64;
+  mutable free : int64 list;
+}
+
+exception Out_of_frames
+
+val create : Mem.t -> base:int64 -> limit:int64 -> t
+val alloc : t -> int64
+val release : t -> int64 -> unit
+val reset : t -> unit
+val frames_used : t -> int

@@ -1,0 +1,1 @@
+lib/qemu/qemu_emit.ml: Adl Array Hashtbl Hostir Int64 List Ssa

@@ -1,0 +1,1 @@
+lib/qemu/qemu_engine.ml: Adl Array Bytes Captive Dbt_util Guest Hashtbl Hostir Hvm Int64 List Option Printf Qemu_emit Ssa Unix

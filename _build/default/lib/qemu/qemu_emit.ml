@@ -1,0 +1,298 @@
+(* The QEMU-style backend: a direct, single-pass emitter in the spirit of
+   TCG.
+
+   Differences from the Captive DAG backend, mirroring the paper's
+   comparison:
+   - no invocation DAG: every operation immediately emits IR into fresh
+     virtual registers; no CSE, no tree-pattern specialization (repeated
+     guest-register reads reload; PC updates are load/add/store);
+   - guest memory accesses go through an inline softmmu TLB probe with a
+     fill-helper slow path (Sec. 2.7.2), rather than the host MMU;
+   - floating-point operations call softfloat helpers (Sec. 2.5);
+   - constants are loaded into registers (TCG movi). *)
+
+open Hostir.Hir
+
+type softmmu = {
+  tlb_base : int64; (* base of this EL's soft-TLB table (flat address) *)
+  tlb_entries : int;
+  fill_read : int; (* helper indices *)
+  fill_write : int;
+}
+
+type config = {
+  bank_offset : bank:int -> index:int -> int;
+  slot_offset : int -> int;
+  effect_helper : string -> int;
+  coproc_read_helper : int;
+  coproc_write_helper : int;
+  softfloat_helper : string -> int option;
+  softmmu : softmmu option; (* None when the guest MMU is off *)
+}
+
+type chunk = { label : int option; mutable body : instr list (* reversed *) }
+
+type t = {
+  config : config;
+  mutable chunks : chunk list; (* reversed creation order *)
+  mutable current : chunk;
+  mutable next_vreg : int;
+  mutable next_label : int;
+  mutable next_temp : int;
+  temp_vregs : (int, int) Hashtbl.t;
+  mutable n_instrs : int;
+}
+
+let create config =
+  let entry = { label = None; body = [] } in
+  {
+    config;
+    chunks = [ entry ];
+    current = entry;
+    next_vreg = 0;
+    next_label = 0;
+    next_temp = 0;
+    temp_vregs = Hashtbl.create 8;
+    n_instrs = 0;
+  }
+
+let emit t i =
+  t.current.body <- i :: t.current.body;
+  t.n_instrs <- t.n_instrs + 1
+
+let fresh t =
+  let v = t.next_vreg in
+  t.next_vreg <- v + 1;
+  Vreg v
+
+(* movi: constants always occupy a register. *)
+let const t c =
+  let d = fresh t in
+  emit t (Mov (d, Imm c));
+  d
+
+let new_label t =
+  let l = t.next_label in
+  t.next_label <- l + 1;
+  t.chunks <- { label = Some l; body = [] } :: t.chunks;
+  l
+
+let to_chunk t l = t.current <- List.find (fun c -> c.label = Some l) t.chunks
+
+let cond_of_binop = Hostir.Dag.cond_of_binop
+
+(* The inline softmmu probe (entry: 8B tag_read, 8B tag_write, 8B addend,
+   8B pad). *)
+let softmmu_access t (sm : softmmu) ~write va =
+  let idx = fresh t in
+  emit t (Alu (Ashr, idx, va, Imm 12L));
+  let idx2 = fresh t in
+  emit t (Alu (Aand, idx2, idx, Imm (Int64.of_int (sm.tlb_entries - 1))));
+  let off = fresh t in
+  emit t (Alu (Ashl, off, idx2, Imm 5L));
+  let ea = fresh t in
+  emit t (Alu (Aadd, ea, off, Imm sm.tlb_base));
+  let tag_ea =
+    if write then begin
+      let e = fresh t in
+      emit t (Alu (Aadd, e, ea, Imm 8L));
+      e
+    end
+    else ea
+  in
+  let tag = fresh t in
+  emit t (Mem_ld (64, tag, tag_ea));
+  let page = fresh t in
+  emit t (Alu (Aand, page, va, Imm (Int64.lognot 0xFFFL)));
+  let hit = fresh t in
+  emit t (Setcc (Ceq, hit, tag, page));
+  let l_fast = new_label t in
+  let l_slow = new_label t in
+  let l_done = new_label t in
+  let addr = fresh t in
+  emit t (Br (hit, l_fast, l_slow));
+  to_chunk t l_slow;
+  let h = if write then sm.fill_write else sm.fill_read in
+  emit t (Call (h, [| va |], Some addr));
+  emit t (Jmp l_done);
+  to_chunk t l_fast;
+  let add_ea = fresh t in
+  emit t (Alu (Aadd, add_ea, ea, Imm 16L));
+  let addend = fresh t in
+  emit t (Mem_ld (64, addend, add_ea));
+  emit t (Alu (Aadd, addr, va, addend));
+  emit t (Jmp l_done);
+  to_chunk t l_done;
+  addr
+
+let intrinsic t name (args : operand list) : operand =
+  match t.config.softfloat_helper name with
+  | Some h ->
+    let d = fresh t in
+    emit t (Call (h, Array.of_list args, Some d));
+    d
+  | None -> (
+    let d = fresh t in
+    let a i = List.nth args i in
+    (match name with
+    | "sign_extend" -> (
+      match a 1 with
+      | Imm bits -> emit t (Ext (true, Int64.to_int bits, d, a 0))
+      | _ -> invalid_arg "sign_extend with dynamic width")
+    | "clz32" -> emit t (Bit1 (Bclz32, d, a 0))
+    | "clz64" -> emit t (Bit1 (Bclz64, d, a 0))
+    | "popcount64" -> emit t (Bit1 (Bpopcnt, d, a 0))
+    | "rbit32" -> emit t (Bit1 (Brbit32, d, a 0))
+    | "rbit64" -> emit t (Bit1 (Brbit64, d, a 0))
+    | "rev16" -> emit t (Bit1 (Bswap16, d, a 0))
+    | "rev32" -> emit t (Bit1 (Bswap32, d, a 0))
+    | "rev64" -> emit t (Bit1 (Bswap64, d, a 0))
+    | "ror32" -> emit t (Bit2 (Bror32, d, a 0, a 1))
+    | "ror64" -> emit t (Bit2 (Bror64, d, a 0, a 1))
+    | "umulh64" -> emit t (Mulhi (false, d, a 0, a 1))
+    | "smulh64" -> emit t (Mulhi (true, d, a 0, a 1))
+    | "udiv64" -> emit t (Divrem (false, false, d, a 0, a 1))
+    | "sdiv64" -> emit t (Divrem (true, false, d, a 0, a 1))
+    | "udiv32" ->
+      let x = fresh t and y = fresh t in
+      emit t (Ext (false, 32, x, a 0));
+      emit t (Ext (false, 32, y, a 1));
+      emit t (Divrem (false, false, d, x, y))
+    | "sdiv32" ->
+      let x = fresh t and y = fresh t and q = fresh t in
+      emit t (Ext (true, 32, x, a 0));
+      emit t (Ext (true, 32, y, a 1));
+      emit t (Divrem (true, false, q, x, y));
+      emit t (Ext (false, 32, d, q))
+    | "adc64" ->
+      let s = fresh t in
+      emit t (Alu (Aadd, s, a 0, a 1));
+      emit t (Alu (Aadd, d, s, a 2))
+    | "adc32" ->
+      let s = fresh t and s2 = fresh t in
+      emit t (Alu (Aadd, s, a 0, a 1));
+      emit t (Alu (Aadd, s2, s, a 2));
+      emit t (Ext (false, 32, d, s2))
+    | "add_flags64" -> emit t (Flags_add (64, d, a 0, a 1, a 2))
+    | "add_flags32" -> emit t (Flags_add (32, d, a 0, a 1, a 2))
+    | "logic_flags64" -> emit t (Flags_logic (64, d, a 0))
+    | "logic_flags32" -> emit t (Flags_logic (32, d, a 0))
+    | other -> invalid_arg ("qemu backend cannot lower intrinsic " ^ other));
+    d)
+
+let emitter (t : t) : operand Ssa.Emitter.t =
+  {
+    Ssa.Emitter.const = (fun c -> const t c);
+    binary =
+      (fun op ~signed a b ->
+        let d = fresh t in
+        (match op with
+        | Adl.Ast.Add -> emit t (Alu (Aadd, d, a, b))
+        | Adl.Ast.Sub -> emit t (Alu (Asub, d, a, b))
+        | Adl.Ast.Mul -> emit t (Alu (Amul, d, a, b))
+        | Adl.Ast.And -> emit t (Alu (Aand, d, a, b))
+        | Adl.Ast.Or -> emit t (Alu (Aor, d, a, b))
+        | Adl.Ast.Xor -> emit t (Alu (Axor, d, a, b))
+        | Adl.Ast.Shl -> emit t (Alu (Ashl, d, a, b))
+        | Adl.Ast.Shr -> emit t (Alu ((if signed then Asar else Ashr), d, a, b))
+        | Adl.Ast.Div -> emit t (Divrem (signed, false, d, a, b))
+        | Adl.Ast.Rem -> emit t (Divrem (signed, true, d, a, b))
+        | Adl.Ast.Eq | Adl.Ast.Ne | Adl.Ast.Lt | Adl.Ast.Le | Adl.Ast.Gt | Adl.Ast.Ge ->
+          emit t (Setcc (cond_of_binop op signed, d, a, b))
+        | Adl.Ast.Land | Adl.Ast.Lor -> assert false);
+        d);
+    unary =
+      (fun op a ->
+        let d = fresh t in
+        (match op with
+        | Adl.Ast.Neg -> emit t (Neg (d, a))
+        | Adl.Ast.Not -> emit t (Not (d, a))
+        | Adl.Ast.Lnot -> emit t (Setcc (Ceq, d, a, Imm 0L)));
+        d);
+    normalize =
+      (fun ~bits ~signed a ->
+        let d = fresh t in
+        emit t (Ext (signed, bits, d, a));
+        d);
+    select =
+      (fun c x y ->
+        let d = fresh t in
+        emit t (Cmov (d, c, x, y));
+        d);
+    intrinsic = (fun name args -> intrinsic t name args);
+    load_bankreg =
+      (fun ~bank ~index ->
+        let d = fresh t in
+        emit t (Ldrf (d, t.config.bank_offset ~bank ~index));
+        d);
+    store_bankreg = (fun ~bank ~index v -> emit t (Strf (t.config.bank_offset ~bank ~index, v)));
+    load_reg =
+      (fun ~slot ->
+        let d = fresh t in
+        emit t (Ldrf (d, t.config.slot_offset slot));
+        d);
+    store_reg = (fun ~slot v -> emit t (Strf (t.config.slot_offset slot, v)));
+    load_pc =
+      (fun () ->
+        let d = fresh t in
+        emit t (Load_pc d);
+        d);
+    store_pc = (fun v -> emit t (Store_pc v));
+    inc_pc =
+      (fun n ->
+        (* TCG-style: reload, add, store back. *)
+        let p = fresh t in
+        emit t (Load_pc p);
+        let p2 = fresh t in
+        emit t (Alu (Aadd, p2, p, Imm (Int64.of_int n)));
+        emit t (Store_pc p2));
+    mem_read =
+      (fun ~bits a ->
+        let addr = match t.config.softmmu with Some sm -> softmmu_access t sm ~write:false a | None -> a in
+        let d = fresh t in
+        emit t (Mem_ld (bits, d, addr));
+        d);
+    mem_write =
+      (fun ~bits ~addr ~value ->
+        let ha =
+          match t.config.softmmu with Some sm -> softmmu_access t sm ~write:true addr | None -> addr
+        in
+        emit t (Mem_st (bits, ha, value)));
+    coproc_read =
+      (fun i ->
+        let d = fresh t in
+        emit t (Call (t.config.coproc_read_helper, [| i |], Some d));
+        d);
+    coproc_write = (fun i v -> emit t (Call (t.config.coproc_write_helper, [| i; v |], None)));
+    effect = (fun name args -> emit t (Call (t.config.effect_helper name, Array.of_list args, None)));
+    create_block = (fun () -> new_label t);
+    jump = (fun l -> emit t (Jmp l));
+    branch = (fun c lt lf -> emit t (Br (c, lt, lf)));
+    set_block = (fun l -> to_chunk t l);
+    new_temp =
+      (fun () ->
+        let tmp = t.next_temp in
+        t.next_temp <- tmp + 1;
+        Hashtbl.replace t.temp_vregs tmp (match fresh t with Vreg v -> v | _ -> assert false);
+        tmp);
+    read_temp =
+      (fun tmp ->
+        let d = fresh t in
+        emit t (Mov (d, Vreg (Hashtbl.find t.temp_vregs tmp)));
+        d);
+    write_temp = (fun tmp v -> emit t (Mov (Vreg (Hashtbl.find t.temp_vregs tmp), v)));
+  }
+
+let raw t i = emit t i
+
+let finish t : instr array =
+  let chunks = List.rev t.chunks in
+  let buf = ref [] in
+  List.iter
+    (fun c ->
+      (match c.label with Some l -> buf := Label l :: !buf | None -> ());
+      List.iter (fun i -> buf := i :: !buf) (List.rev c.body))
+    chunks;
+  Array.of_list (List.rev !buf)
+
+let instr_count t = t.n_instrs

@@ -1,0 +1,1 @@
+lib/riscv/riscv.ml: Guest Hvm Int64 Lazy Riscv_descr Ssa

@@ -1,0 +1,1 @@
+lib/riscv/riscv_descr.ml: String

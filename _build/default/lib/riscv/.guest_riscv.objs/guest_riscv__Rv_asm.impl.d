@@ -1,0 +1,1 @@
+lib/riscv/rv_asm.ml: Array Bytes Dbt_util Hashtbl Int32 Int64 List

@@ -1,0 +1,203 @@
+(* RV64IM guest description: the paper's Table 5 lists RISC-V among the
+   supported guests ("no significant challenges") with full-system support
+   pending - exactly the state here: a complete user-level RV64IM model
+   demonstrating that retargeting the DBT is an ADL exercise. *)
+
+let header =
+  {|
+arch "rv64im" {
+  wordsize 64;
+  endian little;
+  bank X : uint64[32];
+  reg PC_SHADOW : uint64;
+}
+|}
+
+let helpers =
+  {|
+helper uint64 rx(uint64 n) {
+  return select(n == 0, 0, read_register_bank(X, n));
+}
+
+helper void wx(uint64 n, uint64 v) {
+  if (n != 0) { write_register_bank(X, n, v); }
+}
+|}
+
+(* RV encodings: funct7[31:25] rs2[24:20] rs1[19:15] funct3[14:12] rd[11:7]
+   opcode[6:0]. *)
+let decodes =
+  {|
+decode lui    "imm20:20 rd:5 0110111";
+decode auipc  "imm20:20 rd:5 0010111";
+decode jal    "i20:1 i10_1:10 i11:1 i19_12:8 rd:5 1101111" ends_block;
+decode jalr   "imm12:12 rs1:5 000 rd:5 1100111" ends_block;
+decode branch "i12:1 i10_5:6 rs2:5 rs1:5 funct3:3 i4_1:4 i11:1 1100011"
+  when (funct3 != 2 && funct3 != 3) ends_block;
+decode load   "imm12:12 rs1:5 funct3:3 rd:5 0000011" when (funct3 != 7);
+decode store  "imm7:7 rs2:5 rs1:5 funct3:3 imm5:5 0100011" when (funct3 < 4);
+decode op_imm "imm12:12 rs1:5 funct3:3 rd:5 0010011";
+decode op_imm32 "imm12:12 rs1:5 funct3:3 rd:5 0011011" when (funct3 == 0 || funct3 == 1 || funct3 == 5);
+decode op     "funct7:7 rs2:5 rs1:5 funct3:3 rd:5 0110011"
+  when (funct7 == 0 || funct7 == 32 || funct7 == 1);
+decode op32   "funct7:7 rs2:5 rs1:5 funct3:3 rd:5 0111011"
+  when (funct7 == 0 || funct7 == 32 || funct7 == 1);
+decode ecall  "000000000000 00000 000 00000 1110011" ends_block;
+decode ebreak "000000000001 00000 000 00000 1110011" ends_block;
+decode fence  "imm12:12 rs1:5 000 rd:5 0001111";
+|}
+
+let executes =
+  {|
+execute(lui) {
+  wx(inst.rd, sign_extend(inst.imm20 << 12, 32));
+}
+
+execute(auipc) {
+  wx(inst.rd, read_pc() + sign_extend(inst.imm20 << 12, 32));
+}
+
+execute(jal) {
+  uint64 off = sign_extend((inst.i20 << 20) | (inst.i19_12 << 12) | (inst.i11 << 11)
+                           | (inst.i10_1 << 1), 21);
+  wx(inst.rd, read_pc() + 4);
+  write_pc(read_pc() + off);
+}
+
+execute(jalr) {
+  uint64 target = (rx(inst.rs1) + sign_extend(inst.imm12, 12)) & (~(uint64)1);
+  wx(inst.rd, read_pc() + 4);
+  write_pc(target);
+}
+
+execute(branch) {
+  uint64 a = rx(inst.rs1);
+  uint64 b = rx(inst.rs2);
+  uint64 taken = 0;
+  if (inst.funct3 == 0) { taken = a == b; }
+  if (inst.funct3 == 1) { taken = a != b; }
+  if (inst.funct3 == 4) { taken = (sint64)a < (sint64)b; }
+  if (inst.funct3 == 5) { taken = (sint64)a >= (sint64)b; }
+  if (inst.funct3 == 6) { taken = a < b; }
+  if (inst.funct3 == 7) { taken = a >= b; }
+  uint64 off = sign_extend((inst.i12 << 12) | (inst.i11 << 11) | (inst.i10_5 << 5)
+                           | (inst.i4_1 << 1), 13);
+  if (taken) { write_pc(read_pc() + off); } else { write_pc(read_pc() + 4); }
+}
+
+execute(load) {
+  uint64 addr = rx(inst.rs1) + sign_extend(inst.imm12, 12);
+  uint64 v = 0;
+  if (inst.funct3 == 0) { v = sign_extend(mem_read_8(addr), 8); }
+  if (inst.funct3 == 1) { v = sign_extend(mem_read_16(addr), 16); }
+  if (inst.funct3 == 2) { v = sign_extend(mem_read_32(addr), 32); }
+  if (inst.funct3 == 3) { v = mem_read_64(addr); }
+  if (inst.funct3 == 4) { v = mem_read_8(addr); }
+  if (inst.funct3 == 5) { v = mem_read_16(addr); }
+  if (inst.funct3 == 6) { v = mem_read_32(addr); }
+  wx(inst.rd, v);
+}
+
+execute(store) {
+  uint64 addr = rx(inst.rs1) + sign_extend((inst.imm7 << 5) | inst.imm5, 12);
+  uint64 v = rx(inst.rs2);
+  if (inst.funct3 == 0) { mem_write_8(addr, v); }
+  if (inst.funct3 == 1) { mem_write_16(addr, v); }
+  if (inst.funct3 == 2) { mem_write_32(addr, v); }
+  if (inst.funct3 == 3) { mem_write_64(addr, v); }
+}
+
+execute(op_imm) {
+  uint64 a = rx(inst.rs1);
+  uint64 imm = sign_extend(inst.imm12, 12);
+  uint64 r = 0;
+  if (inst.funct3 == 0) { r = a + imm; }
+  if (inst.funct3 == 1) { r = a << (imm & 63); }
+  if (inst.funct3 == 2) { r = (sint64)a < (sint64)imm; }
+  if (inst.funct3 == 3) { r = a < imm; }
+  if (inst.funct3 == 4) { r = a ^ imm; }
+  if (inst.funct3 == 5) {
+    if ((inst.imm12 >> 10) == 1) { r = (uint64)((sint64)a >> (imm & 63)); }
+    else { r = a >> (imm & 63); }
+  }
+  if (inst.funct3 == 6) { r = a | imm; }
+  if (inst.funct3 == 7) { r = a & imm; }
+  wx(inst.rd, r);
+}
+
+execute(op_imm32) {
+  uint64 a = rx(inst.rs1) & 0xFFFFFFFF;
+  uint64 imm = sign_extend(inst.imm12, 12);
+  uint64 r = 0;
+  if (inst.funct3 == 0) { r = a + imm; }
+  if (inst.funct3 == 1) { r = a << (imm & 31); }
+  if (inst.funct3 == 5) {
+    if ((inst.imm12 >> 10) == 1) { r = (uint64)((sint64)sign_extend(a, 32) >> (imm & 31)); }
+    else { r = a >> (imm & 31); }
+  }
+  wx(inst.rd, sign_extend(r & 0xFFFFFFFF, 32));
+}
+
+execute(op) {
+  uint64 a = rx(inst.rs1);
+  uint64 b = rx(inst.rs2);
+  uint64 r = 0;
+  if (inst.funct7 == 0) {
+    if (inst.funct3 == 0) { r = a + b; }
+    if (inst.funct3 == 1) { r = a << (b & 63); }
+    if (inst.funct3 == 2) { r = (sint64)a < (sint64)b; }
+    if (inst.funct3 == 3) { r = a < b; }
+    if (inst.funct3 == 4) { r = a ^ b; }
+    if (inst.funct3 == 5) { r = a >> (b & 63); }
+    if (inst.funct3 == 6) { r = a | b; }
+    if (inst.funct3 == 7) { r = a & b; }
+  }
+  if (inst.funct7 == 32) {
+    if (inst.funct3 == 0) { r = a - b; }
+    if (inst.funct3 == 5) { r = (uint64)((sint64)a >> (b & 63)); }
+  }
+  if (inst.funct7 == 1) {
+    if (inst.funct3 == 0) { r = a * b; }
+    if (inst.funct3 == 1) { r = smulh64(a, b); }
+    if (inst.funct3 == 3) { r = umulh64(a, b); }
+    if (inst.funct3 == 4) { r = select(b == 0, 0xFFFFFFFFFFFFFFFF, sdiv64(a, b)); }
+    if (inst.funct3 == 5) { r = select(b == 0, 0xFFFFFFFFFFFFFFFF, udiv64(a, b)); }
+    if (inst.funct3 == 6) { r = select(b == 0, a, (uint64)((sint64)a % (sint64)b)); }
+    if (inst.funct3 == 7) { r = select(b == 0, a, a % b); }
+  }
+  wx(inst.rd, r);
+}
+
+execute(op32) {
+  uint64 a = rx(inst.rs1) & 0xFFFFFFFF;
+  uint64 b = rx(inst.rs2) & 0xFFFFFFFF;
+  uint64 r = 0;
+  if (inst.funct7 == 0) {
+    if (inst.funct3 == 0) { r = a + b; }
+    if (inst.funct3 == 1) { r = a << (b & 31); }
+    if (inst.funct3 == 5) { r = a >> (b & 31); }
+  }
+  if (inst.funct7 == 32) {
+    if (inst.funct3 == 0) { r = a - b; }
+    if (inst.funct3 == 5) { r = (uint64)((sint64)sign_extend(a, 32) >> (b & 31)); }
+  }
+  if (inst.funct7 == 1) {
+    if (inst.funct3 == 0) { r = a * b; }
+  }
+  wx(inst.rd, sign_extend(r & 0xFFFFFFFF, 32));
+}
+
+execute(ecall) {
+  take_exception(0x15, 0);
+}
+
+execute(ebreak) {
+  halt();
+}
+
+execute(fence) {
+  barrier();
+}
+|}
+
+let source = String.concat "\n" [ header; helpers; decodes; executes ]

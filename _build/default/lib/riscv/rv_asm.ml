@@ -1,0 +1,118 @@
+(* A small RV64IM assembler for examples and tests. *)
+
+module Bits = Dbt_util.Bits
+
+type t = {
+  base : int64;
+  mutable words : int32 list;
+  mutable count : int;
+  labels : (string, int) Hashtbl.t;
+  mutable fixups : (int * [ `J | `B ] * string) list;
+}
+
+let create ?(base = 0L) () = { base; words = []; count = 0; labels = Hashtbl.create 16; fixups = [] }
+
+let emit a w =
+  a.words <- Int32.of_int (w land 0xFFFFFFFF) :: a.words;
+  a.count <- a.count + 1
+
+let label a name = Hashtbl.replace a.labels name a.count
+
+(* registers *)
+let zero = 0 and ra = 1 and sp = 2 and t0 = 5 and t1 = 6 and t2 = 7
+let a0 = 10 and a1 = 11 and a2 = 12 and a3 = 13 and a4 = 14 and a5 = 15
+let a6 = 16 and a7 = 17 and s2 = 18 and s3 = 19 and s4 = 20
+
+let r_type ~funct7 ~rs2 ~rs1 ~funct3 ~rd ~opcode a =
+  emit a ((funct7 lsl 25) lor (rs2 lsl 20) lor (rs1 lsl 15) lor (funct3 lsl 12) lor (rd lsl 7) lor opcode)
+
+let i_type ~imm ~rs1 ~funct3 ~rd ~opcode a =
+  emit a (((imm land 0xFFF) lsl 20) lor (rs1 lsl 15) lor (funct3 lsl 12) lor (rd lsl 7) lor opcode)
+
+let s_type ~imm ~rs2 ~rs1 ~funct3 ~opcode a =
+  emit a
+    (((imm lsr 5) land 0x7F lsl 25) lor (rs2 lsl 20) lor (rs1 lsl 15) lor (funct3 lsl 12)
+    lor ((imm land 0x1F) lsl 7) lor opcode)
+
+let add a rd rs1 rs2 = r_type ~funct7:0 ~rs2 ~rs1 ~funct3:0 ~rd ~opcode:0b0110011 a
+let sub a rd rs1 rs2 = r_type ~funct7:32 ~rs2 ~rs1 ~funct3:0 ~rd ~opcode:0b0110011 a
+let mul a rd rs1 rs2 = r_type ~funct7:1 ~rs2 ~rs1 ~funct3:0 ~rd ~opcode:0b0110011 a
+let divu a rd rs1 rs2 = r_type ~funct7:1 ~rs2 ~rs1 ~funct3:5 ~rd ~opcode:0b0110011 a
+let remu a rd rs1 rs2 = r_type ~funct7:1 ~rs2 ~rs1 ~funct3:7 ~rd ~opcode:0b0110011 a
+let xor_ a rd rs1 rs2 = r_type ~funct7:0 ~rs2 ~rs1 ~funct3:4 ~rd ~opcode:0b0110011 a
+let addi a rd rs1 imm = i_type ~imm ~rs1 ~funct3:0 ~rd ~opcode:0b0010011 a
+let slli a rd rs1 sh = i_type ~imm:sh ~rs1 ~funct3:1 ~rd ~opcode:0b0010011 a
+let srli a rd rs1 sh = i_type ~imm:sh ~rs1 ~funct3:5 ~rd ~opcode:0b0010011 a
+let andi a rd rs1 imm = i_type ~imm ~rs1 ~funct3:7 ~rd ~opcode:0b0010011 a
+let ori a rd rs1 imm = i_type ~imm ~rs1 ~funct3:6 ~rd ~opcode:0b0010011 a
+let lui a rd imm20 = emit a (((imm20 land 0xFFFFF) lsl 12) lor (rd lsl 7) lor 0b0110111)
+let ld a rd rs1 imm = i_type ~imm ~rs1 ~funct3:3 ~rd ~opcode:0b0000011 a
+let lw a rd rs1 imm = i_type ~imm ~rs1 ~funct3:2 ~rd ~opcode:0b0000011 a
+let lbu a rd rs1 imm = i_type ~imm ~rs1 ~funct3:4 ~rd ~opcode:0b0000011 a
+let sd a rs2 rs1 imm = s_type ~imm ~rs2 ~rs1 ~funct3:3 ~opcode:0b0100011 a
+let sb a rs2 rs1 imm = s_type ~imm ~rs2 ~rs1 ~funct3:0 ~opcode:0b0100011 a
+let ecall a = emit a 0x00000073
+let ebreak a = emit a 0x00100073
+let nop a = addi a 0 0 0
+
+(* li for values up to 32 bits *)
+let li a rd (v : int64) =
+  let lo = Int64.to_int (Bits.sign_extend (Bits.extract v ~lo:0 ~len:12) ~width:12) in
+  let hi = Int64.to_int (Bits.shr (Int64.sub v (Int64.of_int lo)) 12) land 0xFFFFF in
+  if hi = 0 then addi a rd 0 lo
+  else begin
+    lui a rd hi;
+    if lo <> 0 then addi a rd rd lo
+  end
+
+let beq a rs1 rs2 lbl =
+  a.fixups <- (a.count, `B, lbl) :: a.fixups;
+  emit a ((rs2 lsl 20) lor (rs1 lsl 15) lor (0 lsl 12) lor 0b1100011)
+
+let bne a rs1 rs2 lbl =
+  a.fixups <- (a.count, `B, lbl) :: a.fixups;
+  emit a ((rs2 lsl 20) lor (rs1 lsl 15) lor (1 lsl 12) lor 0b1100011)
+
+let bltu a rs1 rs2 lbl =
+  a.fixups <- (a.count, `B, lbl) :: a.fixups;
+  emit a ((rs2 lsl 20) lor (rs1 lsl 15) lor (6 lsl 12) lor 0b1100011)
+
+let jal a rd lbl =
+  a.fixups <- (a.count, `J, lbl) :: a.fixups;
+  emit a ((rd lsl 7) lor 0b1101111)
+
+let j a lbl = jal a 0 lbl
+
+let assemble (a : t) : bytes =
+  let words = Array.of_list (List.rev a.words) in
+  List.iter
+    (fun (idx, kind, name) ->
+      let target =
+        match Hashtbl.find_opt a.labels name with
+        | Some t -> t
+        | None -> invalid_arg ("undefined label " ^ name)
+      in
+      let off = (target - idx) * 4 in
+      let w = Int32.to_int words.(idx) land 0xFFFFFFFF in
+      let patched =
+        match kind with
+        | `B ->
+          if off < -4096 || off >= 4096 then invalid_arg "branch out of range";
+          w
+          lor (((off lsr 12) land 1) lsl 31)
+          lor (((off lsr 5) land 0x3F) lsl 25)
+          lor (((off lsr 1) land 0xF) lsl 8)
+          lor (((off lsr 11) land 1) lsl 7)
+        | `J ->
+          if off < -(1 lsl 20) || off >= 1 lsl 20 then invalid_arg "jump out of range";
+          w
+          lor (((off lsr 20) land 1) lsl 31)
+          lor (((off lsr 1) land 0x3FF) lsl 21)
+          lor (((off lsr 11) land 1) lsl 20)
+          lor (((off lsr 12) land 0xFF) lsl 12)
+      in
+      words.(idx) <- Int32.of_int patched)
+    a.fixups;
+  let out = Bytes.create (4 * Array.length words) in
+  Array.iteri (fun i w -> Bytes.set_int32_le out (4 * i) w) words;
+  out

@@ -1,0 +1,1 @@
+lib/softfloat/archfp.ml: F64 Printf Sf_types

@@ -1,0 +1,1 @@
+lib/softfloat/archfp.mli:

@@ -1,0 +1,1 @@
+lib/softfloat/f32.ml: Int32 Int64 Sf_core Sf_types

@@ -1,0 +1,1 @@
+lib/softfloat/f64.ml: Int64 Sf_core Sf_types

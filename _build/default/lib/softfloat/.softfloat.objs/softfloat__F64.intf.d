@@ -1,0 +1,1 @@
+lib/softfloat/f64.mli: Sf_core Sf_types

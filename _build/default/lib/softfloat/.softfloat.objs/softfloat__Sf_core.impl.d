@@ -1,0 +1,1 @@
+lib/softfloat/sf_core.ml: Dbt_util Int64 Sf_types

@@ -1,0 +1,1 @@
+lib/softfloat/sf_types.ml:

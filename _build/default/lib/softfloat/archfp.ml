@@ -1,0 +1,48 @@
+(* Architecture-specific floating-point semantics.
+
+   The paper's Table 2 contrasts x86 SQRTSD with ARMv8 FSQRT: both compute
+   the same square roots, but the NaN produced for a negative input carries
+   a different sign bit (x86 returns the negative "indefinite" QNaN, ARM the
+   positive default NaN).  Captive executes the *host* instruction and then
+   applies a fix-up so the guest sees bit-accurate ARM behaviour; this module
+   provides both semantics plus the fix-up, so the engine and Table 2 of the
+   bench harness share one implementation. *)
+
+open Sf_types
+
+(* x86 SQRTSD semantics on a binary64 bit pattern. *)
+let x86_sqrtsd bits =
+  let flags = new_flags () in
+  F64.sqrt ~style:X86_nan flags bits
+
+(* ARMv8 FSQRT semantics (FPCR default mode). *)
+let arm_fsqrt bits =
+  let flags = new_flags () in
+  F64.sqrt ~style:Arm_nan flags bits
+
+(* The inline fix-up Captive emits after a host SQRTSD so the result is
+   bit-accurate with ARM: for a non-NaN input, an "indefinite" (negative
+   default) NaN result is rewritten to ARM's positive default NaN.  NaN
+   inputs propagate identically on both architectures and are left
+   untouched. *)
+let fixup_sqrt_result ~input result =
+  if (not (F64.is_nan input)) && result = F64.default_nan X86_nan then F64.default_nan Arm_nan
+  else result
+
+(* Rows of Table 2: input, x86 result, ARM result. *)
+let table2_inputs =
+  [
+    ("0.0", F64.of_float 0.0);
+    ("-0.0", F64.of_float (-0.0));
+    ("inf", F64.infinity);
+    ("-inf", F64.neg_infinity);
+    ("0.5", F64.of_float 0.5);
+    ("-0.5", F64.of_float (-0.5));
+    ("NaN", F64.default_nan Arm_nan);
+    ("-NaN", F64.default_nan X86_nan);
+  ]
+
+let describe bits =
+  if F64.is_nan bits then if F64.sign bits then "-NaN" else "NaN"
+  else if F64.is_inf bits then if F64.sign bits then "-inf" else "inf"
+  else Printf.sprintf "%.6g" (F64.to_float bits)

@@ -1,0 +1,25 @@
+(** Architecture-specific floating-point semantics (paper Table 2).
+
+    x86's SQRTSD and ARMv8's FSQRT agree on every value except the sign of
+    the NaN produced for invalid (negative) inputs.  Captive executes the
+    host instruction and emits an inline fix-up; this module is the shared
+    definition of both semantics, of the fix-up, and of the Table 2
+    inputs used by the bench harness. *)
+
+(** x86 SQRTSD on a binary64 bit pattern. *)
+val x86_sqrtsd : int64 -> int64
+
+(** ARMv8 FSQRT (FPCR default-NaN mode for invalid inputs; NaN operands
+    propagate). *)
+val arm_fsqrt : int64 -> int64
+
+(** The fix-up Captive applies after a host SQRTSD: for a non-NaN input,
+    the x86 "indefinite" result is rewritten to ARM's default NaN; NaN
+    inputs (which propagate identically) are untouched. *)
+val fixup_sqrt_result : input:int64 -> int64 -> int64
+
+(** The eight rows of Table 2: name and input bit pattern. *)
+val table2_inputs : (string * int64) list
+
+(** Human-readable rendering ("NaN", "-inf", "0.707107", ...). *)
+val describe : int64 -> string

@@ -1,0 +1,42 @@
+(* IEEE-754 binary32, carried in the low 32 bits of an int64. *)
+
+open Sf_types
+
+let fmt = Sf_core.f32_fmt
+
+let of_float f = Int64.of_int32 (Int32.bits_of_float f) |> fun x -> Int64.logand x 0xFFFFFFFFL
+let to_float bits = Int32.float_of_bits (Int64.to_int32 bits)
+
+let zero = Sf_core.zero fmt false
+let neg_zero = Sf_core.zero fmt true
+let one = of_float 1.0
+let infinity = Sf_core.infinity fmt false
+let neg_infinity = Sf_core.infinity fmt true
+let default_nan style = Sf_core.default_nan fmt style
+
+let classify = Sf_core.classify fmt
+let is_nan = Sf_core.is_nan fmt
+let is_snan = Sf_core.is_snan fmt
+let is_inf = Sf_core.is_inf fmt
+let is_zero = Sf_core.is_zero fmt
+let sign = Sf_core.sign_of fmt
+
+let add ?style ?(rm = Nearest_even) flags a b = Sf_core.add ?style fmt flags rm a b
+let sub ?style ?(rm = Nearest_even) flags a b = Sf_core.sub ?style fmt flags rm a b
+let mul ?style ?(rm = Nearest_even) flags a b = Sf_core.mul ?style fmt flags rm a b
+let div ?style ?(rm = Nearest_even) flags a b = Sf_core.div ?style fmt flags rm a b
+let sqrt ?style ?(rm = Nearest_even) flags a = Sf_core.sqrt ?style fmt flags rm a
+let neg = Sf_core.neg fmt
+let abs = Sf_core.abs fmt
+let min_ flags a b = Sf_core.min_ fmt flags a b
+let max_ flags a b = Sf_core.max_ fmt flags a b
+
+let compare_ flags a b = Sf_core.compare_ fmt flags a b
+let eq flags a b = Sf_core.eq fmt flags a b
+let lt flags a b = Sf_core.lt fmt flags a b
+let le flags a b = Sf_core.le fmt flags a b
+
+let of_int64 ?(rm = Nearest_even) flags v = Sf_core.of_int64 fmt flags rm v
+let of_uint64 ?(rm = Nearest_even) flags v = Sf_core.of_uint64 fmt flags rm v
+let to_int64 ?(rm = Toward_zero) flags v = Sf_core.to_int64 fmt flags rm v
+let to_f64 ?(rm = Nearest_even) flags v = Sf_core.convert ~from:fmt ~to_:Sf_core.f64_fmt flags rm v

@@ -1,0 +1,541 @@
+(* Generic IEEE-754 binary floating point over a format descriptor.
+
+   Values are carried as [int64] bit patterns (binary32 in the low 32 bits).
+   Internally, significands are manipulated with 3 extra low bits
+   (guard/round/sticky): a normal working significand has its integer bit at
+   position [frac_bits + 3], i.e. lies in [2^(fb+3), 2^(fb+4)).
+
+   The algorithms follow the classical Berkeley softfloat structure:
+   unpack -> operate on (sign, biased exponent, working significand) ->
+   round-and-pack. *)
+
+open Sf_types
+module Bits = Dbt_util.Bits
+
+let ( +% ) = Int64.add
+let ( -% ) = Int64.sub
+let ( &% ) = Int64.logand
+let ( |% ) = Int64.logor
+let shl = Bits.shl
+let shr = Bits.shr
+
+type fmt = {
+  width : int;
+  exp_bits : int;
+  frac_bits : int;
+}
+
+let f64_fmt = { width = 64; exp_bits = 11; frac_bits = 52 }
+let f32_fmt = { width = 32; exp_bits = 8; frac_bits = 23 }
+
+let bias fmt = (1 lsl (fmt.exp_bits - 1)) - 1
+let exp_max fmt = (1 lsl fmt.exp_bits) - 1
+let quiet_bit fmt = shl 1L (fmt.frac_bits - 1)
+let implicit_bit fmt = shl 1L fmt.frac_bits
+let sign_bit fmt = shl 1L (fmt.width - 1)
+
+let sign_of fmt x = Bits.bit x (fmt.width - 1)
+let exp_of fmt x = Int64.to_int (Bits.extract x ~lo:fmt.frac_bits ~len:fmt.exp_bits)
+let frac_of fmt x = Bits.extract x ~lo:0 ~len:fmt.frac_bits
+
+let pack fmt ~sign ~exp ~frac =
+  (if sign then sign_bit fmt else 0L)
+  |% shl (Int64.of_int exp) fmt.frac_bits
+  |% frac
+
+let classify fmt x =
+  let e = exp_of fmt x and f = frac_of fmt x in
+  if e = exp_max fmt then
+    if f = 0L then Infinity
+    else if f &% quiet_bit fmt <> 0L then Quiet_nan
+    else Signaling_nan
+  else if e = 0 then if f = 0L then Zero else Subnormal
+  else Normal
+
+let is_nan fmt x = match classify fmt x with Quiet_nan | Signaling_nan -> true | _ -> false
+let is_snan fmt x = classify fmt x = Signaling_nan
+let is_inf fmt x = classify fmt x = Infinity
+let is_zero fmt x = classify fmt x = Zero
+
+let default_nan fmt = function
+  | Arm_nan -> pack fmt ~sign:false ~exp:(exp_max fmt) ~frac:(quiet_bit fmt)
+  | X86_nan -> pack fmt ~sign:true ~exp:(exp_max fmt) ~frac:(quiet_bit fmt)
+
+let infinity fmt sign = pack fmt ~sign ~exp:(exp_max fmt) ~frac:0L
+let zero fmt sign = pack fmt ~sign ~exp:0 ~frac:0L
+let max_finite fmt sign =
+  pack fmt ~sign ~exp:(exp_max fmt - 1) ~frac:(Bits.mask fmt.frac_bits)
+
+(* Quieten and propagate NaN operands; prefers the first NaN operand, which
+   matches ARM behaviour when fix-ups are applied on top. *)
+let propagate_nan fmt flags a b =
+  if is_snan fmt a || is_snan fmt b then flags.invalid <- true;
+  let quieten x = x |% quiet_bit fmt in
+  if is_nan fmt a then quieten a else quieten b
+
+(* --- round and pack ------------------------------------------------------ *)
+
+(* Shift [x] right by [n] accumulating lost bits into the sticky (lowest)
+   bit, as softfloat's shift64RightJamming. *)
+let shift_right_jam x n =
+  if n <= 0 then x
+  else if n >= 64 then if x <> 0L then 1L else 0L
+  else shr x n |% (if x &% Bits.mask n <> 0L then 1L else 0L)
+
+(* [sig_] has the integer bit at [frac_bits + 3] (or below, for results known
+   to be subnormal); [exp] is the corresponding biased exponent. *)
+let round_pack fmt flags (rm : rounding) ~sign ~exp ~sig_ =
+  let fb = fmt.frac_bits in
+  let round_increment =
+    match rm with
+    | Nearest_even | Nearest_away -> 4L
+    | Toward_zero -> 0L
+    | Toward_pos -> if sign then 0L else 7L
+    | Toward_neg -> if sign then 7L else 0L
+  in
+  let exp = ref exp and sig_ = ref sig_ in
+  (* Overflow detection happens against the exponent the rounded result would
+     have. *)
+  if !exp >= exp_max fmt - 1 then begin
+    let will_overflow =
+      !exp > exp_max fmt - 1
+      || (!exp = exp_max fmt - 1 && !sig_ +% round_increment >= shl 1L (fb + 4))
+    in
+    if will_overflow then begin
+      flags.overflow <- true;
+      flags.inexact <- true;
+      (* Directed rounding can pin at the largest finite value. *)
+      if round_increment = 0L then max_finite fmt sign else infinity fmt sign
+    end
+    else begin
+      let round_bits = !sig_ &% 7L in
+      if round_bits <> 0L then flags.inexact <- true;
+      let s = shr (!sig_ +% round_increment) 3 in
+      let s = if rm = Nearest_even && round_bits = 4L then s &% Int64.lognot 1L else s in
+      pack fmt ~sign ~exp:!exp ~frac:(s &% Bits.mask fb)
+    end
+  end
+  else begin
+    if !exp <= 0 then begin
+      (* Subnormal (or on the boundary): denormalize with jamming. *)
+      let shift = 1 - !exp in
+      sig_ := shift_right_jam !sig_ shift;
+      exp := 0
+    end;
+    let round_bits = !sig_ &% 7L in
+    if round_bits <> 0L then begin
+      flags.inexact <- true;
+      if !exp = 0 then flags.underflow <- true
+    end;
+    let s = shr (!sig_ +% round_increment) 3 in
+    let s = if rm = Nearest_even && round_bits = 4L then s &% Int64.lognot 1L else s in
+    (* Rounding may carry into the next exponent; packing handles it because
+       a significand of exactly 2^fb with exp=0 encodes the smallest normal. *)
+    let exp = if s >= shl 1L (fb + 1) then !exp + 1 else !exp in
+    let s = if s >= shl 1L (fb + 1) then shr s 1 else s in
+    if exp = 0 && s >= implicit_bit fmt then pack fmt ~sign ~exp:1 ~frac:(s &% Bits.mask fb)
+    else pack fmt ~sign ~exp ~frac:(s &% Bits.mask fb)
+  end
+
+(* Unpack a finite non-zero value into (biased exp, significand with integer
+   bit at frac_bits); subnormals are normalized with a correspondingly
+   smaller exponent. *)
+let unpack_finite fmt x =
+  let e = exp_of fmt x and f = frac_of fmt x in
+  if e = 0 then begin
+    let shift = Bits.clz ~width:64 f - (63 - fmt.frac_bits) in
+    (1 - shift, shl f shift)
+  end
+  else (e, f |% implicit_bit fmt)
+
+(* --- addition / subtraction --------------------------------------------- *)
+
+let add_mags fmt flags rm sign a b =
+  let ea, sa = unpack_finite fmt a and eb, sb = unpack_finite fmt b in
+  let sa = shl sa 3 and sb = shl sb 3 in
+  let exp, sa, sb =
+    if ea >= eb then (ea, sa, shift_right_jam sb (ea - eb))
+    else (eb, shift_right_jam sa (eb - ea), sb)
+  in
+  let sum = sa +% sb in
+  if sum >= shl 1L (fmt.frac_bits + 4) then
+    round_pack fmt flags rm ~sign ~exp:(exp + 1) ~sig_:(shift_right_jam sum 1)
+  else round_pack fmt flags rm ~sign ~exp ~sig_:sum
+
+let sub_mags fmt flags rm sign a b =
+  let ea, sa = unpack_finite fmt a and eb, sb = unpack_finite fmt b in
+  let sa = shl sa 3 and sb = shl sb 3 in
+  let exp, sa, sb, sign =
+    if ea > eb || (ea = eb && Bits.ucompare sa sb >= 0) then
+      (ea, sa, shift_right_jam sb (ea - eb), sign)
+    else (eb, sb, shift_right_jam sa (eb - ea), not sign)
+  in
+  let diff = sa -% sb in
+  if diff = 0L then
+    (* Exact cancellation: +0 except under round-toward-negative. *)
+    zero fmt (rm = Toward_neg)
+  else begin
+    let shift = Bits.clz ~width:64 diff - (63 - (fmt.frac_bits + 3)) in
+    round_pack fmt flags rm ~sign ~exp:(exp - shift) ~sig_:(shl diff shift)
+  end
+
+let add ?(style = Arm_nan) fmt flags rm a b =
+  let ca = classify fmt a and cb = classify fmt b in
+  match (ca, cb) with
+  | (Quiet_nan | Signaling_nan), _ | _, (Quiet_nan | Signaling_nan) ->
+    propagate_nan fmt flags a b
+  | Infinity, Infinity ->
+    if sign_of fmt a <> sign_of fmt b then begin
+      flags.invalid <- true;
+      default_nan fmt style
+    end
+    else a
+  | Infinity, _ -> a
+  | _, Infinity -> b
+  | Zero, Zero ->
+    if sign_of fmt a = sign_of fmt b then a else zero fmt (rm = Toward_neg)
+  | Zero, _ -> b
+  | _, Zero -> a
+  | (Normal | Subnormal), (Normal | Subnormal) ->
+    let sa = sign_of fmt a and sb = sign_of fmt b in
+    if sa = sb then add_mags fmt flags rm sa a b else sub_mags fmt flags rm sa a b
+
+let neg fmt x = Int64.logxor x (sign_bit fmt)
+let abs fmt x = x &% Int64.lognot (sign_bit fmt)
+let sub ?style fmt flags rm a b = add ?style fmt flags rm a (neg fmt b)
+
+(* --- multiplication ------------------------------------------------------ *)
+
+(* Full 64x64 -> 128 unsigned multiply via 32-bit halves. *)
+let mul64_wide a b =
+  let lo32 x = x &% 0xFFFFFFFFL and hi32 x = shr x 32 in
+  let al = lo32 a and ah = hi32 a and bl = lo32 b and bh = hi32 b in
+  let ll = Int64.mul al bl in
+  let lh = Int64.mul al bh in
+  let hl = Int64.mul ah bl in
+  let hh = Int64.mul ah bh in
+  let mid = hi32 ll +% lo32 lh +% lo32 hl in
+  let lo = lo32 ll |% shl (lo32 mid) 32 in
+  let hi = hh +% hi32 lh +% hi32 hl +% hi32 mid in
+  (hi, lo)
+
+let mul ?(style = Arm_nan) fmt flags rm a b =
+  let ca = classify fmt a and cb = classify fmt b in
+  let sign = sign_of fmt a <> sign_of fmt b in
+  match (ca, cb) with
+  | (Quiet_nan | Signaling_nan), _ | _, (Quiet_nan | Signaling_nan) ->
+    propagate_nan fmt flags a b
+  | Infinity, Zero | Zero, Infinity ->
+    flags.invalid <- true;
+    default_nan fmt style
+  | Infinity, _ | _, Infinity -> infinity fmt sign
+  | Zero, _ | _, Zero -> zero fmt sign
+  | (Normal | Subnormal), (Normal | Subnormal) ->
+    let ea, sa = unpack_finite fmt a and eb, sb = unpack_finite fmt b in
+    let exp = ea + eb - bias fmt in
+    (* Product of two (fb+1)-bit significands: integer bit at 2*fb or
+       2*fb+1. Bring the integer bit to fb+3. *)
+    let hi, lo = mul64_wide sa sb in
+    let drop = (2 * fmt.frac_bits) - (fmt.frac_bits + 3) in
+    let sig_ =
+      if drop >= 64 then shr hi (drop - 64) |% (if lo <> 0L then 1L else 0L)
+      else
+        shl hi (64 - drop)
+        |% shr lo drop
+        |% (if lo &% Bits.mask drop <> 0L then 1L else 0L)
+    in
+    if sig_ >= shl 1L (fmt.frac_bits + 4) then
+      round_pack fmt flags rm ~sign ~exp:(exp + 1) ~sig_:(shift_right_jam sig_ 1)
+    else round_pack fmt flags rm ~sign ~exp ~sig_
+
+(* --- division ------------------------------------------------------------ *)
+
+let div ?(style = Arm_nan) fmt flags rm a b =
+  let ca = classify fmt a and cb = classify fmt b in
+  let sign = sign_of fmt a <> sign_of fmt b in
+  match (ca, cb) with
+  | (Quiet_nan | Signaling_nan), _ | _, (Quiet_nan | Signaling_nan) ->
+    propagate_nan fmt flags a b
+  | Infinity, Infinity | Zero, Zero ->
+    flags.invalid <- true;
+    default_nan fmt style
+  | Infinity, _ -> infinity fmt sign
+  | _, Infinity -> zero fmt sign
+  | Zero, _ -> zero fmt sign
+  | _, Zero ->
+    flags.div_by_zero <- true;
+    infinity fmt sign
+  | (Normal | Subnormal), (Normal | Subnormal) ->
+    let ea, sa = unpack_finite fmt a and eb, sb = unpack_finite fmt b in
+    let exp = ref (ea - eb + bias fmt) in
+    let sa = ref sa in
+    (* Pre-normalize so the quotient's integer bit lands at fb+3 exactly. *)
+    if Bits.ucompare !sa sb < 0 then begin
+      sa := shl !sa 1;
+      decr exp
+    end;
+    (* Restoring division producing fb+4 quotient bits.  After the
+       pre-normalization, sa lies in [sb, 2*sb), so the leading quotient bit
+       is 1 and peeling it first restores the rem < sb loop invariant. *)
+    let q = ref 1L and rem = ref (!sa -% sb) in
+    for _ = 1 to fmt.frac_bits + 3 do
+      rem := shl !rem 1;
+      q := shl !q 1;
+      if Bits.ucompare !rem sb >= 0 then begin
+        rem := !rem -% sb;
+        q := !q |% 1L
+      end
+    done;
+    let sig_ = !q |% (if !rem <> 0L then 1L else 0L) in
+    round_pack fmt flags rm ~sign ~exp:!exp ~sig_
+
+(* --- square root ---------------------------------------------------------- *)
+
+(* Digit-by-digit square root of [radicand] = (hi, lo) interpreted as a
+   128-bit integer, producing [bits] result bits and an inexact flag. *)
+let isqrt128 (hi, lo) ~bits =
+  let root = ref 0L and rem = ref 0L in
+  let hi = ref hi and lo = ref lo in
+  for _ = 1 to bits do
+    (* Peel the top two bits of the radicand. *)
+    let top = shr !hi 62 in
+    hi := shl !hi 2 |% shr !lo 62;
+    lo := shl !lo 2;
+    rem := shl !rem 2 |% top;
+    let trial = shl !root 2 |% 1L in
+    if Bits.ucompare !rem trial >= 0 then begin
+      rem := !rem -% trial;
+      root := shl !root 1 |% 1L
+    end
+    else root := shl !root 1
+  done;
+  (!root, !rem <> 0L || !hi <> 0L || !lo <> 0L)
+
+(* [style] selects the sign of the NaN produced for negative inputs: ARM's
+   FSQRT returns the (positive) default NaN, x86's SQRTSD returns the
+   "indefinite" negative QNaN (paper Table 2). *)
+let sqrt ?(style = Arm_nan) fmt flags rm a =
+  match classify fmt a with
+  | Quiet_nan | Signaling_nan -> propagate_nan fmt flags a a
+  | Zero -> a
+  | Infinity ->
+    if sign_of fmt a then begin
+      flags.invalid <- true;
+      default_nan fmt style
+    end
+    else a
+  | Normal | Subnormal ->
+    if sign_of fmt a then begin
+      flags.invalid <- true;
+      default_nan fmt style
+    end
+    else begin
+      let e, s = unpack_finite fmt a in
+      let uexp = e - bias fmt in
+      let odd = uexp land 1 <> 0 in
+      let e2 = (uexp - (if odd then 1 else 0)) / 2 in
+      (* The root must have its integer bit at fb+3, i.e. lie in
+         [2^(fb+3), 2^(fb+4)): compute floor(sqrt(s << (fb+6+odd))), since
+         s in [2^fb, 2^(fb+1)).  isqrt128 consumes the top 2*root_bits bits,
+         so the radicand is placed so it occupies exactly that window. *)
+      let root_bits = fmt.frac_bits + 4 in
+      let shift = 128 - (2 * root_bits) + fmt.frac_bits + 6 + (if odd then 1 else 0) in
+      let hi, lo =
+        if shift >= 64 then (shl s (shift - 64), 0L) else (shr s (64 - shift), shl s shift)
+      in
+      let root, inexact = isqrt128 (hi, lo) ~bits:root_bits in
+      let sig_ = root |% (if inexact then 1L else 0L) in
+      round_pack fmt flags rm ~sign:false ~exp:(e2 + bias fmt) ~sig_
+    end
+
+(* --- comparison ----------------------------------------------------------- *)
+
+type cmp = Cmp_lt | Cmp_eq | Cmp_gt | Cmp_unordered
+
+let compare_ ?(signal_qnan = false) fmt flags a b =
+  if is_nan fmt a || is_nan fmt b then begin
+    if is_snan fmt a || is_snan fmt b || signal_qnan then flags.invalid <- true;
+    Cmp_unordered
+  end
+  else if is_zero fmt a && is_zero fmt b then Cmp_eq
+  else begin
+    let sa = sign_of fmt a and sb = sign_of fmt b in
+    if sa <> sb then if sa then Cmp_lt else Cmp_gt
+    else
+      let c = Bits.ucompare (abs fmt a) (abs fmt b) in
+      let c = if sa then -c else c in
+      if c < 0 then Cmp_lt else if c > 0 then Cmp_gt else Cmp_eq
+  end
+
+let eq fmt flags a b = compare_ fmt flags a b = Cmp_eq
+let lt fmt flags a b = compare_ ~signal_qnan:true fmt flags a b = Cmp_lt
+let le fmt flags a b =
+  match compare_ ~signal_qnan:true fmt flags a b with
+  | Cmp_lt | Cmp_eq -> true
+  | Cmp_gt | Cmp_unordered -> false
+
+(* --- conversions ---------------------------------------------------------- *)
+
+let of_int64 fmt flags rm v =
+  if v = 0L then zero fmt false
+  else begin
+    let sign = v < 0L in
+    let mag = if sign then Int64.neg v else v in
+    (* Position the MSB at fb+3, keeping sticky for bits shifted out. *)
+    let msb = 63 - Bits.clz mag in
+    let target = fmt.frac_bits + 3 in
+    let sig_ =
+      if msb <= target then shl mag (target - msb) else shift_right_jam mag (msb - target)
+    in
+    round_pack fmt flags rm ~sign ~exp:(msb + bias fmt) ~sig_
+  end
+
+let of_uint64 fmt flags rm v =
+  if v = 0L then zero fmt false
+  else begin
+    let msb = 63 - Bits.clz v in
+    let target = fmt.frac_bits + 3 in
+    let sig_ =
+      if msb <= target then shl v (target - msb) else shift_right_jam v (msb - target)
+    in
+    round_pack fmt flags rm ~sign:false ~exp:(msb + bias fmt) ~sig_
+  end
+
+(* Convert to signed int64 with the given rounding; saturates and raises
+   invalid on overflow/NaN, as AArch64 FCVT does. *)
+let to_int64 fmt flags rm a =
+  match classify fmt a with
+  | Quiet_nan | Signaling_nan ->
+    flags.invalid <- true;
+    0L
+  | Zero -> 0L
+  | Infinity ->
+    flags.invalid <- true;
+    if sign_of fmt a then Int64.min_int else Int64.max_int
+  | Normal | Subnormal ->
+    let sign = sign_of fmt a in
+    let e, s = unpack_finite fmt a in
+    let uexp = e - bias fmt in
+    if uexp > 62 then begin
+      (* Magnitude 2^63 is representable only for the most negative value. *)
+      if sign && uexp = 63 && s = implicit_bit fmt then Int64.min_int
+      else begin
+        flags.invalid <- true;
+        if sign then Int64.min_int else Int64.max_int
+      end
+    end
+    else begin
+      let shift = uexp - fmt.frac_bits in
+      let mag, lost =
+        if shift >= 0 then (shl s shift, false)
+        else
+          let dropped = s &% Bits.mask (-shift) in
+          (shr s (-shift), dropped <> 0L)
+      in
+      let frac_bits_lost =
+        if shift >= 0 then 0L
+        else if -shift > 63 then s
+        else s &% Bits.mask (-shift)
+      in
+      let mag =
+        match rm with
+        | Toward_zero -> mag
+        | Nearest_even | Nearest_away ->
+          if shift >= 0 then mag
+          else begin
+            let half = shl 1L (-shift - 1) in
+            let r = Bits.ucompare frac_bits_lost half in
+            if r > 0 then mag +% 1L
+            else if r = 0 then
+              if rm = Nearest_away then mag +% 1L
+              else mag +% (mag &% 1L)
+            else mag
+          end
+        | Toward_pos -> if (not sign) && lost then mag +% 1L else mag
+        | Toward_neg -> if sign && lost then mag +% 1L else mag
+      in
+      if lost then flags.inexact <- true;
+      if sign then Int64.neg mag else mag
+    end
+
+(* Convert to unsigned int64 (truncating), saturating as AArch64 FCVTZU. *)
+let to_uint64 fmt flags a =
+  match classify fmt a with
+  | Quiet_nan | Signaling_nan ->
+    flags.invalid <- true;
+    0L
+  | Zero -> 0L
+  | Infinity ->
+    flags.invalid <- true;
+    if sign_of fmt a then 0L else -1L
+  | Normal | Subnormal ->
+    if sign_of fmt a then begin
+      (* Negative values truncate toward zero; anything <= -1 saturates. *)
+      let e, _ = unpack_finite fmt a in
+      if e - bias fmt >= 0 then begin
+        flags.invalid <- true;
+        0L
+      end
+      else begin
+        flags.inexact <- true;
+        0L
+      end
+    end
+    else begin
+      let e, s = unpack_finite fmt a in
+      let uexp = e - bias fmt in
+      if uexp > 63 then begin
+        flags.invalid <- true;
+        -1L
+      end
+      else begin
+        let shift = uexp - fmt.frac_bits in
+        if shift >= 0 then shl s shift
+        else begin
+          if s &% Bits.mask (-shift) <> 0L then flags.inexact <- true;
+          shr s (-shift)
+        end
+      end
+    end
+
+(* Format-to-format conversion (e.g. f32 <-> f64). *)
+let convert ~from ~to_ flags rm a =
+  match classify from a with
+  | Quiet_nan | Signaling_nan ->
+    if is_snan from a then flags.invalid <- true;
+    let payload_shift = from.frac_bits - to_.frac_bits in
+    let frac =
+      if payload_shift >= 0 then shr (frac_of from a) payload_shift
+      else shl (frac_of from a) (-payload_shift)
+    in
+    pack to_ ~sign:(sign_of from a) ~exp:(exp_max to_) ~frac:(frac |% quiet_bit to_)
+  | Infinity -> infinity to_ (sign_of from a)
+  | Zero -> zero to_ (sign_of from a)
+  | Normal | Subnormal ->
+    let e, s = unpack_finite from a in
+    let uexp = e - bias from in
+    let target = to_.frac_bits + 3 in
+    let src = from.frac_bits in
+    let sig_ =
+      if target >= src then shl s (target - src) else shift_right_jam s (src - target)
+    in
+    round_pack to_ flags rm ~sign:(sign_of from a) ~exp:(uexp + bias to_) ~sig_
+
+(* Min/max with ARM semantics: NaN propagates (quietened); -0 < +0. *)
+let min_ fmt flags a b =
+  if is_nan fmt a || is_nan fmt b then propagate_nan fmt flags a b
+  else
+    match compare_ fmt flags a b with
+    | Cmp_lt -> a
+    | Cmp_gt -> b
+    | Cmp_eq -> if sign_of fmt a then a else b (* -0 is the minimum of (+0,-0) *)
+    | Cmp_unordered -> propagate_nan fmt flags a b
+
+let max_ fmt flags a b =
+  if is_nan fmt a || is_nan fmt b then propagate_nan fmt flags a b
+  else
+    match compare_ fmt flags a b with
+    | Cmp_gt -> a
+    | Cmp_lt -> b
+    | Cmp_eq -> if sign_of fmt a then b else a
+    | Cmp_unordered -> propagate_nan fmt flags a b

@@ -1,0 +1,34 @@
+(* Shared types for the software floating-point implementation. *)
+
+type rounding =
+  | Nearest_even
+  | Toward_zero
+  | Toward_pos
+  | Toward_neg
+  | Nearest_away
+
+(* IEEE-754 exception flags, accumulated across operations like a real FPU
+   status register. *)
+type flags = {
+  mutable invalid : bool;
+  mutable div_by_zero : bool;
+  mutable overflow : bool;
+  mutable underflow : bool;
+  mutable inexact : bool;
+}
+
+let new_flags () =
+  { invalid = false; div_by_zero = false; overflow = false; underflow = false; inexact = false }
+
+let clear_flags f =
+  f.invalid <- false;
+  f.div_by_zero <- false;
+  f.overflow <- false;
+  f.underflow <- false;
+  f.inexact <- false
+
+type fclass = Zero | Subnormal | Normal | Infinity | Quiet_nan | Signaling_nan
+
+(* NaN conventions differ between hosts; this selects the default NaN and the
+   sign convention used for invalid operations (Table 2 of the paper). *)
+type nan_style = Arm_nan | X86_nan

@@ -1,0 +1,1 @@
+lib/ssa/analysis.ml: Adl Buffer Hashtbl Ir List Printf

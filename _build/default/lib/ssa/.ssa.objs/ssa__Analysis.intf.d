@@ -1,0 +1,1 @@
+lib/ssa/analysis.mli: Hashtbl Ir

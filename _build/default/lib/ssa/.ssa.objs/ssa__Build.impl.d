@@ -1,0 +1,1 @@
+lib/ssa/build.ml: Adl Int64 Ir List Printf

@@ -1,0 +1,1 @@
+lib/ssa/build.mli: Adl Ir

@@ -1,0 +1,1 @@
+lib/ssa/emitter.ml: Adl

@@ -1,0 +1,1 @@
+lib/ssa/gen.ml: Adl Emitter Hashtbl Int64 Ir List Option

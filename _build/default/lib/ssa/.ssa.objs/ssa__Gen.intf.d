@@ -1,0 +1,1 @@
+lib/ssa/gen.mli: Emitter Ir

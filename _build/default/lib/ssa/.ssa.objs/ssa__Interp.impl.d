@@ -1,0 +1,1 @@
+lib/ssa/interp.ml: Adl Hashtbl Int64 Ir List Option Printf

@@ -1,0 +1,1 @@
+lib/ssa/ir.ml: Adl Buffer Hashtbl List Printf String

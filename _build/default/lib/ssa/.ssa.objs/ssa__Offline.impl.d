@@ -1,0 +1,1 @@
+lib/ssa/offline.ml: Adl Build Hashtbl Ir List Opt Printf

@@ -1,0 +1,1 @@
+lib/ssa/offline.mli: Adl Hashtbl Ir Opt

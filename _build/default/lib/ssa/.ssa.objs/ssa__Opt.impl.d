@@ -1,0 +1,1 @@
+lib/ssa/opt.ml: Adl Array Dbt_util Hashtbl Int64 Ir List Option

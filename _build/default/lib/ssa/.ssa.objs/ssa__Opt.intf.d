@@ -1,0 +1,1 @@
+lib/ssa/opt.mli: Ir

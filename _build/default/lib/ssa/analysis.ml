@@ -1,0 +1,126 @@
+(* Static fixed/dynamic classification of SSA statements - the paper's
+   Sec. 2.2.2 meta-information: "Fixed operations are evaluated at
+   instruction translation time, whereas dynamic operations must be
+   executed at instruction run-time."
+
+   This is the static (per-action) approximation: instruction-field reads
+   and constants are fixed, guest-state accesses are dynamic, pure
+   computation inherits the join of its operands, and a variable is fixed
+   only if every write to it stores a fixed value.  The online generator
+   (Gen) refines this operationally per decoded instance; this analysis is
+   for reporting, offline statistics, and the `captive_run ssa` tool. *)
+
+type fixedness = Fixed | Dynamic
+
+let join a b = match (a, b) with Fixed, Fixed -> Fixed | _ -> Dynamic
+
+type result = {
+  of_stmt : (Ir.id, fixedness) Hashtbl.t;
+  of_var : (int, fixedness) Hashtbl.t;
+  (* A terminator is fixed when its condition is fixed: the generator
+     resolves it at translation time. *)
+  fixed_branches : int;
+  dynamic_branches : int;
+}
+
+let classify (action : Ir.action) : result =
+  let of_stmt = Hashtbl.create 64 in
+  let of_var = Hashtbl.create 8 in
+  let var_fixedness v = try Hashtbl.find of_var v with Not_found -> Fixed in
+  let stmt_fixedness id = try Hashtbl.find of_stmt id with Not_found -> Fixed in
+  let classify_desc desc =
+    let operands_join ids = List.fold_left (fun acc x -> join acc (stmt_fixedness x)) Fixed ids in
+    match desc with
+    | Ir.Const _ | Ir.Struct _ -> Fixed
+    | Ir.Binary _ | Ir.Unary _ | Ir.Normalize _ | Ir.Select _ -> operands_join (Ir.operands desc)
+    | Ir.Var_read v -> var_fixedness v
+    | Ir.Intrinsic (name, args) -> (
+      match Adl.Builtins.find name with
+      | Some { Adl.Builtins.bi_kind = Adl.Builtins.Pure; _ } -> operands_join args
+      | _ -> Dynamic)
+    | Ir.Bank_read _ | Ir.Reg_read _ | Ir.Mem_read _ | Ir.Pc_read | Ir.Coproc_read _ | Ir.Phi _ ->
+      Dynamic
+    | Ir.Bank_write _ | Ir.Reg_write _ | Ir.Var_write _ | Ir.Mem_write _ | Ir.Pc_write _
+    | Ir.Coproc_write _ | Ir.Effect _ ->
+      Dynamic
+  in
+  (* Iterate to a fixed point: variable fixedness feeds statement
+     fixedness and vice versa; both only ever move Fixed -> Dynamic. *)
+  let stable = ref false in
+  while not !stable do
+    stable := true;
+    List.iter
+      (fun b ->
+        List.iter
+          (fun i ->
+            let f = classify_desc i.Ir.desc in
+            if stmt_fixedness i.Ir.id <> f && Ir.produces_value i.Ir.desc then begin
+              Hashtbl.replace of_stmt i.Ir.id f;
+              stable := false
+            end;
+            match i.Ir.desc with
+            | Ir.Var_write (v, x) ->
+              let f = join (var_fixedness v) (stmt_fixedness x) in
+              if var_fixedness v <> f then begin
+                Hashtbl.replace of_var v f;
+                stable := false
+              end
+            | _ -> ())
+          b.Ir.insts)
+      action.Ir.blocks
+  done;
+  let fixed_branches = ref 0 and dynamic_branches = ref 0 in
+  List.iter
+    (fun b ->
+      match b.Ir.term with
+      | Ir.Branch (c, _, _) ->
+        if stmt_fixedness c = Fixed then incr fixed_branches else incr dynamic_branches
+      | Ir.Jump _ | Ir.Ret -> ())
+    action.Ir.blocks;
+  { of_stmt; of_var; fixed_branches = !fixed_branches; dynamic_branches = !dynamic_branches }
+
+(* Counts for reporting. *)
+let stats (action : Ir.action) =
+  let r = classify action in
+  let fixed = ref 0 and dyn = ref 0 in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun i ->
+          if Ir.produces_value i.Ir.desc then
+            if (try Hashtbl.find r.of_stmt i.Ir.id with Not_found -> Fixed) = Fixed then incr fixed
+            else incr dyn
+          else incr dyn)
+        b.Ir.insts)
+    action.Ir.blocks;
+  (!fixed, !dyn, r.fixed_branches, r.dynamic_branches)
+
+(* Annotated printing: like Ir.to_string, with an f/d tag per statement. *)
+let to_string_annotated (action : Ir.action) =
+  let r = classify action in
+  let tag id =
+    match Hashtbl.find_opt r.of_stmt id with
+    | Some Dynamic -> "d"
+    | _ -> "f"
+  in
+  let buf = Buffer.create 256 in
+  Printf.ksprintf (Buffer.add_string buf) "action void %s {\n" action.Ir.name;
+  List.iter
+    (fun b ->
+      Printf.ksprintf (Buffer.add_string buf) "  block b_%d {\n" b.Ir.bid;
+      List.iter
+        (fun i ->
+          let marker = if Ir.produces_value i.Ir.desc then tag i.Ir.id else "d" in
+          Printf.ksprintf (Buffer.add_string buf) "    [%s] s_%d %s %s\n" marker i.Ir.id
+            (if Ir.produces_value i.Ir.desc then "=" else ":")
+            (Ir.string_of_desc action i.Ir.desc))
+        b.Ir.insts;
+      (match b.Ir.term with
+      | Ir.Jump t -> Printf.ksprintf (Buffer.add_string buf) "    jump b_%d\n" t
+      | Ir.Branch (c, t, f) ->
+        Printf.ksprintf (Buffer.add_string buf) "    [%s] branch s_%d b_%d b_%d\n" (tag c) c t f
+      | Ir.Ret -> Buffer.add_string buf "    return\n");
+      Buffer.add_string buf "  }\n")
+    action.Ir.blocks;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

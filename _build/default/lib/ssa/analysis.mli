@@ -1,0 +1,27 @@
+(** Static fixed/dynamic classification of SSA statements — the paper's
+    Sec. 2.2.2 meta-information: fixed operations are evaluated at
+    instruction translation time, dynamic operations execute at guest
+    run-time.
+
+    This is the per-action static approximation used for reporting and
+    offline statistics; the generator ({!Gen}) refines it operationally
+    per decoded instruction instance. *)
+
+type fixedness = Fixed | Dynamic
+
+val join : fixedness -> fixedness -> fixedness
+
+type result = {
+  of_stmt : (Ir.id, fixedness) Hashtbl.t;
+  of_var : (int, fixedness) Hashtbl.t;
+  fixed_branches : int;  (** resolved at translation time *)
+  dynamic_branches : int;  (** materialized as runtime control flow *)
+}
+
+val classify : Ir.action -> result
+
+(** [(fixed_stmts, dynamic_stmts, fixed_branches, dynamic_branches)]. *)
+val stats : Ir.action -> int * int * int * int
+
+(** Fig. 4-style listing with an [f]/[d] tag per statement. *)
+val to_string_annotated : Ir.action -> string

@@ -1,0 +1,286 @@
+(* Lowering of type-checked ADL behaviours into domain-specific SSA.
+
+   Helper calls are inlined here (the paper's "Inlining" pass, active at all
+   optimization levels); local variables become numbered variable slots
+   accessed with Var_read/Var_write, to be cleaned up by later passes. *)
+
+open Adl.Ast
+module Ir = Ir
+module Builtins = Adl.Builtins
+
+type ctx = {
+  arch : arch;
+  action : Ir.action;
+  mutable cur : Ir.block;
+  mutable terminated : bool;
+  mutable vars : (string * int) list; (* lexical scope: name -> var id *)
+  (* Inlining context: where `return` should go in the helper being inlined. *)
+  ret_target : (int option * Ir.block) option; (* (result var, continuation) *)
+  depth : int;
+}
+
+let new_block ctx =
+  let bid = List.length ctx.action.Ir.blocks in
+  let b = { Ir.bid; insts = []; term = Ir.Ret } in
+  ctx.action.Ir.blocks <- ctx.action.Ir.blocks @ [ b ];
+  b
+
+let emit ctx desc =
+  let id = Ir.fresh_id ctx.action in
+  if not ctx.terminated then ctx.cur.Ir.insts <- ctx.cur.Ir.insts @ [ { Ir.id; desc } ];
+  id
+
+let terminate ctx term =
+  if not ctx.terminated then begin
+    ctx.cur.Ir.term <- term;
+    ctx.terminated <- true
+  end
+
+let switch_to ctx block =
+  ctx.cur <- block;
+  ctx.terminated <- false
+
+let lookup_var ctx name =
+  match List.assoc_opt name ctx.vars with
+  | Some v -> v
+  | None -> error "internal: unbound variable %S after type checking" name
+
+let const_of_expr e =
+  match e.e with Int_lit v -> Some v | _ -> None
+
+let mem_width name =
+  match name with
+  | "mem_read_8" | "mem_write_8" -> 8
+  | "mem_read_16" | "mem_write_16" -> 16
+  | "mem_read_32" | "mem_write_32" -> 32
+  | "mem_read_64" | "mem_write_64" -> 64
+  | _ -> invalid_arg "mem_width"
+
+let rec build_expr ctx (e : expr) : Ir.id =
+  match e.e with
+  | Int_lit v -> emit ctx (Ir.Const v)
+  | Float_lit _ -> error ~pos:e.pos "float literal survived type checking"
+  | Var name -> emit ctx (Ir.Var_read (lookup_var ctx name))
+  | Field f -> emit ctx (Ir.Struct f)
+  | Binop (op, a, b) ->
+    let signed = match a.ty with Tint i -> i.signed | _ -> false in
+    let va = build_expr ctx a in
+    let vb = build_expr ctx b in
+    emit ctx (Ir.Binary (op, signed, va, vb))
+  | Unop (op, a) ->
+    let va = build_expr ctx a in
+    emit ctx (Ir.Unary (op, va))
+  | Cast (Tint { bits = 64; _ }, a) -> build_expr ctx a
+  | Cast (Tint { bits; signed }, a) ->
+    let va = build_expr ctx a in
+    emit ctx (Ir.Normalize (bits, signed, va))
+  | Cast ((Tfloat _ | Tvoid), _) -> error ~pos:e.pos "bad cast target"
+  | Ternary (c, t, f) ->
+    let vc = build_expr ctx c in
+    let vt = build_expr ctx t in
+    let vf = build_expr ctx f in
+    emit ctx (Ir.Select (vc, vt, vf))
+  | Call (name, args) -> build_call ctx e.pos name args
+
+and build_call ctx pos name args =
+  match Builtins.find name with
+  | Some sg -> build_builtin ctx pos sg name args
+  | None -> (
+    match find_helper ctx.arch name with
+    | Some h -> inline_helper ctx pos h args
+    | None -> error ~pos "unknown function %S" name)
+
+and build_builtin ctx pos sg name args =
+  let fixed_arg i =
+    match const_of_expr (List.nth args i) with
+    | Some v -> Int64.to_int v
+    | None -> error ~pos "argument %d of %S must be a literal" i name
+  in
+  match name with
+  | "read_register_bank" ->
+    let bank = fixed_arg 0 in
+    let idx = build_expr ctx (List.nth args 1) in
+    emit ctx (Ir.Bank_read (bank, idx))
+  | "write_register_bank" ->
+    let bank = fixed_arg 0 in
+    let idx = build_expr ctx (List.nth args 1) in
+    let v = build_expr ctx (List.nth args 2) in
+    emit ctx (Ir.Bank_write (bank, idx, v))
+  | "read_register" -> emit ctx (Ir.Reg_read (fixed_arg 0))
+  | "write_register" ->
+    let slot = fixed_arg 0 in
+    let v = build_expr ctx (List.nth args 1) in
+    emit ctx (Ir.Reg_write (slot, v))
+  | "read_pc" -> emit ctx Ir.Pc_read
+  | "write_pc" ->
+    let v = build_expr ctx (List.hd args) in
+    emit ctx (Ir.Pc_write v)
+  | "read_coproc" ->
+    let i = build_expr ctx (List.hd args) in
+    emit ctx (Ir.Coproc_read i)
+  | "write_coproc" ->
+    let i = build_expr ctx (List.nth args 0) in
+    let v = build_expr ctx (List.nth args 1) in
+    emit ctx (Ir.Coproc_write (i, v))
+  | "mem_read_8" | "mem_read_16" | "mem_read_32" | "mem_read_64" ->
+    let a = build_expr ctx (List.hd args) in
+    emit ctx (Ir.Mem_read (mem_width name, a))
+  | "mem_write_8" | "mem_write_16" | "mem_write_32" | "mem_write_64" ->
+    let a = build_expr ctx (List.nth args 0) in
+    let v = build_expr ctx (List.nth args 1) in
+    emit ctx (Ir.Mem_write (mem_width name, a, v))
+  | "select" ->
+    let c = build_expr ctx (List.nth args 0) in
+    let t = build_expr ctx (List.nth args 1) in
+    let f = build_expr ctx (List.nth args 2) in
+    emit ctx (Ir.Select (c, t, f))
+  | "sign_extend" when const_of_expr (List.nth args 1) <> None ->
+    (* A literal width makes this a plain normalization, which every
+       backend lowers natively. *)
+    let bits = fixed_arg 1 in
+    let v = build_expr ctx (List.hd args) in
+    if bits >= 64 then v else emit ctx (Ir.Normalize (bits, true, v))
+  | _ -> (
+    let vals = List.map (build_expr ctx) args in
+    match sg.Builtins.bi_kind with
+    | Builtins.Pure | Builtins.Read | Builtins.Volatile -> emit ctx (Ir.Intrinsic (name, vals))
+    | Builtins.Effect -> emit ctx (Ir.Effect (name, vals)))
+
+and inline_helper ctx pos h args =
+  if ctx.depth > 32 then error ~pos "helper inlining too deep (recursive helper %S?)" h.h_name;
+  (* Bind arguments to fresh variable slots. *)
+  let params =
+    List.map2
+      (fun (_, pname) arg ->
+        let v = Ir.fresh_var ctx.action (Printf.sprintf "%s_%s" h.h_name pname) in
+        let value = build_expr ctx arg in
+        ignore (emit ctx (Ir.Var_write (v, value)));
+        (pname, v))
+      h.h_params args
+  in
+  let ret_var =
+    if h.h_ret = Tvoid then None else Some (Ir.fresh_var ctx.action (h.h_name ^ "_ret"))
+  in
+  let cont = new_block ctx in
+  let hctx =
+    { ctx with vars = params; ret_target = Some (ret_var, cont); depth = ctx.depth + 1 }
+  in
+  (* Keep the current-block cursor shared by rebuilding a context record:
+     ctx is immutable in its mutable fields?  No - fields are mutable but the
+     record copy gives hctx its own cursor; we must thread it manually. *)
+  hctx.cur <- ctx.cur;
+  hctx.terminated <- ctx.terminated;
+  build_stmts hctx h.h_body;
+  (* Fall off the end of the helper: jump to the continuation. *)
+  terminate hctx (Ir.Jump cont.Ir.bid);
+  switch_to ctx cont;
+  match ret_var with
+  | Some v -> emit ctx (Ir.Var_read v)
+  | None -> emit ctx (Ir.Const 0L) (* void result, never used *)
+
+and build_stmt ctx (s : stmt) =
+  match s with
+  | Decl (_, name, init) ->
+    let v = Ir.fresh_var ctx.action name in
+    ctx.vars <- (name, v) :: ctx.vars;
+    (match init with
+    | Some e ->
+      let value = build_expr ctx e in
+      ignore (emit ctx (Ir.Var_write (v, value)))
+    | None -> ())
+  | Assign (name, e) ->
+    let v = lookup_var ctx name in
+    let value = build_expr ctx e in
+    ignore (emit ctx (Ir.Var_write (v, value)))
+  | Expr e -> ignore (build_expr ctx e)
+  | If (c, t, []) ->
+    let vc = build_expr ctx c in
+    let then_b = new_block ctx in
+    let join = new_block ctx in
+    terminate ctx (Ir.Branch (vc, then_b.Ir.bid, join.Ir.bid));
+    switch_to ctx then_b;
+    build_scoped ctx t;
+    terminate ctx (Ir.Jump join.Ir.bid);
+    switch_to ctx join
+  | If (c, t, f) ->
+    let vc = build_expr ctx c in
+    let then_b = new_block ctx in
+    let else_b = new_block ctx in
+    let join = new_block ctx in
+    terminate ctx (Ir.Branch (vc, then_b.Ir.bid, else_b.Ir.bid));
+    switch_to ctx then_b;
+    build_scoped ctx t;
+    terminate ctx (Ir.Jump join.Ir.bid);
+    switch_to ctx else_b;
+    build_scoped ctx f;
+    terminate ctx (Ir.Jump join.Ir.bid);
+    switch_to ctx join
+  | While (c, body) ->
+    let cond_b = new_block ctx in
+    terminate ctx (Ir.Jump cond_b.Ir.bid);
+    switch_to ctx cond_b;
+    let vc = build_expr ctx c in
+    let body_b = new_block ctx in
+    let join = new_block ctx in
+    terminate ctx (Ir.Branch (vc, body_b.Ir.bid, join.Ir.bid));
+    switch_to ctx body_b;
+    build_scoped ctx body;
+    terminate ctx (Ir.Jump cond_b.Ir.bid);
+    switch_to ctx join
+  | Return e -> (
+    match ctx.ret_target with
+    | None ->
+      (* Top level of an execute action. *)
+      (match e with Some _ -> error "execute actions return no value" | None -> ());
+      terminate ctx Ir.Ret
+    | Some (ret_var, cont) ->
+      (match (ret_var, e) with
+      | Some v, Some e ->
+        let value = build_expr ctx e in
+        ignore (emit ctx (Ir.Var_write (v, value)))
+      | None, None -> ()
+      | Some _, None -> error "missing return value in helper"
+      | None, Some _ -> error "returning a value from a void helper");
+      terminate ctx (Ir.Jump cont.Ir.bid))
+  | Block body -> build_scoped ctx body
+
+(* Build a statement list in its own lexical scope. *)
+and build_scoped ctx stmts =
+  let saved = ctx.vars in
+  build_stmts ctx stmts;
+  ctx.vars <- saved
+
+and build_stmts ctx stmts =
+  List.iter
+    (fun s ->
+      if ctx.terminated then begin
+        (* Unreachable source code after a return: park it in a dead block
+           that unreachable-block elimination removes. *)
+        let dead = new_block ctx in
+        switch_to ctx dead;
+        ctx.terminated <- false;
+        build_stmt ctx s
+      end
+      else build_stmt ctx s)
+    stmts
+
+(* Build the SSA action for one execute behaviour. *)
+let execute (arch : arch) (x : execute) : Ir.action =
+  let action = Ir.create_action x.x_name in
+  let ctx =
+    {
+      arch;
+      action;
+      cur = { Ir.bid = 0; insts = []; term = Ir.Ret };
+      terminated = false;
+      vars = [];
+      ret_target = None;
+      depth = 0;
+    }
+  in
+  let entry = new_block ctx in
+  assert (entry.Ir.bid = 0);
+  ctx.cur <- entry;
+  build_stmts ctx x.x_body;
+  terminate ctx Ir.Ret;
+  action

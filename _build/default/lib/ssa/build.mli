@@ -1,0 +1,11 @@
+(** Lowering of type-checked ADL behaviours into domain-specific SSA
+    (paper Fig. 3 -> Fig. 4).
+
+    Helper calls are inlined here (the paper's "Inlining" pass, active at
+    every optimization level); behaviour-language locals become numbered
+    variable slots accessed with [Var_read]/[Var_write], to be promoted by
+    the later passes. *)
+
+(** Build the (unoptimized) SSA action for one execute behaviour.
+    @raise Adl.Ast.Adl_error on malformed input (e.g. recursive helpers). *)
+val execute : Adl.Ast.arch -> Adl.Ast.execute -> Ir.action

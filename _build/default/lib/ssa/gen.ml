@@ -1,0 +1,262 @@
+(* Generator functions: translation-time partial evaluation of the
+   optimized SSA (paper Sec. 2.2.3 and Fig. 7).
+
+   Fixed operations (constants, instruction-field reads, and anything
+   computed from them) are evaluated *now*, at JIT translation time; dynamic
+   operations (register/memory accesses and computation over them) are
+   emitted through the backend Emitter.
+
+   Two strategies are used per instruction instance:
+   - if all control flow inside the instruction is fixed (the common case),
+     a single pass partially evaluates the behaviour along the one concrete
+     path, unrolling fixed loops;
+   - otherwise (e.g. conditional branches testing guest flags) the whole
+     CFG is materialized into backend blocks, with temporaries carrying
+     values across block boundaries.  Fixed *values* are still folded.
+
+   The choice is made by a dry run against a null emitter, which raises
+   [Emitter.Dynamic_control_flow] on the first dynamic branch. *)
+
+module Builtins = Adl.Builtins
+module Eval = Adl.Eval
+
+type 'v value = Fixed of int64 | Dyn of 'v
+
+let materialize (em : 'v Emitter.t) = function Fixed c -> em.Emitter.const c | Dyn v -> v
+
+exception Unsupported of string
+
+(* Evaluate one SSA statement given accessors for values and variables. *)
+let eval_inst (em : 'v Emitter.t) ~field ~get ~set ~getvar ~setvar (i : Ir.inst) =
+  let open Emitter in
+  let mat v = materialize em v in
+  match i.Ir.desc with
+  | Ir.Const c -> set i.Ir.id (Fixed c)
+  | Ir.Struct f -> set i.Ir.id (Fixed (field f))
+  | Ir.Binary (op, signed, a, b) -> (
+    match (get a, get b) with
+    | Fixed x, Fixed y -> set i.Ir.id (Fixed (Eval.binop op ~signed x y))
+    | va, vb -> set i.Ir.id (Dyn (em.binary op ~signed (mat va) (mat vb))))
+  | Ir.Unary (op, a) -> (
+    match get a with
+    | Fixed x -> set i.Ir.id (Fixed (Eval.unop op x))
+    | Dyn v -> set i.Ir.id (Dyn (em.unary op v)))
+  | Ir.Normalize (bits, signed, a) -> (
+    match get a with
+    | Fixed x -> set i.Ir.id (Fixed (Eval.normalize (Adl.Ast.Tint { bits; signed }) x))
+    | Dyn v -> set i.Ir.id (Dyn (em.normalize ~bits ~signed v)))
+  | Ir.Select (c, t, f) -> (
+    match get c with
+    | Fixed x -> set i.Ir.id (get (if x <> 0L then t else f))
+    | Dyn vc -> set i.Ir.id (Dyn (em.select vc (mat (get t)) (mat (get f)))))
+  | Ir.Intrinsic (name, args) -> (
+    let vals = List.map get args in
+    let all_fixed = List.for_all (function Fixed _ -> true | Dyn _ -> false) vals in
+    let pure =
+      match Builtins.find name with
+      | Some { bi_kind = Builtins.Pure; _ } -> true
+      | _ -> false
+    in
+    let folded =
+      if pure && all_fixed then
+        Eval.builtin name (List.map (function Fixed c -> c | Dyn _ -> assert false) vals)
+      else None
+    in
+    match folded with
+    | Some v -> set i.Ir.id (Fixed v)
+    | None -> set i.Ir.id (Dyn (em.intrinsic name (List.map mat vals))))
+  | Ir.Bank_read (bank, idx) -> (
+    match get idx with
+    | Fixed ix -> set i.Ir.id (Dyn (em.load_bankreg ~bank ~index:(Int64.to_int ix)))
+    | Dyn _ -> raise (Unsupported "dynamic register-bank index"))
+  | Ir.Bank_write (bank, idx, v) -> (
+    match get idx with
+    | Fixed ix -> em.store_bankreg ~bank ~index:(Int64.to_int ix) (mat (get v))
+    | Dyn _ -> raise (Unsupported "dynamic register-bank index"))
+  | Ir.Reg_read slot -> set i.Ir.id (Dyn (em.load_reg ~slot))
+  | Ir.Reg_write (slot, v) -> em.store_reg ~slot (mat (get v))
+  | Ir.Var_read v -> set i.Ir.id (getvar v)
+  | Ir.Var_write (v, x) -> setvar v (get x)
+  | Ir.Mem_read (bits, a) -> set i.Ir.id (Dyn (em.mem_read ~bits (mat (get a))))
+  | Ir.Mem_write (bits, a, v) -> em.mem_write ~bits ~addr:(mat (get a)) ~value:(mat (get v))
+  | Ir.Pc_read -> set i.Ir.id (Dyn (em.load_pc ()))
+  | Ir.Pc_write v -> em.store_pc (mat (get v))
+  | Ir.Coproc_read idx -> set i.Ir.id (Dyn (em.coproc_read (mat (get idx))))
+  | Ir.Coproc_write (idx, v) -> em.coproc_write (mat (get idx)) (mat (get v))
+  | Ir.Effect (name, args) -> em.effect name (List.map (fun a -> mat (get a)) args)
+  | Ir.Phi _ -> raise (Unsupported "phi node reached the generator")
+
+(* --- strategy 1: fully fixed control flow ---------------------------------- *)
+
+let run_fixed (em : 'v Emitter.t) (action : Ir.action) ~field =
+  let env : (Ir.id, 'v value) Hashtbl.t = Hashtbl.create 64 in
+  let vars : (int, 'v value) Hashtbl.t = Hashtbl.create 8 in
+  let get id = try Hashtbl.find env id with Not_found -> Fixed 0L in
+  let set id v = Hashtbl.replace env id v in
+  let getvar v = try Hashtbl.find vars v with Not_found -> Fixed 0L in
+  let setvar v x = Hashtbl.replace vars v x in
+  let fuel = ref 100_000 in
+  let cur = ref (Some (Ir.entry_block action)) in
+  while !cur <> None do
+    let b = Option.get !cur in
+    decr fuel;
+    if !fuel <= 0 then raise (Unsupported "fixed loop did not terminate during unrolling");
+    List.iter (eval_inst em ~field ~get ~set ~getvar ~setvar) b.Ir.insts;
+    match b.Ir.term with
+    | Ir.Ret -> cur := None
+    | Ir.Jump t -> cur := Some (Ir.find_block action t)
+    | Ir.Branch (c, t, f) -> (
+      match get c with
+      | Fixed v -> cur := Some (Ir.find_block action (if v <> 0L then t else f))
+      | Dyn _ -> raise Emitter.Dynamic_control_flow)
+  done
+
+(* --- strategy 2: dynamic control flow --------------------------------------- *)
+
+let run_general (em : 'v Emitter.t) (action : Ir.action) ~field =
+  let open Emitter in
+  (* Context-free constants: values (and variables) whose contents are
+     known at translation time regardless of the runtime path - constants,
+     instruction fields, pure computation over them, and variables whose
+     every write stores the same such constant.  Essential at low offline
+     optimization levels, where register-bank indices still flow through
+     helper-parameter variables. *)
+  let defs = Hashtbl.create 64 in
+  List.iter
+    (fun b -> List.iter (fun i -> Hashtbl.replace defs i.Ir.id i.Ir.desc) b.Ir.insts)
+    action.Ir.blocks;
+  let var_writes = Hashtbl.create 16 in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun i ->
+          match i.Ir.desc with
+          | Ir.Var_write (v, x) ->
+            Hashtbl.replace var_writes v (x :: (try Hashtbl.find var_writes v with Not_found -> []))
+          | _ -> ())
+        b.Ir.insts)
+    action.Ir.blocks;
+  let cf_memo : (Ir.id, int64 option) Hashtbl.t = Hashtbl.create 64 in
+  let rec cf_value depth id : int64 option =
+    if depth > 64 then None
+    else
+      match Hashtbl.find_opt cf_memo id with
+      | Some r -> r
+      | None ->
+        Hashtbl.replace cf_memo id None (* cycle guard *);
+        let r =
+          match Hashtbl.find_opt defs id with
+          | Some (Ir.Const c) -> Some c
+          | Some (Ir.Struct f) -> Some (field f)
+          | Some (Ir.Binary (op, signed, a, b)) -> (
+            match (cf_value (depth + 1) a, cf_value (depth + 1) b) with
+            | Some x, Some y -> Some (Eval.binop op ~signed x y)
+            | _ -> None)
+          | Some (Ir.Unary (op, a)) -> Option.map (Eval.unop op) (cf_value (depth + 1) a)
+          | Some (Ir.Normalize (bits, signed, a)) ->
+            Option.map (Eval.normalize (Adl.Ast.Tint { bits; signed })) (cf_value (depth + 1) a)
+          | Some (Ir.Select (c, t, f)) -> (
+            match cf_value (depth + 1) c with
+            | Some x -> cf_value (depth + 1) (if x <> 0L then t else f)
+            | None -> None)
+          | Some (Ir.Var_read v) -> cf_var (depth + 1) v
+          | _ -> None
+        in
+        Hashtbl.replace cf_memo id r;
+        r
+  and cf_var depth v =
+    match Hashtbl.find_opt var_writes v with
+    | Some (w :: ws) -> (
+      match cf_value depth w with
+      | Some c when List.for_all (fun w' -> cf_value depth w' = Some c) ws -> Some c
+      | _ -> None)
+    | _ -> None
+  in
+  (* Which block defines each value, to route cross-block uses through
+     temporaries. *)
+  let def_block = Hashtbl.create 64 in
+  List.iter
+    (fun b -> List.iter (fun i -> Hashtbl.replace def_block i.Ir.id b.Ir.bid) b.Ir.insts)
+    action.Ir.blocks;
+  let cross = Hashtbl.create 16 in
+  List.iter
+    (fun b ->
+      let check id =
+        match Hashtbl.find_opt def_block id with
+        | Some d when d <> b.Ir.bid -> Hashtbl.replace cross id ()
+        | _ -> ()
+      in
+      List.iter (fun i -> List.iter check (Ir.operands i.Ir.desc)) b.Ir.insts;
+      match b.Ir.term with Ir.Branch (c, _, _) -> check c | _ -> ())
+    action.Ir.blocks;
+  let val_temps = Hashtbl.create 16 in
+  let temp_of_val id =
+    match Hashtbl.find_opt val_temps id with
+    | Some t -> t
+    | None ->
+      let t = em.new_temp () in
+      Hashtbl.replace val_temps id t;
+      t
+  in
+  let var_temps = Hashtbl.create 8 in
+  let temp_of_var v =
+    match Hashtbl.find_opt var_temps v with
+    | Some t -> t
+    | None ->
+      let t = em.new_temp () in
+      Hashtbl.replace var_temps v t;
+      t
+  in
+  let labels = Hashtbl.create 8 in
+  List.iter (fun b -> Hashtbl.replace labels b.Ir.bid (em.create_block ())) action.Ir.blocks;
+  let exit_label = em.create_block () in
+  let label bid = Hashtbl.find labels bid in
+  em.jump (label (Ir.entry_block action).Ir.bid);
+  List.iter
+    (fun b ->
+      em.set_block (label b.Ir.bid);
+      let env = Hashtbl.create 32 in
+      let get id =
+        match Hashtbl.find_opt env id with
+        | Some v -> v
+        | None ->
+          if Hashtbl.mem def_block id then Dyn (em.read_temp (temp_of_val id)) else Fixed 0L
+      in
+      let set id v =
+        Hashtbl.replace env id v;
+        if Hashtbl.mem cross id then em.write_temp (temp_of_val id) (materialize em v)
+      in
+      let getvar v =
+        match cf_var 0 v with
+        | Some c -> Fixed c
+        | None -> Dyn (em.read_temp (temp_of_var v))
+      in
+      let setvar v x = em.write_temp (temp_of_var v) (materialize em x) in
+      List.iter (eval_inst em ~field ~get ~set ~getvar ~setvar) b.Ir.insts;
+      match b.Ir.term with
+      | Ir.Ret -> em.jump exit_label
+      | Ir.Jump t -> em.jump (label t)
+      | Ir.Branch (c, t, f) -> (
+        match get c with
+        | Fixed v -> em.jump (label (if v <> 0L then t else f))
+        | Dyn d -> em.branch d (label t) (label f)))
+    action.Ir.blocks;
+  em.set_block exit_label
+
+(* --- entry point -------------------------------------------------------------- *)
+
+(* Probe with the null emitter to learn whether this instruction instance
+   has fixed control flow; the probe also fully resolves fixed loops. *)
+let has_fixed_control_flow (action : Ir.action) ~field =
+  try
+    run_fixed Emitter.null action ~field;
+    true
+  with Emitter.Dynamic_control_flow -> false
+
+(* Translate one decoded instruction through the backend.  [inc_pc] is the
+   instruction size when the decode entry does not end the block (paper
+   Fig. 7: `if (!insn.end_of_block) emitter.inc_pc(4)`). *)
+let translate (em : 'v Emitter.t) (action : Ir.action) ~field ~inc_pc =
+  if has_fixed_control_flow action ~field then run_fixed em action ~field
+  else run_general em action ~field;
+  match inc_pc with Some n -> em.Emitter.inc_pc n | None -> ()

@@ -1,0 +1,27 @@
+(** Generator functions: translation-time partial evaluation of optimized
+    SSA (paper Sec. 2.2.3 and Fig. 7).
+
+    Fixed operations (constants, decoded instruction fields, computation
+    and control flow over them) are evaluated at translation time; dynamic
+    operations are emitted through a backend {!Emitter.t}.  Instructions
+    with fixed internal control flow translate along a single concrete
+    path (fixed loops are unrolled); those with dynamic control flow (e.g.
+    conditional branches over guest flags) are materialized into backend
+    blocks with translation-time constants still folded. *)
+
+type 'v value = Fixed of int64 | Dyn of 'v
+
+(** Raised when a construct cannot be lowered (e.g. a dynamic
+    register-bank index, or a fixed loop exceeding the unrolling fuel). *)
+exception Unsupported of string
+
+(** Probe (against the null emitter) whether this instruction instance's
+    internal control flow is entirely fixed. *)
+val has_fixed_control_flow : Ir.action -> field:(string -> int64) -> bool
+
+(** Translate one decoded instruction through the backend.  [field]
+    resolves instruction fields (including engine pseudo-fields such as
+    [__el]); [inc_pc] is [Some size] when the decode entry does not end
+    the block, in which case a PC increment is appended (paper Fig. 7:
+    [if (!insn.end_of_block) emitter.inc_pc(4)]). *)
+val translate : 'v Emitter.t -> Ir.action -> field:(string -> int64) -> inc_pc:int option -> unit

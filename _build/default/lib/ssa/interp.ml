@@ -1,0 +1,79 @@
+(* Direct interpreter for SSA actions.
+
+   Serves two purposes: it is the oracle for optimizer-correctness property
+   tests (an optimized action must behave exactly like the unoptimized
+   one), and it powers the reference interpreter that the full DBT engines
+   are differentially tested against. *)
+
+module Eval = Adl.Eval
+
+(* Callbacks onto the guest machine state. *)
+type state = {
+  bank_read : int -> int -> int64;
+  bank_write : int -> int -> int64 -> unit;
+  reg_read : int -> int64;
+  reg_write : int -> int64 -> unit;
+  pc_read : unit -> int64;
+  pc_write : int64 -> unit;
+  mem_read : int -> int64 -> int64; (* width bits, address *)
+  mem_write : int -> int64 -> int64 -> unit;
+  coproc_read : int64 -> int64;
+  coproc_write : int64 -> int64 -> unit;
+  effect : string -> int64 list -> unit;
+}
+
+exception Stop (* raised by state.effect for terminating effects *)
+
+let run (st : state) (action : Ir.action) ~(field : string -> int64) =
+  let env : (Ir.id, int64) Hashtbl.t = Hashtbl.create 64 in
+  let vars : (int, int64) Hashtbl.t = Hashtbl.create 8 in
+  let get id =
+    try Hashtbl.find env id
+    with Not_found ->
+      invalid_arg (Printf.sprintf "Interp: use of undefined value s_%d in %s" id action.Ir.name)
+  in
+  let set id v = Hashtbl.replace env id v in
+  let exec (i : Ir.inst) =
+    match i.Ir.desc with
+    | Ir.Const c -> set i.Ir.id c
+    | Ir.Struct f -> set i.Ir.id (field f)
+    | Ir.Binary (op, signed, a, b) -> set i.Ir.id (Eval.binop op ~signed (get a) (get b))
+    | Ir.Unary (op, a) -> set i.Ir.id (Eval.unop op (get a))
+    | Ir.Normalize (bits, signed, a) ->
+      set i.Ir.id (Eval.normalize (Adl.Ast.Tint { bits; signed }) (get a))
+    | Ir.Select (c, t, f) -> set i.Ir.id (if get c <> 0L then get t else get f)
+    | Ir.Intrinsic (name, args) -> (
+      match Eval.builtin name (List.map get args) with
+      | Some v -> set i.Ir.id v
+      | None -> invalid_arg (Printf.sprintf "uninterpretable intrinsic %S" name))
+    | Ir.Bank_read (bank, idx) -> set i.Ir.id (st.bank_read bank (Int64.to_int (get idx)))
+    | Ir.Bank_write (bank, idx, v) -> st.bank_write bank (Int64.to_int (get idx)) (get v)
+    | Ir.Reg_read slot -> set i.Ir.id (st.reg_read slot)
+    | Ir.Reg_write (slot, v) -> st.reg_write slot (get v)
+    | Ir.Var_read v -> set i.Ir.id (try Hashtbl.find vars v with Not_found -> 0L)
+    | Ir.Var_write (v, x) -> Hashtbl.replace vars v (get x)
+    | Ir.Mem_read (bits, a) -> set i.Ir.id (st.mem_read bits (get a))
+    | Ir.Mem_write (bits, a, v) -> st.mem_write bits (get a) (get v)
+    | Ir.Pc_read -> set i.Ir.id (st.pc_read ())
+    | Ir.Pc_write v -> st.pc_write (get v)
+    | Ir.Coproc_read idx -> set i.Ir.id (st.coproc_read (get idx))
+    | Ir.Coproc_write (idx, v) -> st.coproc_write (get idx) (get v)
+    | Ir.Effect (name, args) -> st.effect name (List.map get args)
+    | Ir.Phi _ -> invalid_arg "phi node in interpreted action"
+  in
+  let fuel = ref 1_000_000 in
+  let cur = ref (Some (Ir.entry_block action)) in
+  (try
+     while !cur <> None do
+       let b = Option.get !cur in
+       decr fuel;
+       if !fuel <= 0 then invalid_arg "interpreted action did not terminate";
+       List.iter exec b.Ir.insts;
+       match b.Ir.term with
+       | Ir.Ret -> cur := None
+       | Ir.Jump t -> cur := Some (Ir.find_block action t)
+       | Ir.Branch (c, t, f) ->
+         cur := Some (Ir.find_block action (if get c <> 0L then t else f))
+     done
+   with Stop -> ());
+  ()

@@ -1,0 +1,29 @@
+(** Direct interpreter for SSA actions.
+
+    This is the semantic oracle: optimizer-correctness property tests
+    compare optimized against unoptimized actions under it, and the
+    whole-engine reference interpreter ({!Captive.Reference}) executes
+    guests with it. *)
+
+(** Callbacks onto the guest machine state. *)
+type state = {
+  bank_read : int -> int -> int64;
+  bank_write : int -> int -> int64 -> unit;
+  reg_read : int -> int64;
+  reg_write : int -> int64 -> unit;
+  pc_read : unit -> int64;
+  pc_write : int64 -> unit;
+  mem_read : int -> int64 -> int64;  (** width bits, address *)
+  mem_write : int -> int64 -> int64 -> unit;
+  coproc_read : int64 -> int64;
+  coproc_write : int64 -> int64 -> unit;
+  effect : string -> int64 list -> unit;
+}
+
+(** May be raised by [state] callbacks to abort the current instruction
+    (e.g. after delivering a guest exception); caught by {!run}. *)
+exception Stop
+
+(** Execute one action to completion against the state.
+    @raise Invalid_argument on malformed IR or non-terminating actions. *)
+val run : state -> Ir.action -> field:(string -> int64) -> unit

@@ -1,0 +1,36 @@
+(** The offline generation stage (paper Sec. 2.2).
+
+    [build source] parses an ADL description, type-checks it, lowers every
+    instruction behaviour into domain-specific SSA, optimizes it at the
+    requested level (the Fig. 5 pass list, run to a fixed point), validates
+    the result, and compiles the decoder decision tree.  The resulting
+    {!model} is the "architecture-specific module" the online runtime
+    loads; its actions are consumed by {!Gen.translate} at JIT time. *)
+
+type model = {
+  arch : Adl.Ast.arch;
+  decoder : Adl.Decode.t;
+  actions : (string, Ir.action) Hashtbl.t;
+  opt_level : int;
+}
+
+(** Optimization context (field/bank/slot widths) for one execute action;
+    exposed for tests and tools that optimize actions directly. *)
+val opt_context : Adl.Ast.arch -> string -> Opt.context
+
+(** Build a model from ADL source text.
+    @param opt_level offline optimization level 1-4 (default 4).
+    @raise Adl.Ast.Adl_error on parse or type errors. *)
+val build : ?opt_level:int -> string -> model
+
+(** Look up one instruction's optimized SSA action.
+    @raise Invalid_argument if the action does not exist. *)
+val action : model -> string -> Ir.action
+
+(** Total SSA statement count across all actions: the proxy for generated
+    lines of code in the Sec. 3.6.1 experiment. *)
+val total_size : model -> int
+
+(** Decode one 32-bit instruction word through the generated decision
+    tree. *)
+val decode : model -> int64 -> Adl.Decode.decoded option

@@ -1,0 +1,597 @@
+(* The offline optimization passes of the paper's Fig. 5, gated by
+   optimization level O1-O4 and run to a fixed point.
+
+   Inlining (O1-4 in the paper) is performed during SSA construction, so it
+   is always active, matching the paper's observation that O1 output is the
+   inlined-but-otherwise-raw form. *)
+
+module Ast = Adl.Ast
+module Eval = Adl.Eval
+
+type context = {
+  field_widths : (string * int) list; (* decode-pattern field widths *)
+  bank_widths : (int * int) list; (* bank index -> element width *)
+  slot_widths : (int * int) list;
+}
+
+let no_context = { field_widths = []; bank_widths = []; slot_widths = [] }
+
+(* --- utilities ------------------------------------------------------------ *)
+
+let defs_of (action : Ir.action) : (Ir.id, Ir.desc) Hashtbl.t =
+  let t = Hashtbl.create 64 in
+  List.iter
+    (fun b -> List.iter (fun i -> Hashtbl.replace t i.Ir.id i.Ir.desc) b.Ir.insts)
+    action.Ir.blocks;
+  t
+
+let iter_uses (action : Ir.action) f =
+  List.iter
+    (fun b ->
+      List.iter (fun i -> List.iter f (Ir.operands i.Ir.desc)) b.Ir.insts;
+      match b.Ir.term with Ir.Branch (c, _, _) -> f c | Ir.Jump _ | Ir.Ret -> ())
+    action.Ir.blocks
+
+let used_ids action =
+  let t = Hashtbl.create 64 in
+  iter_uses action (fun id -> Hashtbl.replace t id ());
+  t
+
+(* Rewrite every use of [from] to [to_]. *)
+let replace_uses (action : Ir.action) ~from ~to_ =
+  let subst x = if x = from then to_ else x in
+  List.iter
+    (fun b ->
+      List.iter (fun i -> i.Ir.desc <- Ir.map_operands subst i.Ir.desc) b.Ir.insts;
+      match b.Ir.term with
+      | Ir.Branch (c, t, f) when c = from -> b.Ir.term <- Ir.Branch (to_, t, f)
+      | _ -> ())
+    action.Ir.blocks
+
+(* --- dead code elimination ------------------------------------------------ *)
+
+let dead_code_elim _ctx (action : Ir.action) =
+  let changed = ref false in
+  let continue_ = ref true in
+  while !continue_ do
+    let used = used_ids action in
+    let removed = ref false in
+    List.iter
+      (fun b ->
+        let keep i =
+          (not (Ir.removable i.Ir.desc)) || Hashtbl.mem used i.Ir.id
+        in
+        let before = List.length b.Ir.insts in
+        b.Ir.insts <- List.filter keep b.Ir.insts;
+        if List.length b.Ir.insts <> before then removed := true)
+      action.Ir.blocks;
+    if !removed then changed := true else continue_ := false
+  done;
+  !changed
+
+(* --- unreachable block elimination ---------------------------------------- *)
+
+let unreachable_block_elim _ctx (action : Ir.action) =
+  let reachable = Hashtbl.create 8 in
+  let rec visit bid =
+    if not (Hashtbl.mem reachable bid) then begin
+      Hashtbl.replace reachable bid ();
+      let b = Ir.find_block action bid in
+      List.iter visit (Ir.successors b)
+    end
+  in
+  visit (Ir.entry_block action).Ir.bid;
+  let before = List.length action.Ir.blocks in
+  action.Ir.blocks <- List.filter (fun b -> Hashtbl.mem reachable b.Ir.bid) action.Ir.blocks;
+  (* Prune phi inputs from removed predecessors. *)
+  List.iter
+    (fun b ->
+      List.iter
+        (fun i ->
+          match i.Ir.desc with
+          | Ir.Phi ins ->
+            i.Ir.desc <- Ir.Phi (List.filter (fun (p, _) -> Hashtbl.mem reachable p) ins)
+          | _ -> ())
+        b.Ir.insts)
+    action.Ir.blocks;
+  List.length action.Ir.blocks <> before
+
+(* --- control flow simplification ------------------------------------------- *)
+
+let control_flow_simplify _ctx (action : Ir.action) =
+  let defs = defs_of action in
+  let changed = ref false in
+  List.iter
+    (fun b ->
+      match b.Ir.term with
+      | Ir.Branch (_, t, f) when t = f ->
+        b.Ir.term <- Ir.Jump t;
+        changed := true
+      | Ir.Branch (c, t, f) -> (
+        match Hashtbl.find_opt defs c with
+        | Some (Ir.Const v) ->
+          b.Ir.term <- Ir.Jump (if v <> 0L then t else f);
+          changed := true
+        | _ -> ())
+      | Ir.Jump _ | Ir.Ret -> ())
+    action.Ir.blocks;
+  !changed
+
+(* --- block merging ---------------------------------------------------------- *)
+
+let block_merge _ctx (action : Ir.action) =
+  let changed = ref false in
+  let continue_ = ref true in
+  while !continue_ do
+    continue_ := false;
+    let merged =
+      List.find_map
+        (fun a ->
+          match a.Ir.term with
+          | Ir.Jump tb when tb <> a.Ir.bid ->
+            let b = Ir.find_block action tb in
+            let preds = Ir.predecessors action tb in
+            if List.length preds = 1 && tb <> (Ir.entry_block action).Ir.bid then Some (a, b)
+            else None
+          | _ -> None)
+        action.Ir.blocks
+    in
+    match merged with
+    | Some (a, b) ->
+      (* Single-predecessor phis are aliases. *)
+      List.iter
+        (fun i ->
+          match i.Ir.desc with
+          | Ir.Phi [ (_, v) ] -> replace_uses action ~from:i.Ir.id ~to_:v
+          | _ -> ())
+        b.Ir.insts;
+      let non_phi =
+        List.filter (fun i -> match i.Ir.desc with Ir.Phi _ -> false | _ -> true) b.Ir.insts
+      in
+      a.Ir.insts <- a.Ir.insts @ non_phi;
+      a.Ir.term <- b.Ir.term;
+      (* Phis in b's successors referring to b must now refer to a. *)
+      List.iter
+        (fun blk ->
+          List.iter
+            (fun i ->
+              match i.Ir.desc with
+              | Ir.Phi ins ->
+                i.Ir.desc <- Ir.Phi (List.map (fun (p, v) -> ((if p = b.Ir.bid then a.Ir.bid else p), v)) ins)
+              | _ -> ())
+            blk.Ir.insts)
+        action.Ir.blocks;
+      action.Ir.blocks <- List.filter (fun blk -> blk.Ir.bid <> b.Ir.bid) action.Ir.blocks;
+      changed := true;
+      continue_ := true
+    | None -> ()
+  done;
+  !changed
+
+(* --- jump threading (O2) ---------------------------------------------------- *)
+
+let jump_threading _ctx (action : Ir.action) =
+  let changed = ref false in
+  let has_phis b = List.exists (fun i -> match i.Ir.desc with Ir.Phi _ -> true | _ -> false) b.Ir.insts in
+  let entry = (Ir.entry_block action).Ir.bid in
+  List.iter
+    (fun b ->
+      if b.Ir.bid <> entry && b.Ir.insts = [] then
+        match b.Ir.term with
+        | Ir.Jump target when target <> b.Ir.bid && not (has_phis (Ir.find_block action target)) ->
+          (* Redirect all predecessors of b straight to target. *)
+          List.iter
+            (fun p ->
+              let redirect x = if x = b.Ir.bid then target else x in
+              match p.Ir.term with
+              | Ir.Jump t ->
+                if redirect t <> t then begin
+                  p.Ir.term <- Ir.Jump (redirect t);
+                  changed := true
+                end
+              | Ir.Branch (c, t, f) ->
+                if redirect t <> t || redirect f <> f then begin
+                  p.Ir.term <- Ir.Branch (c, redirect t, redirect f);
+                  changed := true
+                end
+              | Ir.Ret -> ())
+            action.Ir.blocks
+        | _ -> ())
+    action.Ir.blocks;
+  !changed
+
+(* --- dead variable elimination ---------------------------------------------- *)
+
+let dead_variable_elim _ctx (action : Ir.action) =
+  let read_vars = Hashtbl.create 8 in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun i -> match i.Ir.desc with Ir.Var_read v -> Hashtbl.replace read_vars v () | _ -> ())
+        b.Ir.insts)
+    action.Ir.blocks;
+  let changed = ref false in
+  List.iter
+    (fun b ->
+      let keep i =
+        match i.Ir.desc with
+        | Ir.Var_write (v, _) when not (Hashtbl.mem read_vars v) ->
+          changed := true;
+          false
+        | _ -> true
+      in
+      b.Ir.insts <- List.filter keep b.Ir.insts)
+    action.Ir.blocks;
+  !changed
+
+(* --- constant folding (O3) --------------------------------------------------- *)
+
+let const_fold _ctx (action : Ir.action) =
+  let defs = defs_of action in
+  let const_of id =
+    match Hashtbl.find_opt defs id with Some (Ir.Const v) -> Some v | _ -> None
+  in
+  let changed = ref false in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun i ->
+          let set v =
+            i.Ir.desc <- Ir.Const v;
+            Hashtbl.replace defs i.Ir.id (Ir.Const v);
+            changed := true
+          in
+          match i.Ir.desc with
+          | Ir.Binary (op, signed, a, bb) -> (
+            match (const_of a, const_of bb) with
+            | Some va, Some vb -> set (Eval.binop op ~signed va vb)
+            | _ -> ())
+          | Ir.Unary (op, a) -> (
+            match const_of a with Some va -> set (Eval.unop op va) | None -> ())
+          | Ir.Normalize (w, signed, a) -> (
+            match const_of a with
+            | Some va -> set (Eval.normalize (Ast.Tint { bits = w; signed }) va)
+            | None -> ())
+          | Ir.Select (c, t, f) -> (
+            match const_of c with
+            | Some vc -> replace_uses action ~from:i.Ir.id ~to_:(if vc <> 0L then t else f)
+            | None -> ())
+          | Ir.Intrinsic (name, args) -> (
+            let vals = List.map const_of args in
+            if List.for_all Option.is_some vals then
+              match Eval.builtin name (List.map Option.get vals) with
+              | Some v -> set v
+              | None -> ())
+          | _ -> ())
+        b.Ir.insts)
+    action.Ir.blocks;
+  !changed
+
+(* --- value propagation (O3) --------------------------------------------------- *)
+
+(* Known upper bound on the number of significant (unsigned) bits of each
+   value; used to remove provably redundant truncations and masks. *)
+let width_analysis ctx (action : Ir.action) =
+  let defs = defs_of action in
+  let widths = Hashtbl.create 64 in
+  let width_of id = try Hashtbl.find widths id with Not_found -> 64 in
+  let intrinsic_width = function
+    | "add_flags64" | "add_flags32" | "logic_flags64" | "logic_flags32" | "fp64_cmp_flags"
+    | "fp32_cmp_flags" ->
+      4
+    | "clz32" | "clz64" | "popcount64" -> 7
+    | "udiv32" | "ror32" | "rbit32" | "rev32" | "adc32" | "fp32_add" | "fp32_sub" | "fp32_mul"
+    | "fp32_div" | "fp32_sqrt" | "fp32_min" | "fp32_max" | "fp64_to_fp32" | "fp32_to_sint32"
+    | "sint32_to_fp32" | "sint64_to_fp32" ->
+      32
+    | "rev16" -> 16
+    | _ -> 64
+  in
+  (* One forward pass per block iteration until stable (cheap: small IR). *)
+  let stable = ref false in
+  while not !stable do
+    stable := true;
+    List.iter
+      (fun b ->
+        List.iter
+          (fun i ->
+            let w =
+              match i.Ir.desc with
+              | Ir.Const c -> if c < 0L then 64 else 64 - Dbt_util.Bits.clz c
+              | Ir.Struct f -> ( match List.assoc_opt f ctx.field_widths with Some w -> w | None -> 64)
+              | Ir.Normalize (w, false, a) -> min w (width_of a)
+              | Ir.Normalize (_, true, _) -> 64
+              | Ir.Binary (Ast.And, _, a, bb) -> min (width_of a) (width_of bb)
+              | Ir.Binary ((Ast.Or | Ast.Xor), _, a, bb) -> max (width_of a) (width_of bb)
+              | Ir.Binary (Ast.Add, _, a, bb) -> min 64 (1 + max (width_of a) (width_of bb))
+              | Ir.Binary (Ast.Shl, _, a, bb) -> (
+                match Hashtbl.find_opt defs bb with
+                | Some (Ir.Const c) when c >= 0L && c < 64L ->
+                  min 64 (width_of a + Int64.to_int c)
+                | _ -> 64)
+              | Ir.Binary (Ast.Shr, false, a, bb) -> (
+                match Hashtbl.find_opt defs bb with
+                | Some (Ir.Const c) when c >= 0L && c < 64L -> max 0 (width_of a - Int64.to_int c)
+                | _ -> width_of a)
+              | Ir.Binary ((Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge), _, _, _) -> 1
+              | Ir.Unary (Ast.Lnot, _) -> 1
+              | Ir.Select (_, t, f) -> max (width_of t) (width_of f)
+              | Ir.Bank_read (bank, _) -> (
+                match List.assoc_opt bank ctx.bank_widths with Some w -> w | None -> 64)
+              | Ir.Reg_read slot -> (
+                match List.assoc_opt slot ctx.slot_widths with Some w -> w | None -> 64)
+              | Ir.Mem_read (w, _) -> w
+              | Ir.Intrinsic (name, _) -> intrinsic_width name
+              | Ir.Phi ins -> List.fold_left (fun acc (_, v) -> max acc (width_of v)) 0 ins
+              | _ -> 64
+            in
+            if w < width_of i.Ir.id then begin
+              Hashtbl.replace widths i.Ir.id w;
+              stable := false
+            end)
+          b.Ir.insts)
+      action.Ir.blocks
+  done;
+  widths
+
+let value_propagation ctx (action : Ir.action) =
+  let defs = defs_of action in
+  let widths = width_analysis ctx action in
+  let width_of id = try Hashtbl.find widths id with Not_found -> 64 in
+  let const_of id =
+    match Hashtbl.find_opt defs id with Some (Ir.Const v) -> Some v | _ -> None
+  in
+  let changed = ref false in
+  let alias from to_ =
+    replace_uses action ~from ~to_;
+    changed := true
+  in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun i ->
+          match i.Ir.desc with
+          (* A truncation that cannot change the value. *)
+          | Ir.Normalize (w, false, a) when width_of a <= w -> alias i.Ir.id a
+          (* Masking with an all-covering constant. *)
+          | Ir.Binary (Ast.And, _, a, bb) -> (
+            match (const_of a, const_of bb) with
+            | _, Some m when m = Dbt_util.Bits.mask (width_of a) && width_of a < 64 ->
+              alias i.Ir.id a
+            | _, Some (-1L) -> alias i.Ir.id a
+            | Some (-1L), _ -> alias i.Ir.id bb
+            | _ -> ())
+          (* Arithmetic identities. *)
+          | Ir.Binary ((Ast.Add | Ast.Or | Ast.Xor | Ast.Shl | Ast.Shr), _, a, bb)
+            when const_of bb = Some 0L ->
+            alias i.Ir.id a
+          | Ir.Binary ((Ast.Add | Ast.Or | Ast.Xor), _, a, bb) when const_of a = Some 0L ->
+            alias i.Ir.id bb
+          | Ir.Binary (Ast.Sub, _, a, bb) when const_of bb = Some 0L -> alias i.Ir.id a
+          | Ir.Binary (Ast.Mul, _, a, bb) when const_of bb = Some 1L -> alias i.Ir.id a
+          | Ir.Binary (Ast.Mul, _, a, bb) when const_of a = Some 1L -> alias i.Ir.id bb
+          | Ir.Select (_, t, f) when t = f -> alias i.Ir.id t
+          | _ -> ())
+        b.Ir.insts)
+    action.Ir.blocks;
+  !changed
+
+(* --- load coalescing (O3) ------------------------------------------------------ *)
+
+(* Within a block, forward variable stores to subsequent loads and collapse
+   repeated loads. *)
+let load_coalescing _ctx (action : Ir.action) =
+  let changed = ref false in
+  List.iter
+    (fun b ->
+      let known : (int, Ir.id) Hashtbl.t = Hashtbl.create 8 in
+      let kept =
+        List.filter
+          (fun i ->
+            match i.Ir.desc with
+            | Ir.Var_write (v, x) ->
+              Hashtbl.replace known v x;
+              true
+            | Ir.Var_read v -> (
+              match Hashtbl.find_opt known v with
+              | Some x ->
+                replace_uses action ~from:i.Ir.id ~to_:x;
+                changed := true;
+                false
+              | None ->
+                Hashtbl.replace known v i.Ir.id;
+                true)
+            | _ -> true)
+          b.Ir.insts
+      in
+      b.Ir.insts <- kept)
+    action.Ir.blocks;
+  !changed
+
+(* --- dead write elimination (O3) ------------------------------------------------ *)
+
+(* A variable store overwritten later in the same block with no intervening
+   read of that variable is dead regardless of cross-block liveness. *)
+let dead_write_elim _ctx (action : Ir.action) =
+  let changed = ref false in
+  List.iter
+    (fun b ->
+      (* Scan backwards: a write is dead if we have already seen a write to
+         the same variable and no read in between. *)
+      let writes_seen = Hashtbl.create 8 in
+      let kept_rev =
+        List.fold_left
+          (fun acc i ->
+            match i.Ir.desc with
+            | Ir.Var_write (v, _) ->
+              if Hashtbl.mem writes_seen v then begin
+                changed := true;
+                acc
+              end
+              else begin
+                Hashtbl.replace writes_seen v ();
+                i :: acc
+              end
+            | Ir.Var_read v ->
+              Hashtbl.remove writes_seen v;
+              i :: acc
+            | _ -> i :: acc)
+          [] (List.rev b.Ir.insts)
+      in
+      b.Ir.insts <- kept_rev)
+    action.Ir.blocks;
+  !changed
+
+(* --- PHI analysis and elimination (O4) ------------------------------------------- *)
+
+type reach = Bot | Val of Ir.id | Top
+
+let meet a b =
+  match (a, b) with
+  | Bot, x | x, Bot -> x
+  | Val x, Val y -> if x = y then Val x else Top
+  | Top, _ | _, Top -> Top
+
+(* Promote variables to SSA values with phi nodes, then immediately lower
+   phis back to variable copies on the incoming edges (the paper runs "PHI
+   Analysis" and "PHI Elimination" as an O4 pair).  The net effect is that
+   variables with a single reaching definition disappear entirely. *)
+let phi_passes _ctx (action : Ir.action) =
+  let nvars = action.Ir.next_var in
+  if nvars = 0 then false
+  else begin
+    let blocks = action.Ir.blocks in
+    let bids = List.map (fun b -> b.Ir.bid) blocks in
+    (* last write per var per block *)
+    let last_write = Hashtbl.create 16 in
+    List.iter
+      (fun b ->
+        List.iter
+          (fun i ->
+            match i.Ir.desc with
+            | Ir.Var_write (v, x) -> Hashtbl.replace last_write (b.Ir.bid, v) x
+            | _ -> ())
+          b.Ir.insts)
+      blocks;
+    (* Iterative reaching-value analysis. *)
+    let in_ = Hashtbl.create 16 in
+    let get_in bid v = try Hashtbl.find in_ (bid, v) with Not_found -> Bot in
+    let out bid v =
+      match Hashtbl.find_opt last_write (bid, v) with
+      | Some x -> Val x
+      | None -> get_in bid v
+    in
+    let entry = (Ir.entry_block action).Ir.bid in
+    let preds_tbl = Hashtbl.create 16 in
+    List.iter (fun bid -> Hashtbl.replace preds_tbl bid (List.map (fun b -> b.Ir.bid) (Ir.predecessors action bid))) bids;
+    let stable = ref false in
+    while not !stable do
+      stable := true;
+      List.iter
+        (fun bid ->
+          if bid <> entry then
+            for v = 0 to nvars - 1 do
+              let preds = Hashtbl.find preds_tbl bid in
+              let m = List.fold_left (fun acc p -> meet acc (out p v)) Bot preds in
+              if m <> get_in bid v then begin
+                Hashtbl.replace in_ (bid, v) m;
+                stable := false
+              end
+            done)
+        bids
+    done;
+    (* Materialization.  A reaching value may itself be a Var_read that
+       this pass also eliminates, so first collect the full alias map
+       (read id -> reaching value id), resolve it transitively, and only
+       then rewrite operands and drop the aliased reads in one sweep. *)
+    let alias : (Ir.id, Ir.id) Hashtbl.t = Hashtbl.create 16 in
+    List.iter
+      (fun b ->
+        let current = Array.make nvars None in
+        for v = 0 to nvars - 1 do
+          match get_in b.Ir.bid v with
+          | Val x -> current.(v) <- Some x
+          | Bot | Top -> current.(v) <- None
+        done;
+        List.iter
+          (fun i ->
+            match i.Ir.desc with
+            | Ir.Var_write (v, x) -> current.(v) <- Some x
+            | Ir.Var_read v -> (
+              match current.(v) with
+              | Some x -> Hashtbl.replace alias i.Ir.id x
+              | None -> current.(v) <- Some i.Ir.id (* later reads share this one *))
+            | _ -> ())
+          b.Ir.insts)
+      blocks;
+    if Hashtbl.length alias = 0 then false
+    else begin
+      let rec resolve fuel x =
+        if fuel = 0 then x
+        else
+          match Hashtbl.find_opt alias x with
+          | Some y when y <> x -> resolve (fuel - 1) y
+          | _ -> x
+      in
+      (* Aliases that do not resolve to a surviving definition (cycles
+         through undefined paths) keep their reads. *)
+      let unresolved =
+        Hashtbl.fold
+          (fun r _ acc -> if Hashtbl.mem alias (resolve 64 r) then r :: acc else acc)
+          alias []
+      in
+      List.iter (Hashtbl.remove alias) unresolved;
+      if Hashtbl.length alias = 0 then false
+      else begin
+      let subst x = resolve 64 x in
+      List.iter
+        (fun b ->
+          b.Ir.insts <-
+            List.filter
+              (fun i ->
+                if Hashtbl.mem alias i.Ir.id then false
+                else begin
+                  i.Ir.desc <- Ir.map_operands subst i.Ir.desc;
+                  true
+                end)
+              b.Ir.insts;
+          match b.Ir.term with
+          | Ir.Branch (c, t, f) when subst c <> c -> b.Ir.term <- Ir.Branch (subst c, t, f)
+          | _ -> ())
+        blocks;
+      true
+      end
+    end
+  end
+
+(* --- pass manager ----------------------------------------------------------------- *)
+
+type pass = { pname : string; level : int; run : context -> Ir.action -> bool }
+
+let passes : pass list =
+  [
+    { pname = "Dead Code Elimination"; level = 1; run = dead_code_elim };
+    { pname = "Unreachable Block Elimination"; level = 1; run = unreachable_block_elim };
+    { pname = "Control Flow Simplification"; level = 1; run = control_flow_simplify };
+    { pname = "Block Merging"; level = 1; run = block_merge };
+    { pname = "Dead Variable Elimination"; level = 1; run = dead_variable_elim };
+    { pname = "Jump Threading"; level = 2; run = jump_threading };
+    { pname = "Constant Folding"; level = 3; run = const_fold };
+    { pname = "Value Propagation"; level = 3; run = value_propagation };
+    { pname = "Load Coalescing"; level = 3; run = load_coalescing };
+    { pname = "Dead Write Elimination"; level = 3; run = dead_write_elim };
+    { pname = "PHI Analysis/Elimination"; level = 4; run = phi_passes };
+  ]
+
+(* Optimize [action] in place at the given level (1-4), iterating the
+   enabled passes to a fixed point as the paper describes. *)
+let optimize ?(ctx = no_context) ~level (action : Ir.action) =
+  let enabled = List.filter (fun p -> p.level <= level) passes in
+  let rec go n =
+    if n > 50 then ()
+    else begin
+      let changed = List.fold_left (fun acc p -> p.run ctx action || acc) false enabled in
+      if changed then go (n + 1)
+    end
+  in
+  go 0

@@ -1,0 +1,35 @@
+(** The offline optimization passes of the paper's Fig. 5, gated by
+    optimization level O1-O4 and iterated to a fixed point.
+
+    Inlining (O1-4 in the paper) is performed during SSA construction and
+    is therefore always active.  Passes and their gating:
+
+    - O1: dead code elimination, unreachable block elimination, control
+      flow simplification, block merging, dead variable elimination
+    - O2: + jump threading
+    - O3: + constant folding, value propagation (width analysis, masking
+      and arithmetic identities), load coalescing, dead write elimination
+    - O4: + PHI analysis/elimination (cross-block variable promotion for
+      unique reaching definitions) *)
+
+(** Width information supplied by the architecture: decode-field widths
+    and register bank/slot element widths, consumed by value
+    propagation. *)
+type context = {
+  field_widths : (string * int) list;
+  bank_widths : (int * int) list;
+  slot_widths : (int * int) list;
+}
+
+val no_context : context
+
+(** Rewrite every use of one value id to another (exposed for tooling). *)
+val replace_uses : Ir.action -> from:Ir.id -> to_:Ir.id -> unit
+
+type pass = { pname : string; level : int; run : context -> Ir.action -> bool }
+
+(** The registered passes, in execution order. *)
+val passes : pass list
+
+(** Optimize the action in place at the given level (1-4). *)
+val optimize : ?ctx:context -> level:int -> Ir.action -> unit

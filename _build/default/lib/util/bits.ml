@@ -1,0 +1,111 @@
+(* 64-bit manipulation helpers used throughout the DBT.
+
+   All values are carried as [int64]; narrower widths are represented
+   zero-extended in the low bits unless stated otherwise. *)
+
+let ( +% ) = Int64.add
+let ( -% ) = Int64.sub
+let ( *% ) = Int64.mul
+let ( &% ) = Int64.logand
+let ( |% ) = Int64.logor
+let ( ^% ) = Int64.logxor
+let lnot64 = Int64.lognot
+
+(* Shift amounts are masked to 0..63 as on real hardware. *)
+let shl x n = Int64.shift_left x (n land 63)
+let shr x n = Int64.shift_right_logical x (n land 63)
+let sar x n = Int64.shift_right x (n land 63)
+
+(* A mask of [n] ones in the low bits. [mask 64] is all-ones, [mask 0] zero. *)
+let mask n =
+  if n <= 0 then 0L
+  else if n >= 64 then -1L
+  else Int64.shift_left 1L n -% 1L
+
+(* Extract [len] bits of [x] starting at bit [lo] (LSB = 0). *)
+let extract x ~lo ~len = shr x lo &% mask len
+
+(* Insert the low [len] bits of [v] into [x] at position [lo]. *)
+let insert x ~lo ~len v =
+  let m = shl (mask len) lo in
+  x &% lnot64 m |% (shl v lo &% m)
+
+let bit x i = extract x ~lo:i ~len:1 <> 0L
+
+(* Sign-extend the low [width] bits of [x] to 64 bits. *)
+let sign_extend x ~width =
+  if width <= 0 || width >= 64 then x
+  else
+    let shift = 64 - width in
+    sar (shl x shift) shift
+
+(* Truncate [x] to [width] bits (zero-extended representation). *)
+let zero_extend x ~width = x &% mask width
+
+let rotate_right x n ~width =
+  let n = n mod width in
+  if n = 0 then zero_extend x ~width
+  else
+    let x = zero_extend x ~width in
+    zero_extend (shr x n |% shl x (width - n)) ~width
+
+let rotate_left x n ~width = rotate_right x (width - (n mod width)) ~width
+
+(* Unsigned comparison on int64. *)
+let ucompare = Int64.unsigned_compare
+let ult a b = ucompare a b < 0
+let ule a b = ucompare a b <= 0
+let udiv = Int64.unsigned_div
+let urem = Int64.unsigned_rem
+
+let popcount x =
+  let rec go x acc = if x = 0L then acc else go (shr x 1) (acc + Int64.to_int (x &% 1L)) in
+  go x 0
+
+let clz ?(width = 64) x =
+  let x = zero_extend x ~width in
+  let rec go i = if i < 0 then width else if bit x i then width - 1 - i else go (i - 1) in
+  go (width - 1)
+
+let ctz ?(width = 64) x =
+  let x = zero_extend x ~width in
+  let rec go i = if i >= width then width else if bit x i then i else go (i + 1) in
+  go 0
+
+(* Reverse the low [width] bits. *)
+let bit_reverse x ~width =
+  let r = ref 0L in
+  for i = 0 to width - 1 do
+    if bit x i then r := !r |% shl 1L (width - 1 - i)
+  done;
+  !r
+
+(* Byte-swap within [width] bits (width is 16, 32 or 64). *)
+let byte_swap x ~width =
+  let n = width / 8 in
+  let r = ref 0L in
+  for i = 0 to n - 1 do
+    r := !r |% shl (extract x ~lo:(8 * i) ~len:8) (8 * (n - 1 - i))
+  done;
+  !r
+
+(* Align [x] down/up to a power-of-two [align]. *)
+let align_down x align = x &% lnot64 (Int64.of_int (align - 1))
+let align_up x align = align_down (x +% Int64.of_int (align - 1)) align
+let is_aligned x align = x &% Int64.of_int (align - 1) = 0L
+
+(* Carry and overflow of a 64-bit addition with carry-in, as the ARM
+   pseudo-code's AddWithCarry computes them. *)
+let add_with_carry ?(width = 64) a b carry_in =
+  let a = zero_extend a ~width and b = zero_extend b ~width in
+  let cin = if carry_in then 1L else 0L in
+  let result = zero_extend (a +% b +% cin) ~width in
+  (* Carry-out of a + b + cin in [width] bits: with cin=0 the sum wrapped iff
+     it is strictly below [a]; with cin=1 it wrapped iff it is <= [a]. *)
+  let carry = if carry_in then ule result a else ult result a in
+  let sa = bit a (width - 1) and sb = bit b (width - 1) and sr = bit result (width - 1) in
+  let overflow = sa = sb && sr <> sa in
+  (result, carry, overflow)
+
+let hex x = Printf.sprintf "0x%Lx" x
+let hex_w width x = Printf.sprintf "0x%0*Lx" (width / 4) (zero_extend x ~width)

@@ -1,0 +1,24 @@
+(* Deterministic xorshift64* PRNG: workload generation must be reproducible
+   across runs so paper-figure regeneration is stable. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = (if seed = 0L then 0x9E3779B97F4A7C15L else seed) }
+
+let next t =
+  let open Int64 in
+  let x = t.state in
+  let x = logxor x (shift_left x 13) in
+  let x = logxor x (shift_right_logical x 7) in
+  let x = logxor x (shift_left x 17) in
+  t.state <- x;
+  mul x 0x2545F4914F6CDD1DL
+
+(* Uniform in [0, bound). *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int";
+  Int64.to_int (Int64.unsigned_rem (next t) (Int64.of_int bound))
+
+let int64 t = next t
+let float t = Int64.to_float (Int64.shift_right_logical (next t) 11) /. 9007199254740992.0
+let bool t = Int64.logand (next t) 1L = 1L

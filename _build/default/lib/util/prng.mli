@@ -1,0 +1,24 @@
+(** Deterministic xorshift64* PRNG.
+
+    Workload generation must be reproducible across runs so that
+    paper-figure regeneration is stable; this PRNG is used everywhere
+    randomness is needed in workloads and tests. *)
+
+type t
+
+(** [create seed] makes a generator; a zero seed is replaced by a fixed
+    non-zero constant. *)
+val create : int64 -> t
+
+(** Next raw 64-bit output. *)
+val next : t -> int64
+
+(** Uniform integer in [\[0, bound)]. *)
+val int : t -> int -> int
+
+val int64 : t -> int64
+
+(** Uniform float in [\[0, 1)]. *)
+val float : t -> float
+
+val bool : t -> bool

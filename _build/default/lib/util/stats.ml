@@ -1,0 +1,34 @@
+(* Summary statistics for the benchmark harness. *)
+
+let mean = function
+  | [] -> nan
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let geomean = function
+  | [] -> nan
+  | xs -> exp (mean (List.map log xs))
+
+let min_max = function
+  | [] -> (nan, nan)
+  | x :: xs -> List.fold_left (fun (lo, hi) v -> (min lo v, max hi v)) (x, x) xs
+
+(* Least-squares fit y = a + b*x; returns (a, b). Used for the Fig. 21
+   log-log regression over per-block execution times. *)
+let linear_regression pts =
+  let n = float_of_int (List.length pts) in
+  if n < 2.0 then invalid_arg "Stats.linear_regression";
+  let sx = List.fold_left (fun s (x, _) -> s +. x) 0.0 pts in
+  let sy = List.fold_left (fun s (_, y) -> s +. y) 0.0 pts in
+  let sxx = List.fold_left (fun s (x, _) -> s +. (x *. x)) 0.0 pts in
+  let sxy = List.fold_left (fun s (x, y) -> s +. (x *. y)) 0.0 pts in
+  let b = ((n *. sxy) -. (sx *. sy)) /. ((n *. sxx) -. (sx *. sx)) in
+  let a = (sy -. (b *. sx)) /. n in
+  (a, b)
+
+let percentile xs p =
+  match List.sort compare xs with
+  | [] -> nan
+  | sorted ->
+    let arr = Array.of_list sorted in
+    let idx = int_of_float (p /. 100.0 *. float_of_int (Array.length arr - 1)) in
+    arr.(max 0 (min idx (Array.length arr - 1)))

@@ -1,0 +1,35 @@
+(* Aligned plain-text tables for the bench harness output. *)
+
+type align = Left | Right
+
+let render ?(align = []) ~header rows =
+  let cols = List.length header in
+  let align_of i = match List.nth_opt align i with Some a -> a | None -> Left in
+  let all = header :: rows in
+  let width i =
+    List.fold_left (fun w row ->
+        match List.nth_opt row i with
+        | Some cell -> max w (String.length cell)
+        | None -> w)
+      0 all
+  in
+  let widths = List.init cols width in
+  let pad i cell =
+    let w = List.nth widths i in
+    let n = w - String.length cell in
+    if n <= 0 then cell
+    else
+      match align_of i with
+      | Left -> cell ^ String.make n ' '
+      | Right -> String.make n ' ' ^ cell
+  in
+  let line row = "| " ^ String.concat " | " (List.mapi pad row) ^ " |" in
+  let sep = "|" ^ String.concat "|" (List.map (fun w -> String.make (w + 2) '-') widths) ^ "|" in
+  String.concat "\n" (line header :: sep :: List.map line rows)
+
+let print ?align ~header rows = print_endline (render ?align ~header rows)
+
+let fmt_f ?(digits = 2) v =
+  if Float.is_nan v then "n/a" else Printf.sprintf "%.*f" digits v
+
+let fmt_speedup v = fmt_f ~digits:2 v ^ "x"

@@ -1,0 +1,15 @@
+(** Aligned plain-text tables for the bench harness output. *)
+
+type align = Left | Right
+
+(** [render ?align ~header rows] lays the rows out in markdown-ish style
+    with per-column alignment (default left). *)
+val render : ?align:align list -> header:string list -> string list list -> string
+
+val print : ?align:align list -> header:string list -> string list list -> unit
+
+(** Format a float with [digits] decimals ("n/a" for nan). *)
+val fmt_f : ?digits:int -> float -> string
+
+(** Format a speed-up factor, e.g. ["2.21x"]. *)
+val fmt_speedup : float -> string

@@ -1,0 +1,1 @@
+lib/workloads/kernel.ml: Captive Guest_arm Int64 Qemu_ref

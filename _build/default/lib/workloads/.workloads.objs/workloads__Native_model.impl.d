@@ -1,0 +1,1 @@
+lib/workloads/native_model.ml:

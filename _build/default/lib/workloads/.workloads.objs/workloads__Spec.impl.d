@@ -1,0 +1,1 @@
+lib/workloads/spec.ml: Guest_arm Int64 List Uprog

@@ -1,0 +1,1 @@
+lib/workloads/uprog.ml: Char Guest_arm Int64 Kernel

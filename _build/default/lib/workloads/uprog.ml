@@ -1,0 +1,63 @@
+(* Framework for user-mode guest programs (run on top of Kernel).
+
+   Programs are assembled at Kernel.user_va; [make] wraps a body with the
+   exit convention: the body leaves a checksum in x0, which is reported
+   through sys_exit so engines can be validated against each other.
+
+   Register conventions inside bodies:
+     x0..x15  free
+     x19..x24 free (callee-ish, used for long-lived counters)
+     x8       syscall number (clobbered by syscalls)
+     x25..x28 reserved for the framework *)
+
+module A = Guest_arm.Arm_asm
+
+let data_va = Int64.add Kernel.user_va 0x80000L (* 512 KiB into the user block *)
+let data2_va = Int64.add Kernel.user_va 0x100000L (* second buffer, 1 MiB in *)
+
+type t = { asm : A.t }
+
+let syscall_exit = 0
+let syscall_putchar = 1
+
+let exit_with (p : t) =
+  (* exit(x0 & 0xff) *)
+  A.and_imm p.asm A.x0 A.x0 0xFFL;
+  A.movz p.asm A.x8 syscall_exit;
+  A.svc p.asm 0
+
+let putchar (p : t) c =
+  A.movz p.asm A.x0 (Char.code c);
+  A.movz p.asm A.x8 syscall_putchar;
+  A.svc p.asm 0
+
+(* xorshift64 PRNG step on register r using scratch s. *)
+let prng_step (p : t) r s =
+  let a = p.asm in
+  A.lsl_imm a s r 13;
+  A.eor_reg a r r s;
+  A.lsr_imm a s r 7;
+  A.eor_reg a r r s;
+  A.lsl_imm a s r 17;
+  A.eor_reg a r r s
+
+(* Build a complete user image from a body. *)
+let make (body : t -> unit) : bytes =
+  let asm = A.create ~base:Kernel.user_va () in
+  let p = { asm } in
+  body p;
+  exit_with p;
+  A.assemble asm
+
+(* Fill [len] bytes at address register [base] (clobbered) with PRNG data;
+   seed in x15.  [tag] makes labels unique within a program. *)
+let fill_random ?(tag = "") (p : t) ~base ~len =
+  let a = p.asm in
+  A.mov_const a A.x15 0x9E3779B97F4A7C15L;
+  A.mov_const a A.x14 (Int64.of_int len);
+  A.label a ("__fill" ^ tag);
+  prng_step p A.x15 A.x13;
+  A.str a A.x15 base;
+  A.add_imm a base base 8;
+  A.sub_imm a A.x14 A.x14 8;
+  A.cbnz a A.x14 ("__fill" ^ tag)

@@ -1,0 +1,1 @@
+test/test_adl.ml: Adl Alcotest Ast Decode Lazy Lexer List Option Parser Ssa String Toy_arch Typecheck

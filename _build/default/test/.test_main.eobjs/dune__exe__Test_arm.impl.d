@@ -1,0 +1,1 @@
+test/test_arm.ml: Adl Alcotest Array Bytes Dbt_util Guest Guest_arm Hashtbl Int64 List Option Printf QCheck2 QCheck_alcotest Ssa

@@ -1,0 +1,1 @@
+test/test_bits.ml: Alcotest Bits Dbt_util Int64 QCheck2 QCheck_alcotest

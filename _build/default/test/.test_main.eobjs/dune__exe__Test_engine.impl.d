@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Bytes Captive Char Dbt_util Guest_arm Hvm Int64 List Printf QCheck2 QCheck_alcotest Qemu_ref Workloads

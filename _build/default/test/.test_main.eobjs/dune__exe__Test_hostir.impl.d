@@ -1,0 +1,1 @@
+test/test_hostir.ml: Adl Alcotest Array Dag Dbt_util Encode Exec Hostir Hvm Int64 Lazy List Option Printf QCheck2 QCheck_alcotest Regalloc Ssa Toy_arch

@@ -1,0 +1,1 @@
+test/test_hvm.ml: Alcotest Char Hvm Int64 QCheck2 QCheck_alcotest

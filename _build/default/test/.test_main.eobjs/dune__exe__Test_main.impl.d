@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_adl Test_arm Test_bits Test_engine Test_hostir Test_hvm Test_softfloat Test_ssa Test_workloads

@@ -1,0 +1,1 @@
+test/test_softfloat.ml: Alcotest Archfp F32 F64 Float Int32 Int64 List Printf QCheck2 QCheck_alcotest Sf_types Softfloat

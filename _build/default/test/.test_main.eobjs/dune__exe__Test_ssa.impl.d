@@ -1,0 +1,1 @@
+test/test_ssa.ml: Adl Alcotest Analysis Array Build Dbt_util Gen Guest_arm Hashtbl Int64 Interp Ir Lazy List Offline Opt Option Printf Ssa String Toy_arch

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Bytes Captive Char Guest_arm Guest_riscv List Qemu_ref Simbench Workloads

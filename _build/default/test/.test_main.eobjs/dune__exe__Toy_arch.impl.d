@@ -1,0 +1,1 @@
+test/toy_arch.ml: Array Dbt_util Hashtbl Int64 Lazy Ssa

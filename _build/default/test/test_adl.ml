@@ -1,0 +1,109 @@
+(* ADL front-end tests: lexing, parsing, type checking, decode trees. *)
+
+open Adl
+
+let arch () = Lazy.force Toy_arch.arch
+let model () = Lazy.force Toy_arch.model
+
+let test_parse_arch () =
+  let a = arch () in
+  Alcotest.(check string) "name" "toy" a.Ast.a_name;
+  Alcotest.(check int) "wordsize" 64 a.Ast.a_wordsize;
+  Alcotest.(check bool) "little endian" true a.Ast.a_little_endian;
+  Alcotest.(check int) "banks" 1 (List.length a.Ast.a_banks);
+  Alcotest.(check int) "slots" 2 (List.length a.Ast.a_slots);
+  Alcotest.(check int) "decodes" 11 (List.length a.Ast.a_decodes);
+  Alcotest.(check int) "executes" 11 (List.length a.Ast.a_executes);
+  let gpr = Option.get (Ast.find_bank a "GPR") in
+  Alcotest.(check int) "gpr count" 16 gpr.Ast.b_count;
+  Alcotest.(check int) "gpr width" 64 gpr.Ast.b_width;
+  let flags = Option.get (Ast.find_slot a "FLAGS") in
+  Alcotest.(check int) "flags slot" 1 flags.Ast.s_index
+
+let decode_name word =
+  match Ssa.Offline.decode (model ()) word with
+  | Some d -> d.Decode.name
+  | None -> "<none>"
+
+let test_decode_basic () =
+  Alcotest.(check string) "add" "add" (decode_name (Toy_arch.enc_add ~rd:1 ~ra:2 ~rb:3 ~imm:5));
+  Alcotest.(check string) "addi" "addi" (decode_name (Toy_arch.enc_addi ~rd:1 ~ra:2 ~imm:100));
+  Alcotest.(check string) "halt" "halt" (decode_name Toy_arch.enc_halt);
+  Alcotest.(check string) "undefined" "<none>" (decode_name 0xFF000000L)
+
+let test_decode_fields () =
+  let d = Option.get (Ssa.Offline.decode (model ()) (Toy_arch.enc_add ~rd:7 ~ra:2 ~rb:3 ~imm:0xABC)) in
+  Alcotest.(check int64) "rd" 7L (Decode.field d "rd");
+  Alcotest.(check int64) "ra" 2L (Decode.field d "ra");
+  Alcotest.(check int64) "rb" 3L (Decode.field d "rb");
+  Alcotest.(check int64) "imm" 0xABCL (Decode.field d "imm");
+  Alcotest.(check bool) "not end of block" false d.Decode.ends_block;
+  let b = Option.get (Ssa.Offline.decode (model ()) (Toy_arch.enc_beq ~ra:1 ~rb:2 ~off:16)) in
+  Alcotest.(check bool) "beq ends block" true b.Decode.ends_block
+
+let test_decode_when_predicates () =
+  (* shl2 and shbig share one pattern, discriminated by a `when` clause. *)
+  Alcotest.(check string) "small shift" "shl2" (decode_name (Toy_arch.enc_shl ~rd:1 ~ra:2 ~sh:5));
+  Alcotest.(check string) "big shift" "shbig" (decode_name (Toy_arch.enc_shl ~rd:1 ~ra:2 ~sh:100))
+
+(* Simple substring check. *)
+let astring_contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+let test_errors () =
+  let header = {|arch "t" { wordsize 64; endian little; bank R : uint64[4]; reg PC : uint64; } |} in
+  let expect src pattern =
+    let full = header ^ src in
+    match
+      try Ok (Typecheck.check (Parser.parse_string full))
+      with Ast.Adl_error (msg, _) -> Error msg
+    with
+    | Error msg ->
+      if not (astring_contains msg pattern) then
+        Alcotest.failf "expected error with %S, got %S" pattern msg
+    | Ok _ -> Alcotest.failf "expected an error containing %S" pattern
+  in
+  expect
+    {| decode foo "00000000 f:4 00000000000000000000"; execute(foo) { uint64 x = y; } |}
+    "unknown variable";
+  expect
+    {| decode foo "00000000 f:4 00000000000000000000"; execute(foo) { uint64 x = inst.nope; } |}
+    "unknown instruction field";
+  expect
+    {| decode foo "00000000 f:4 0000000000000000000"; execute(foo) { } |}
+    "covers";
+  expect
+    {| decode foo "00000000 f:4 00000000000000000000"; execute(foo) { uint64 x = read_register_bank(NOPE, 0); } |}
+    "unknown register bank";
+  expect {| decode foo "00000000 f:4 00000000000000000000"; |} "no matching execute";
+  expect
+    {| decode foo "00000000 f:4 00000000000000000000"; execute(foo) { uint64 x = 1; uint64 x = 2; } |}
+    "redeclaration"
+
+let test_lexer_edge_cases () =
+  let toks = Lexer.tokenize "0xFFFFFFFFFFFFFFFF // comment\n /* block */ foo <<" in
+  match List.map (fun t -> t.Lexer.tok) toks with
+  | [ Lexer.INT v; Lexer.IDENT "foo"; Lexer.LTLT; Lexer.EOF ] ->
+    Alcotest.(check int64) "max hex" (-1L) v
+  | _ -> Alcotest.fail "unexpected token stream"
+
+let test_decoder_tree_efficiency () =
+  (* The decision tree must discriminate by opcode bits, not by trying every
+     pattern linearly: its depth must be far below the entry count. *)
+  let m = model () in
+  let d = m.Ssa.Offline.decoder in
+  Alcotest.(check bool) "tree depth reasonable" true (Decode.depth d.Decode.tree <= 4)
+
+let suite =
+  ( "adl",
+    [
+      Alcotest.test_case "parse arch" `Quick test_parse_arch;
+      Alcotest.test_case "decode basic" `Quick test_decode_basic;
+      Alcotest.test_case "decode fields" `Quick test_decode_fields;
+      Alcotest.test_case "decode when" `Quick test_decode_when_predicates;
+      Alcotest.test_case "front-end errors" `Quick test_errors;
+      Alcotest.test_case "lexer edges" `Quick test_lexer_edge_cases;
+      Alcotest.test_case "decoder tree" `Quick test_decoder_tree_efficiency;
+    ] )

@@ -1,0 +1,132 @@
+(* HVM substrate tests: physical memory, page tables, TLB, devices. *)
+
+module Mem = Hvm.Mem
+module Pt = Hvm.Pagetable
+module Tlb = Hvm.Tlb
+module Machine = Hvm.Machine
+
+let test_mem_widths () =
+  let m = Mem.create 4096 in
+  Mem.write64 m 0L 0x1122334455667788L;
+  Alcotest.(check int64) "read64" 0x1122334455667788L (Mem.read64 m 0L);
+  Alcotest.(check int64) "read32 low" 0x55667788L (Mem.read32 m 0L);
+  Alcotest.(check int64) "read32 high" 0x11223344L (Mem.read32 m 4L);
+  Alcotest.(check int64) "read16" 0x7788L (Mem.read16 m 0L);
+  Alcotest.(check int64) "read8" 0x88L (Mem.read8 m 0L);
+  Mem.write8 m 1L 0xFFL;
+  Alcotest.(check int64) "byte patch" 0x112233445566FF88L (Mem.read64 m 0L);
+  Alcotest.check_raises "oob" (Mem.Bus_error 4096L) (fun () -> ignore (Mem.read8 m 4096L))
+
+let mk_machine () = Machine.create ~mem_size:(16 * 1024 * 1024) ()
+
+let test_pagetable_map_walk () =
+  let m = mk_machine () in
+  let root = Hvm.Palloc.alloc m.Machine.palloc in
+  let flags = { Pt.writable = true; user = false; executable = true } in
+  Pt.map m.Machine.mem m.Machine.palloc ~root 0x7000_0000L 0x1000L flags;
+  (match fst (Pt.walk m.Machine.mem ~root 0x7000_0000L) with
+  | Some (_, pte) ->
+    Alcotest.(check int64) "frame" 0x1000L (Pt.frame_of pte);
+    let f = Pt.flags_of_bits pte in
+    Alcotest.(check bool) "writable" true f.Pt.writable;
+    Alcotest.(check bool) "not user" false f.Pt.user;
+    Alcotest.(check bool) "exec" true f.Pt.executable
+  | None -> Alcotest.fail "mapping not found");
+  Alcotest.(check bool) "unmapped va misses" true (fst (Pt.walk m.Machine.mem ~root 0x7000_1000L) = None);
+  Pt.unmap m.Machine.mem ~root 0x7000_0000L;
+  Alcotest.(check bool) "unmap works" true (fst (Pt.walk m.Machine.mem ~root 0x7000_0000L) = None)
+
+let test_pagetable_protect_and_clear () =
+  let m = mk_machine () in
+  let root = Hvm.Palloc.alloc m.Machine.palloc in
+  let rw = { Pt.writable = true; user = true; executable = false } in
+  (* one low-half and one high-half mapping *)
+  Pt.map m.Machine.mem m.Machine.palloc ~root 0x1000L 0x2000L rw;
+  Pt.map m.Machine.mem m.Machine.palloc ~root 0x0000_8000_0000_0000L 0x3000L rw;
+  Pt.protect m.Machine.mem ~root 0x1000L { rw with Pt.writable = false };
+  (match fst (Pt.walk m.Machine.mem ~root 0x1000L) with
+  | Some (_, pte) -> Alcotest.(check bool) "downgraded" false (Pt.flags_of_bits pte).Pt.writable
+  | None -> Alcotest.fail "lost mapping");
+  Pt.clear_low_half m.Machine.mem m.Machine.palloc ~root;
+  Alcotest.(check bool) "low half cleared" true (fst (Pt.walk m.Machine.mem ~root 0x1000L) = None);
+  Alcotest.(check bool) "high half survives" true
+    (fst (Pt.walk m.Machine.mem ~root 0x0000_8000_0000_0000L) <> None)
+
+let test_tlb_pcid () =
+  let tlb = Tlb.create ~size:64 () in
+  let flags = { Pt.writable = true; user = true; executable = true } in
+  Tlb.insert tlb ~pcid:0 ~vpn:5L ~frame:0x5000L ~flags ~global:false;
+  Alcotest.(check bool) "hit pcid0" true (Tlb.lookup tlb ~pcid:0 5L <> None);
+  Alcotest.(check bool) "miss pcid1" true (Tlb.lookup tlb ~pcid:1 5L = None);
+  Tlb.insert tlb ~pcid:1 ~vpn:6L ~frame:0x6000L ~flags ~global:false;
+  Tlb.flush_pcid tlb 0;
+  Alcotest.(check bool) "pcid0 flushed" true (Tlb.lookup tlb ~pcid:0 5L = None);
+  Alcotest.(check bool) "pcid1 survives pcid0 flush" true (Tlb.lookup tlb ~pcid:1 6L <> None);
+  Tlb.flush_all tlb;
+  Alcotest.(check bool) "all flushed" true (Tlb.lookup tlb ~pcid:1 6L = None)
+
+let test_machine_translate_rings () =
+  let m = mk_machine () in
+  let root = Hvm.Palloc.alloc m.Machine.palloc in
+  m.Machine.cr3 <- root;
+  m.Machine.paging <- true;
+  Pt.map m.Machine.mem m.Machine.palloc ~root 0x4000L 0x8000L
+    { Pt.writable = false; user = false; executable = true };
+  m.Machine.ring <- 0;
+  Alcotest.(check int64) "kernel read ok" 0x8123L (Machine.translate m ~access:Machine.Read 0x4123L);
+  Alcotest.check_raises "kernel write to RO faults"
+    (Machine.Host_fault { va = 0x4123L; access = Machine.Write }) (fun () ->
+      ignore (Machine.translate m ~access:Machine.Write 0x4123L));
+  m.Machine.ring <- 3;
+  Alcotest.check_raises "user access to kernel page faults"
+    (Machine.Host_fault { va = 0x4123L; access = Machine.Read }) (fun () ->
+      ignore (Machine.translate m ~access:Machine.Read 0x4123L))
+
+let test_devices () =
+  let intc = Hvm.Device.Intc.create () in
+  let uart = Hvm.Device.Uart.create () in
+  let timer = Hvm.Device.Timer.create intc in
+  let udev = Hvm.Device.Uart.device uart in
+  udev.Hvm.Device.write 0 8 (Int64.of_int (Char.code 'h'));
+  udev.Hvm.Device.write 0 8 (Int64.of_int (Char.code 'i'));
+  Alcotest.(check string) "uart collects" "hi" (Hvm.Device.Uart.output uart);
+  Alcotest.(check int64) "tx ready" 1L (udev.Hvm.Device.read 4 32);
+  let tdev = Hvm.Device.Timer.device timer in
+  tdev.Hvm.Device.write 0 32 100L; (* load *)
+  tdev.Hvm.Device.write 8 32 3L; (* enable + irq *)
+  Alcotest.(check bool) "no irq yet" false (Hvm.Device.Intc.asserted intc);
+  intc.Hvm.Device.Intc.enabled <- 2;
+  tdev.Hvm.Device.tick 150;
+  Alcotest.(check bool) "irq raised" true (Hvm.Device.Intc.asserted intc);
+  Alcotest.(check int) "fired once" 1 timer.Hvm.Device.Timer.fired;
+  tdev.Hvm.Device.write 12 32 0L; (* ack *)
+  Alcotest.(check bool) "irq cleared" false (Hvm.Device.Intc.asserted intc)
+
+(* Property: any mapping installed is returned by the walk with its exact
+   frame and flags. *)
+let prop_map_walk =
+  QCheck2.Test.make ~name:"pagetable map/walk roundtrip" ~count:200
+    QCheck2.Gen.(triple (int_range 0 100000) bool bool)
+    (fun (page, writable, user) ->
+      let m = mk_machine () in
+      let root = Hvm.Palloc.alloc m.Machine.palloc in
+      let va = Int64.mul (Int64.of_int page) 4096L in
+      let pa = Int64.of_int (0x100000 + (page mod 64) * 4096) in
+      let flags = { Pt.writable; user; executable = true } in
+      Pt.map m.Machine.mem m.Machine.palloc ~root va pa flags;
+      match fst (Pt.walk m.Machine.mem ~root va) with
+      | Some (_, pte) -> Pt.frame_of pte = pa && Pt.flags_of_bits pte = flags
+      | None -> false)
+
+let suite =
+  let q = QCheck_alcotest.to_alcotest in
+  ( "hvm",
+    [
+      Alcotest.test_case "memory widths" `Quick test_mem_widths;
+      Alcotest.test_case "pagetable map/walk" `Quick test_pagetable_map_walk;
+      Alcotest.test_case "protect and clear-low-half" `Quick test_pagetable_protect_and_clear;
+      Alcotest.test_case "tlb pcid tagging" `Quick test_tlb_pcid;
+      Alcotest.test_case "machine rings" `Quick test_machine_translate_rings;
+      Alcotest.test_case "devices" `Quick test_devices;
+      q prop_map_walk;
+    ] )

@@ -1,0 +1,13 @@
+let () =
+  Alcotest.run "captive_repro"
+    [
+      Test_bits.suite;
+      Test_softfloat.suite;
+      Test_adl.suite;
+      Test_ssa.suite;
+      Test_hvm.suite;
+      Test_hostir.suite;
+      Test_arm.suite;
+      Test_engine.suite;
+      Test_workloads.suite;
+    ]

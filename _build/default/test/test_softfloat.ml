@@ -1,0 +1,193 @@
+(* Softfloat is validated against the host FPU: OCaml floats are IEEE
+   binary64 with round-to-nearest-even, so for every binary64 operation the
+   host is a bit-exact oracle (modulo NaN payloads, which we compare as
+   "both NaN"). *)
+
+open Softfloat
+
+let flags () = Sf_types.new_flags ()
+
+let same_f64 a b = a = b || (F64.is_nan a && F64.is_nan b)
+
+let check_same name expected got =
+  if not (same_f64 expected got) then
+    Alcotest.failf "%s: expected %Lx (%h) got %Lx (%h)" name expected (F64.to_float expected) got
+      (F64.to_float got)
+
+let binop_cases =
+  [
+    ("1.5+2.25", 1.5, 2.25, `Add);
+    ("sub eq", 1.0, 1.0, `Sub);
+    ("cancel", 1.0000000000000002, 1.0, `Sub);
+    ("mul", 1.5, 3.0, `Mul);
+    ("mul tiny", 1e-308, 1e-10, `Mul);
+    ("div", 1.0, 3.0, `Div);
+    ("div denormal", 4e-320, 3.0, `Div);
+    ("add inf", infinity, 1.0, `Add);
+    ("inf-inf", infinity, infinity, `Sub);
+    ("0/0", 0.0, 0.0, `Div);
+    ("x/0", 5.0, 0.0, `Div);
+    ("-0 + +0", -0.0, 0.0, `Add);
+    ("subnormal sum", 5e-324, 5e-324, `Add);
+    ("near-overflow", 1.7e308, 1.7e308, `Add);
+  ]
+
+let test_binop_vectors () =
+  List.iter
+    (fun (name, x, y, op) ->
+      let a = F64.of_float x and b = F64.of_float y in
+      let host, mine =
+        match op with
+        | `Add -> (x +. y, F64.add (flags ()) a b)
+        | `Sub -> (x -. y, F64.sub (flags ()) a b)
+        | `Mul -> (x *. y, F64.mul (flags ()) a b)
+        | `Div -> (x /. y, F64.div (flags ()) a b)
+      in
+      check_same name (F64.of_float host) mine)
+    binop_cases
+
+let test_sqrt_vectors () =
+  List.iter
+    (fun x ->
+      let host = F64.of_float (Float.sqrt x) in
+      let mine = F64.sqrt (flags ()) (F64.of_float x) in
+      check_same (Printf.sprintf "sqrt %h" x) host mine)
+    [ 0.0; 1.0; 2.0; 4.0; 0.5; 1e300; 1e-300; 5e-324; 2.2250738585072014e-308; 3.14159; 1e16 ]
+
+let test_sqrt_nan_sign () =
+  (* Table 2 of the paper: x86 yields -NaN on negative inputs, ARM +NaN. *)
+  let neg = F64.of_float (-0.5) in
+  let x86 = Archfp.x86_sqrtsd neg and arm = Archfp.arm_fsqrt neg in
+  Alcotest.(check bool) "x86 sign" true (F64.sign x86);
+  Alcotest.(check bool) "arm sign" false (F64.sign arm);
+  Alcotest.(check bool) "both nan" true (F64.is_nan x86 && F64.is_nan arm);
+  (* -0.0 has an exact square root of -0.0 on both. *)
+  check_same "sqrt -0 x86" F64.neg_zero (Archfp.x86_sqrtsd F64.neg_zero);
+  check_same "sqrt -0 arm" F64.neg_zero (Archfp.arm_fsqrt F64.neg_zero);
+  (* The fix-up turns the x86 result into the ARM result. *)
+  check_same "fixup" arm (Archfp.fixup_sqrt_result ~input:neg x86)
+
+let test_flags () =
+  let f = flags () in
+  let _ = F64.div f (F64.of_float 1.0) F64.zero in
+  Alcotest.(check bool) "div_by_zero" true f.Sf_types.div_by_zero;
+  let f = flags () in
+  let _ = F64.add f F64.infinity F64.neg_infinity in
+  Alcotest.(check bool) "invalid" true f.Sf_types.invalid;
+  let f = flags () in
+  let big = F64.of_float 1.7976931348623157e308 in
+  let _ = F64.mul f big big in
+  Alcotest.(check bool) "overflow" true f.Sf_types.overflow;
+  Alcotest.(check bool) "inexact" true f.Sf_types.inexact
+
+let test_compare () =
+  let f = flags () in
+  let one = F64.of_float 1.0 and two = F64.of_float 2.0 in
+  Alcotest.(check bool) "lt" true (F64.lt f one two);
+  Alcotest.(check bool) "le eq" true (F64.le f one one);
+  Alcotest.(check bool) "eq zeros" true (F64.eq f F64.zero F64.neg_zero);
+  let nan = F64.default_nan Sf_types.Arm_nan in
+  Alcotest.(check bool) "nan not eq" false (F64.eq f nan nan);
+  Alcotest.(check bool) "nan not lt" false (F64.lt f nan one);
+  Alcotest.(check bool) "neg lt pos" true (F64.lt f (F64.of_float (-1.0)) one)
+
+let test_int_conversions () =
+  let f = flags () in
+  List.iter
+    (fun v ->
+      Alcotest.(check int64)
+        (Printf.sprintf "of_int64 %Ld" v)
+        (F64.of_float (Int64.to_float v))
+        (F64.of_int64 f v))
+    [ 0L; 1L; -1L; 123456789L; Int64.max_int; Int64.min_int; 4503599627370497L ];
+  List.iter
+    (fun x ->
+      Alcotest.(check int64)
+        (Printf.sprintf "to_int64 %h" x)
+        (Int64.of_float x)
+        (F64.to_int64 f (F64.of_float x)))
+    [ 0.0; 1.9; -1.9; 1e15; -1e15; 0.5 ]
+
+let test_f32_basics () =
+  let f = flags () in
+  let a = F32.of_float 1.5 and b = F32.of_float 2.5 in
+  Alcotest.(check int64) "f32 add" (F32.of_float 4.0) (F32.add f a b);
+  Alcotest.(check int64) "f32 mul" (F32.of_float 3.75) (F32.mul f a b);
+  Alcotest.(check int64) "f32 div" (F32.of_float 0.6) (F32.div f a b);
+  Alcotest.(check int64) "f32 sqrt" (F32.of_float 1.5) (F32.sqrt f (F32.of_float 2.25));
+  (* Round-trip through f64 is exact for f32 values. *)
+  Alcotest.(check int64) "f32->f64->f32" a (F64.to_f32 f (F32.to_f64 f a))
+
+(* Generator biased towards interesting exponents: uniform bit patterns are
+   almost always huge-exponent normals. *)
+let f64_gen =
+  QCheck2.Gen.(
+    oneof
+      [
+        int64;
+        (* small exponent range around 1.0 *)
+        map2
+          (fun frac e ->
+            Int64.logor
+              (Int64.logand frac 0xFFFFFFFFFFFFFL)
+              (Int64.shift_left (Int64.of_int (1023 + e)) 52))
+          int64 (int_range (-60) 60);
+        (* subnormals *)
+        map (fun f -> Int64.logand f 0xFFFFFFFFFFFFFL) int64;
+        oneofl
+          [ 0L; Int64.min_int; F64.infinity; F64.neg_infinity; F64.default_nan Sf_types.Arm_nan ];
+      ])
+
+let mk_prop name host mine =
+  QCheck2.Test.make ~name ~count:2000 QCheck2.Gen.(pair f64_gen f64_gen) (fun (a, b) ->
+      let expected = F64.of_float (host (F64.to_float a) (F64.to_float b)) in
+      same_f64 expected (mine (flags ()) a b))
+
+let prop_add = mk_prop "f64 add matches host" ( +. ) F64.add
+let prop_sub = mk_prop "f64 sub matches host" ( -. ) F64.sub
+let prop_mul = mk_prop "f64 mul matches host" ( *. ) F64.mul
+let prop_div = mk_prop "f64 div matches host" ( /. ) F64.div
+
+let prop_sqrt =
+  QCheck2.Test.make ~name:"f64 sqrt matches host" ~count:2000 f64_gen (fun a ->
+      let expected = F64.of_float (Float.sqrt (F64.to_float a)) in
+      same_f64 expected (F64.sqrt (flags ()) a))
+
+let prop_compare =
+  QCheck2.Test.make ~name:"f64 lt matches host" ~count:2000 QCheck2.Gen.(pair f64_gen f64_gen)
+    (fun (a, b) -> F64.lt (flags ()) a b = (F64.to_float a < F64.to_float b))
+
+let prop_f32_roundtrip =
+  QCheck2.Test.make ~name:"f32->f64 conversion matches host" ~count:2000 QCheck2.Gen.int64
+    (fun bits ->
+      let b32 = Int64.logand bits 0xFFFFFFFFL in
+      let expected = F64.of_float (F32.to_float b32) in
+      same_f64 expected (F32.to_f64 (flags ()) b32))
+
+let prop_f64_to_f32 =
+  QCheck2.Test.make ~name:"f64->f32 conversion matches host" ~count:2000 f64_gen (fun a ->
+      (* OCaml exposes binary32 rounding via Int32.bits_of_float. *)
+      let expected = Int64.logand (Int64.of_int32 (Int32.bits_of_float (F64.to_float a))) 0xFFFFFFFFL in
+      let got = F64.to_f32 (flags ()) a in
+      expected = got || (F32.is_nan expected && F32.is_nan got))
+
+let suite =
+  let q = QCheck_alcotest.to_alcotest in
+  ( "softfloat",
+    [
+      Alcotest.test_case "binop vectors" `Quick test_binop_vectors;
+      Alcotest.test_case "sqrt vectors" `Quick test_sqrt_vectors;
+      Alcotest.test_case "sqrt nan sign (Table 2)" `Quick test_sqrt_nan_sign;
+      Alcotest.test_case "exception flags" `Quick test_flags;
+      Alcotest.test_case "compare" `Quick test_compare;
+      Alcotest.test_case "int conversions" `Quick test_int_conversions;
+      Alcotest.test_case "f32 basics" `Quick test_f32_basics;
+      q prop_add;
+      q prop_sub;
+      q prop_mul;
+      q prop_div;
+      q prop_sqrt;
+      q prop_compare;
+      q prop_f32_roundtrip;
+      q prop_f64_to_f32;
+    ] )

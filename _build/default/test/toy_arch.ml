@@ -1,0 +1,165 @@
+(* A small toy architecture used by ADL/SSA/backend tests. *)
+
+let source =
+  {|
+arch "toy" {
+  wordsize 64;
+  endian little;
+  bank GPR : uint64[16];
+  reg PC : uint64;
+  reg FLAGS : uint64;
+}
+
+helper uint64 shifted(uint64 v, uint64 amount) {
+  if (amount > 63) { return 0; }
+  return v << amount;
+}
+
+decode add   "00000001 rd:4 ra:4 rb:4 imm:12";
+decode addi  "00000010 rd:4 ra:4 imm:16";
+decode beq   "00000011 ra:4 rb:4 off:16" ends_block;
+decode ld    "00000100 rd:4 ra:4 off:16";
+decode st    "00000101 rs:4 ra:4 off:16";
+decode halt  "00000110 0000 0000 00000000 00000000" ends_block;
+decode csel  "00000111 rd:4 ra:4 rb:4 cond:4 00000000";
+decode shl2  "00001000 rd:4 ra:4 sh:16" when (sh < 64);
+decode shbig "00001000 rd:4 ra:4 sh:16" when (sh >= 64);
+decode fadd  "00001001 rd:4 ra:4 rb:4 000000000000";
+decode loopy "00001010 rd:4 n:4 0000 000000000000";
+
+execute(add) {
+  uint64 a = read_register_bank(GPR, inst.ra);
+  uint64 b = read_register_bank(GPR, inst.rb);
+  write_register_bank(GPR, inst.rd, a + b + inst.imm);
+}
+
+execute(addi) {
+  uint64 a = read_register_bank(GPR, inst.ra);
+  uint64 imm = sign_extend(inst.imm, 16);
+  write_register_bank(GPR, inst.rd, a + imm);
+}
+
+execute(beq) {
+  uint64 a = read_register_bank(GPR, inst.ra);
+  uint64 b = read_register_bank(GPR, inst.rb);
+  uint64 pc = read_pc();
+  if (a == b) {
+    write_pc(pc + (sign_extend(inst.off, 16) << 2));
+  } else {
+    write_pc(pc + 4);
+  }
+}
+
+execute(ld) {
+  uint64 base = read_register_bank(GPR, inst.ra);
+  uint64 v = mem_read_64(base + sign_extend(inst.off, 16));
+  write_register_bank(GPR, inst.rd, v);
+}
+
+execute(st) {
+  uint64 base = read_register_bank(GPR, inst.ra);
+  uint64 v = read_register_bank(GPR, inst.rs);
+  mem_write_64(base + sign_extend(inst.off, 16), v);
+}
+
+execute(halt) {
+  halt();
+}
+
+execute(csel) {
+  uint64 flags = read_register(FLAGS);
+  uint64 a = read_register_bank(GPR, inst.ra);
+  uint64 b = read_register_bank(GPR, inst.rb);
+  // A dynamic condition exercised through select rather than branching.
+  uint64 take = (flags & inst.cond) != 0;
+  write_register_bank(GPR, inst.rd, select(take, a, b));
+}
+
+execute(shl2) {
+  uint64 a = read_register_bank(GPR, inst.ra);
+  write_register_bank(GPR, inst.rd, shifted(a, inst.sh));
+}
+
+execute(shbig) {
+  write_register_bank(GPR, inst.rd, 0);
+}
+
+execute(fadd) {
+  uint64 a = read_register_bank(GPR, inst.ra);
+  uint64 b = read_register_bank(GPR, inst.rb);
+  write_register_bank(GPR, inst.rd, fp64_add(a, b));
+}
+
+execute(loopy) {
+  // A fixed loop: unrolled at translation time.
+  uint64 acc = 0;
+  uint64 i = 0;
+  while (i < inst.n) {
+    acc = acc + read_register_bank(GPR, i);
+    i = i + 1;
+  }
+  write_register_bank(GPR, inst.rd, acc);
+}
+|}
+
+let model = lazy (Ssa.Offline.build ~opt_level:4 source)
+let arch = lazy (Lazy.force model).Ssa.Offline.arch
+
+(* Hand-assembled encodings for the toy ISA. *)
+let enc_add ~rd ~ra ~rb ~imm =
+  Int64.of_int ((0x01 lsl 24) lor (rd lsl 20) lor (ra lsl 16) lor (rb lsl 12) lor imm)
+
+let enc_addi ~rd ~ra ~imm = Int64.of_int ((0x02 lsl 24) lor (rd lsl 20) lor (ra lsl 16) lor imm)
+let enc_beq ~ra ~rb ~off = Int64.of_int ((0x03 lsl 24) lor (ra lsl 20) lor (rb lsl 16) lor off)
+let enc_ld ~rd ~ra ~off = Int64.of_int ((0x04 lsl 24) lor (rd lsl 20) lor (ra lsl 16) lor off)
+let enc_st ~rs ~ra ~off = Int64.of_int ((0x05 lsl 24) lor (rs lsl 20) lor (ra lsl 16) lor off)
+let enc_halt = Int64.of_int (0x06 lsl 24)
+
+let enc_csel ~rd ~ra ~rb ~cond =
+  Int64.of_int ((0x07 lsl 24) lor (rd lsl 20) lor (ra lsl 16) lor (rb lsl 12) lor (cond lsl 8))
+
+let enc_shl ~rd ~ra ~sh = Int64.of_int ((0x08 lsl 24) lor (rd lsl 20) lor (ra lsl 16) lor sh)
+
+let enc_fadd ~rd ~ra ~rb =
+  Int64.of_int ((0x09 lsl 24) lor (rd lsl 20) lor (ra lsl 16) lor (rb lsl 12))
+
+let enc_loopy ~rd ~n = Int64.of_int ((0x0A lsl 24) lor (rd lsl 20) lor (n lsl 16))
+
+(* A concrete machine state for the SSA interpreter. *)
+type mock_state = {
+  gpr : int64 array;
+  slots : int64 array; (* PC=0, FLAGS=1 *)
+  mem : (int64, int64) Hashtbl.t; (* 8-byte granules, keyed by address *)
+  mutable effects : (string * int64 list) list;
+}
+
+let fresh_state () =
+  { gpr = Array.make 16 0L; slots = Array.make 2 0L; mem = Hashtbl.create 16; effects = [] }
+
+let clone_state s =
+  { gpr = Array.copy s.gpr; slots = Array.copy s.slots; mem = Hashtbl.copy s.mem; effects = s.effects }
+
+let interp_state (s : mock_state) : Ssa.Interp.state =
+  {
+    Ssa.Interp.bank_read = (fun _ i -> s.gpr.(i land 15));
+    bank_write = (fun _ i v -> s.gpr.(i land 15) <- v);
+    reg_read = (fun slot -> s.slots.(slot));
+    reg_write = (fun slot v -> s.slots.(slot) <- v);
+    pc_read = (fun () -> s.slots.(0));
+    pc_write = (fun v -> s.slots.(0) <- v);
+    mem_read =
+      (fun bits a ->
+        let v = try Hashtbl.find s.mem a with Not_found -> 0L in
+        Dbt_util.Bits.zero_extend v ~width:bits);
+    mem_write =
+      (fun bits a v ->
+        Hashtbl.replace s.mem a (Dbt_util.Bits.zero_extend v ~width:bits));
+    coproc_read = (fun id -> Int64.mul id 3L);
+    coproc_write = (fun _ _ -> ());
+    effect = (fun name args -> s.effects <- (name, args) :: s.effects);
+  }
+
+let state_equal a b =
+  a.gpr = b.gpr && a.slots = b.slots && a.effects = b.effects
+  && Hashtbl.length a.mem = Hashtbl.length b.mem
+  && Hashtbl.fold (fun k v acc -> acc && Hashtbl.find_opt b.mem k = Some v) a.mem true
