@@ -5,11 +5,15 @@
      captive_run boot --engine qemu
      captive_run info
      captive_run ssa add_sub_imm --level 4
+     captive_run lint
 
    `spec` runs a SPEC CPU2006 proxy under the mini guest OS, `simbench`
    one SimBench category on both engines, `boot` a demo user program on
-   the mini-OS, `info` prints the loaded guest models, and `ssa` dumps an
-   instruction's optimized SSA (the offline artifact of Fig. 6). *)
+   the mini-OS, `info` prints the loaded guest models, `ssa` dumps an
+   instruction's optimized SSA (the offline artifact of Fig. 6), and
+   `lint` statically verifies the whole offline pipeline (decode tables,
+   SSA after every pass at O1-O4, and post-regalloc HostIR) for every
+   guest model. *)
 
 open Cmdliner
 
@@ -196,6 +200,136 @@ let ssa_cmd =
   Cmd.v (Cmd.info "ssa" ~doc:"Dump an instruction's optimized SSA (the offline artifact).")
     Term.(const run $ insn $ level $ guest $ classify)
 
+(* --- lint --------------------------------------------------------------------------- *)
+
+(* Static verification sweep over the whole offline pipeline, for every
+   guest model:
+
+   1. decode-table analysis (Adl.Declint): ambiguous overlaps, shadowed
+      patterns, bad field-extraction plans, bad `when` predicates;
+   2. SSA well-formedness (Ssa.Verify) after every optimization pass at
+      each level O1-O4, attributing any broken invariant to the
+      offending pass by name;
+   3. HostIR invariants (Hostir.Verify) on a representative translation
+      of every action: post-regalloc operand discipline, spill-slot
+      bounds, branch-target resolution and dead-marking soundness.
+
+   Exit status is non-zero if any violation is found, so the `@lint`
+   dune alias can gate the test suite on it. *)
+
+module Counters = Dbt_util.Stats.Counters
+
+let lint_guest c failures (ops : Guest.Ops.ops) =
+  let arch = ops.Guest.Ops.model.Ssa.Offline.arch in
+  let gname = ops.Guest.Ops.name in
+  Printf.printf "linting %s: %d decode entries, %d execute actions\n%!" gname
+    (List.length arch.Adl.Ast.a_decodes)
+    (List.length arch.Adl.Ast.a_executes);
+  (* 1. decode table *)
+  Counters.bump c "decode entries checked" ~by:(List.length arch.Adl.Ast.a_decodes);
+  List.iter
+    (fun v ->
+      incr failures;
+      Counters.bump c "decode-table violations";
+      Printf.printf "  %s: %s\n" gname (Adl.Declint.string_of_violation v))
+    (Adl.Declint.check_arch arch);
+  (* 2. SSA after every pass at O1-O4 *)
+  List.iter
+    (fun level ->
+      List.iter
+        (fun (x : Adl.Ast.execute) ->
+          let action = Ssa.Build.execute arch x in
+          let ctx = Ssa.Offline.opt_context arch x.Adl.Ast.x_name in
+          try
+            Ssa.Opt.optimize ~ctx ~verify:true ~level action;
+            Counters.bump c "ssa action/level sweeps verified"
+          with Ssa.Verify.Invalid { action = aname; phase; violations } ->
+            incr failures;
+            Counters.bump c "ssa violations" ~by:(List.length violations);
+            print_endline
+              (Ssa.Verify.report
+                 ~action:(Printf.sprintf "%s/%s at O%d" gname aname level)
+                 ~phase violations))
+        arch.Adl.Ast.a_executes)
+    [ 1; 2; 3; 4 ];
+  (* 3. HostIR on a representative translation of every O4 action *)
+  let cfg =
+    {
+      Hostir.Dag.bank_offset = ops.Guest.Ops.bank_offset;
+      slot_offset = ops.Guest.Ops.slot_offset;
+      lower_intrinsic =
+        (fun name ->
+          match Captive.Common.softfloat_index name with
+          | Some h -> Hostir.Dag.L_helper h
+          | None -> Hostir.Dag.L_inline);
+      effect_helper = Captive.Common.effect_helper_index;
+      coproc_read_helper = Captive.Common.h_coproc_read;
+      coproc_write_helper = Captive.Common.h_coproc_write;
+      split_va_check = false;
+      as_switch_helper = Captive.Common.h_as_switch;
+    }
+  in
+  Hashtbl.iter
+    (fun aname action ->
+      (* A representative decoded instance: all fields zero, EL1.  Some
+         actions cannot translate under it (e.g. dynamic widths); they
+         are skipped, not failed. *)
+      let field n = if n = "__el" then 1L else 0L in
+      match
+        let dag = Hostir.Dag.create cfg in
+        Ssa.Gen.translate (Hostir.Dag.emitter dag) action ~field
+          ~inc_pc:(Some ops.Guest.Ops.insn_size);
+        Hostir.Dag.raw dag (Hostir.Hir.Exit 0);
+        Some (Hostir.Dag.finish dag)
+      with
+      | exception (Ssa.Gen.Unsupported _ | Hostir.Dag.Unsupported_lowering _ | Invalid_argument _)
+        ->
+        Counters.bump c "hostir translations skipped"
+      | None -> Counters.bump c "hostir translations skipped"
+      | Some original -> (
+        let ra = Hostir.Regalloc.run original in
+        match Hostir.Verify.check ~original ra with
+        | [] -> Counters.bump c "hostir translations verified"
+        | violations ->
+          incr failures;
+          Counters.bump c "hostir violations" ~by:(List.length violations);
+          print_endline (Hostir.Verify.report ~what:(gname ^ "/" ^ aname) violations)))
+    ops.Guest.Ops.model.Ssa.Offline.actions
+
+let lint_cmd =
+  let guest =
+    Arg.(value & opt string "all" & info [ "g"; "guest" ] ~docv:"GUEST"
+           ~doc:"Guest model to lint (armv8-a, rv64im or all).")
+  in
+  let run guest =
+    let guests =
+      match guest with
+      | "all" -> Ok [ Guest_arm.Arm.ops (); Guest_riscv.Riscv.ops () ]
+      | "armv8-a" -> Ok [ Guest_arm.Arm.ops () ]
+      | "rv64im" -> Ok [ Guest_riscv.Riscv.ops () ]
+      | g -> Error (Printf.sprintf "unknown guest %s (expected armv8-a, rv64im or all)" g)
+    in
+    match guests with
+    | Error msg -> `Error (true, msg)
+    | Ok guests ->
+    let c = Counters.create () in
+    let failures = ref 0 in
+    List.iter (lint_guest c failures) guests;
+    Printf.printf "\nlint counters:\n%s" (Counters.report c);
+    if !failures = 0 then begin
+      print_endline "lint: no violations";
+      `Ok ()
+    end
+    else `Error (false, Printf.sprintf "lint: %d violation site(s)" !failures)
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Statically verify decode tables, SSA passes (O1-O4) and HostIR for every guest.")
+    Term.(ret (const run $ guest))
+
 let () =
   let doc = "Retargetable system-level DBT hypervisor (Captive reproduction)" in
-  exit (Cmd.eval (Cmd.group (Cmd.info "captive_run" ~doc) [ spec_cmd; simbench_cmd; boot_cmd; info_cmd; ssa_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "captive_run" ~doc)
+          [ spec_cmd; simbench_cmd; boot_cmd; info_cmd; ssa_cmd; lint_cmd ]))

@@ -1,0 +1,182 @@
+(* Static analysis of ADL decode tables.
+
+   The decoder generator (Decode) compiles the per-instruction bit
+   patterns into a decision tree and resolves residual overlap by trying
+   leaf entries in declaration order, consulting `when` predicates.
+   That scheme silently tolerates description bugs: two patterns whose
+   match sets intersect with no predicate to pick a winner decode to
+   whichever was declared first, and a pattern whose match set is
+   entirely contained in an earlier unconditional one can never decode
+   at all.  This lint finds both, plus field-extraction plans that
+   reference bits outside the 32-bit instruction word and `when`
+   predicates over fields the pattern does not define. *)
+
+open Ast
+module Bits = Dbt_util.Bits
+
+type kind =
+  | Overlap (* ambiguous overlap, no `when` to disambiguate *)
+  | Shadowed (* fully covered by an earlier unconditional pattern *)
+  | Bad_field (* extraction plan references bits outside the word *)
+  | Bad_when (* predicate references a field the pattern lacks *)
+
+let string_of_kind = function
+  | Overlap -> "overlap"
+  | Shadowed -> "shadowed"
+  | Bad_field -> "bad-field"
+  | Bad_when -> "bad-when"
+
+type violation = {
+  l_insn : string;
+  l_other : string option; (* the conflicting entry, for pairwise findings *)
+  l_kind : kind;
+  l_msg : string;
+}
+
+let string_of_violation v =
+  Printf.sprintf "[%s] %s%s: %s" (string_of_kind v.l_kind) v.l_insn
+    (match v.l_other with Some o -> " vs " ^ o | None -> "")
+    v.l_msg
+
+(* Tolerant variant of Decode.compile_entry: computes the fixed-bit
+   mask/value and the field plan without asserting, flagging
+   out-of-range bit references instead.  Returns None when the pattern
+   is too malformed for overlap analysis. *)
+let summarize (d : decode) (emit : violation -> unit) =
+  let width = 32 in
+  let mask = ref 0L and value = ref 0L in
+  let pos = ref width in
+  let ok = ref true in
+  List.iter
+    (fun tok ->
+      match tok with
+      | Bit b ->
+        decr pos;
+        if !pos < 0 then ok := false
+        else begin
+          mask := Int64.logor !mask (Bits.shl 1L !pos);
+          if b then value := Int64.logor !value (Bits.shl 1L !pos)
+        end
+      | Fld (name, w) ->
+        pos := !pos - w;
+        if w <= 0 || !pos < 0 then begin
+          ok := false;
+          emit
+            {
+              l_insn = d.d_name;
+              l_other = None;
+              l_kind = Bad_field;
+              l_msg =
+                Printf.sprintf "field %s:%d extracts bits [%d, %d) outside the %d-bit word" name w
+                  !pos (!pos + w) width;
+            }
+        end)
+    d.d_pattern;
+  if !pos <> 0 then begin
+    emit
+      {
+        l_insn = d.d_name;
+        l_other = None;
+        l_kind = Bad_field;
+        l_msg = Printf.sprintf "pattern covers %d bits, expected %d" (width - !pos) width;
+      };
+    ok := false
+  end;
+  if !ok then Some (!mask, !value) else None
+
+let pattern_fields (d : decode) =
+  List.filter_map (function Fld (n, _) -> Some n | Bit _ -> None) d.d_pattern
+
+(* Fields referenced by a `when` predicate.  Bare identifiers are
+   rewritten to [Field] by the type checker; before type checking they
+   still appear as [Var], so collect both. *)
+let rec expr_fields (e : expr) : string list =
+  match e.e with
+  | Int_lit _ | Float_lit _ -> []
+  | Var n | Field n -> [ n ]
+  | Binop (_, a, b) -> expr_fields a @ expr_fields b
+  | Unop (_, a) | Cast (_, a) -> expr_fields a
+  | Call (_, args) -> List.concat_map expr_fields args
+  | Ternary (c, t, f) -> expr_fields c @ expr_fields t @ expr_fields f
+
+let check_when (d : decode) (emit : violation -> unit) =
+  match d.d_when with
+  | None -> ()
+  | Some pred ->
+    let have = pattern_fields d in
+    List.iter
+      (fun n ->
+        if not (List.mem n have) then
+          emit
+            {
+              l_insn = d.d_name;
+              l_other = None;
+              l_kind = Bad_when;
+              l_msg = Printf.sprintf "`when` predicate references field %S not in the pattern" n;
+            })
+      (List.sort_uniq compare (expr_fields pred))
+
+(* Match-set relations between two summarized entries.
+
+   compatible: some word matches both fixed-bit constraints (the masks
+   agree wherever both fix bits).
+
+   subsumes a b: every word matching b's constraint also matches a's
+   (a fixes a subset of b's bits, agreeing on all of them). *)
+let compatible (m1, v1) (m2, v2) =
+  let common = Int64.logand m1 m2 in
+  Int64.logand v1 common = Int64.logand v2 common
+
+let subsumes (m1, v1) (m2, v2) = Int64.logand m1 m2 = m1 && Int64.logand v2 m1 = v1
+
+let check_decodes (decodes : decode list) : violation list =
+  let violations = ref [] in
+  let emit v = violations := v :: !violations in
+  let summarized =
+    List.filter_map
+      (fun d ->
+        check_when d emit;
+        match summarize d emit with Some mv -> Some (d, mv) | None -> None)
+      decodes
+  in
+  (* Pairwise analysis in declaration order. *)
+  let rec pairs = function
+    | [] -> ()
+    | (d1, mv1) :: rest ->
+      List.iter
+        (fun (d2, mv2) ->
+          if compatible mv1 mv2 then begin
+            if subsumes mv1 mv2 && d1.d_when = None then
+              (* d1 is earlier, matches everything d2 matches, and has no
+                 predicate: d2 can never decode. *)
+              emit
+                {
+                  l_insn = d2.d_name;
+                  l_other = Some d1.d_name;
+                  l_kind = Shadowed;
+                  l_msg =
+                    Printf.sprintf
+                      "pattern is unreachable: every matching word already decodes as %S" d1.d_name;
+                }
+            else if
+              (not (subsumes mv1 mv2)) && (not (subsumes mv2 mv1))
+              && d1.d_when = None && d2.d_when = None
+            then
+              (* Genuinely intersecting match sets, neither contains the
+                 other, and no predicate on either side: the winner in the
+                 intersection is whichever happens to be declared first. *)
+              emit
+                {
+                  l_insn = d1.d_name;
+                  l_other = Some d2.d_name;
+                  l_kind = Overlap;
+                  l_msg = "match sets intersect and no `when` predicate disambiguates";
+                }
+          end)
+        rest;
+      pairs rest
+  in
+  pairs summarized;
+  List.rev !violations
+
+let check_arch (arch : arch) : violation list = check_decodes arch.a_decodes

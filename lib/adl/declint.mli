@@ -1,0 +1,37 @@
+(** Static analysis of ADL decode tables.
+
+    Finds description bugs the decoder generator silently tolerates:
+    patterns whose match sets intersect with no [when] predicate to pick
+    a winner (decode order becomes load-bearing by accident), patterns
+    fully shadowed by an earlier unconditional entry (unreachable),
+    field-extraction plans referencing bits outside the 32-bit
+    instruction word, and [when] predicates over fields the pattern does
+    not define.
+
+    Containment with the more specific pattern declared first is *not*
+    flagged: leaf entries are tried in declaration order, so that is the
+    idiomatic way to express priority. *)
+
+type kind =
+  | Overlap  (** ambiguous overlap, no [when] to disambiguate *)
+  | Shadowed  (** fully covered by an earlier unconditional pattern *)
+  | Bad_field  (** extraction plan references bits outside the word *)
+  | Bad_when  (** predicate references a field the pattern lacks *)
+
+val string_of_kind : kind -> string
+
+type violation = {
+  l_insn : string;
+  l_other : string option;  (** the conflicting entry, for pairwise findings *)
+  l_kind : kind;
+  l_msg : string;
+}
+
+val string_of_violation : violation -> string
+
+(** Analyse a raw decode list (usable on hand-built fixtures that never
+    went through the parser). *)
+val check_decodes : Ast.decode list -> violation list
+
+(** Analyse an architecture's full decode table. *)
+val check_arch : Ast.arch -> violation list

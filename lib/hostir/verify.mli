@@ -1,0 +1,27 @@
+(** Post-register-allocation invariant checks on the low-level host IR.
+
+    Verifies what the encoder silently assumes: operands are
+    Preg/Imm/Slot only (no virtual register survived allocation), spill
+    slot indices fit the [n_slots] frame, physical register indices fit
+    the host register file and the allocatable pool is not
+    over-subscribed, branch targets resolve to labels present in the
+    stream, and (given the pre-allocation stream) dead-marking is sound:
+    no live instruction sources a dead instruction's destination. *)
+
+type violation = {
+  v_index : int option;  (** instruction index in the stream, if any *)
+  v_msg : string;
+}
+
+exception Invalid of string * violation list
+
+val string_of_violation : violation -> string
+val report : what:string -> violation list -> string
+
+(** All violations in the allocation result; [[]] means well-formed.
+    @param original the pre-allocation stream, enabling the
+    dead-marking soundness check. *)
+val check : ?original:Hir.instr array -> Regalloc.result -> violation list
+
+(** @raise Invalid (labelled [what]) if {!check} is non-empty. *)
+val check_exn : ?what:string -> ?original:Hir.instr array -> Regalloc.result -> unit

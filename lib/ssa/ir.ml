@@ -67,7 +67,14 @@ let fresh_var action name =
   v
 
 let entry_block action = match action.blocks with [] -> invalid_arg "empty action" | b :: _ -> b
-let find_block action bid = List.find (fun b -> b.bid = bid) action.blocks
+
+let find_block action bid =
+  match List.find_opt (fun b -> b.bid = bid) action.blocks with
+  | Some b -> b
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Ir.find_block: action %s has no block b_%d (blocks: %s)" action.name bid
+         (String.concat " " (List.map (fun b -> Printf.sprintf "b_%d" b.bid) action.blocks)))
 
 (* Does the statement produce a value? *)
 let produces_value = function

@@ -19,8 +19,11 @@ let opt_context (arch : Adl.Ast.arch) (xname : string) : Opt.context =
     slot_widths = List.map (fun s -> (s.Adl.Ast.s_index, s.Adl.Ast.s_width)) arch.Adl.Ast.a_slots;
   }
 
-(* Build a model from ADL source text at the given optimization level. *)
-let build ?(opt_level = 4) (source : string) : model =
+(* Build a model from ADL source text at the given optimization level.
+   [verify] additionally runs the SSA well-formedness checker after
+   every optimization pass (and once on the final IR), attributing any
+   broken invariant to the offending pass by name. *)
+let build ?(opt_level = 4) ?(verify = false) (source : string) : model =
   let arch = Adl.Parser.parse_string source in
   let arch = Adl.Typecheck.check arch in
   let decoder = Adl.Decode.of_arch arch in
@@ -29,7 +32,8 @@ let build ?(opt_level = 4) (source : string) : model =
     (fun x ->
       let action = Build.execute arch x in
       let ctx = opt_context arch x.Adl.Ast.x_name in
-      Opt.optimize ~ctx ~level:opt_level action;
+      Opt.optimize ~ctx ~verify ~level:opt_level action;
+      if verify then Verify.check_exn ~phase:"optimized pipeline output" action;
       Ir.validate action;
       Hashtbl.replace actions x.Adl.Ast.x_name action)
     arch.Adl.Ast.a_executes;

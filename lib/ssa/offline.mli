@@ -20,8 +20,11 @@ val opt_context : Adl.Ast.arch -> string -> Opt.context
 
 (** Build a model from ADL source text.
     @param opt_level offline optimization level 1-4 (default 4).
-    @raise Adl.Ast.Adl_error on parse or type errors. *)
-val build : ?opt_level:int -> string -> model
+    @param verify run the {!Verify} SSA well-formedness checker after
+    every optimization pass (default false).
+    @raise Adl.Ast.Adl_error on parse or type errors.
+    @raise Verify.Invalid if [verify] and a pass breaks an invariant. *)
+val build : ?opt_level:int -> ?verify:bool -> string -> model
 
 (** Look up one instruction's optimized SSA action.
     @raise Invalid_argument if the action does not exist. *)

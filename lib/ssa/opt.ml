@@ -583,15 +583,27 @@ let passes : pass list =
     { pname = "PHI Analysis/Elimination"; level = 4; run = phi_passes };
   ]
 
-(* Optimize [action] in place at the given level (1-4), iterating the
-   enabled passes to a fixed point as the paper describes. *)
-let optimize ?(ctx = no_context) ~level (action : Ir.action) =
-  let enabled = List.filter (fun p -> p.level <= level) passes in
+(* Run a pass list to a fixed point.  With [verify], the SSA
+   well-formedness checker runs after every pass application that
+   reported a change, so a pass that breaks an invariant is attributed
+   by name (raising [Verify.Invalid] with the pass as the phase). *)
+let run_passes ?(ctx = no_context) ?(verify = false) (enabled : pass list) (action : Ir.action) =
+  let run_one p =
+    let changed = p.run ctx action in
+    if verify && changed then Verify.check_exn ~phase:p.pname action;
+    changed
+  in
+  if verify then Verify.check_exn ~phase:"SSA construction" action;
   let rec go n =
     if n > 50 then ()
     else begin
-      let changed = List.fold_left (fun acc p -> p.run ctx action || acc) false enabled in
+      let changed = List.fold_left (fun acc p -> run_one p || acc) false enabled in
       if changed then go (n + 1)
     end
   in
   go 0
+
+(* Optimize [action] in place at the given level (1-4), iterating the
+   enabled passes to a fixed point as the paper describes. *)
+let optimize ?(ctx = no_context) ?(verify = false) ~level (action : Ir.action) =
+  run_passes ~ctx ~verify (List.filter (fun p -> p.level <= level) passes) action

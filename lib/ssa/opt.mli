@@ -31,5 +31,15 @@ type pass = { pname : string; level : int; run : context -> Ir.action -> bool }
 (** The registered passes, in execution order. *)
 val passes : pass list
 
-(** Optimize the action in place at the given level (1-4). *)
-val optimize : ?ctx:context -> level:int -> Ir.action -> unit
+(** Run an explicit pass list to a fixed point.  With [verify], the
+    {!Verify} checker runs on the freshly-built IR and again after every
+    pass application that reported a change, so an invariant-breaking
+    pass raises {!Verify.Invalid} attributed to that pass by name.
+    Exposed so tools and tests can inject their own (e.g. deliberately
+    broken) passes. *)
+val run_passes : ?ctx:context -> ?verify:bool -> pass list -> Ir.action -> unit
+
+(** Optimize the action in place at the given level (1-4).
+    @param verify check SSA well-formedness after every pass (default
+    false; the production JIT path leaves it off). *)
+val optimize : ?ctx:context -> ?verify:bool -> level:int -> Ir.action -> unit

@@ -1,0 +1,269 @@
+(* SSA well-formedness checker.
+
+   Every pass in the offline pipeline (Fig. 5) silently assumes the
+   invariants checked here: unique statement ids, def-before-use (via
+   dominance over the block CFG), phi arms matching the actual CFG
+   predecessors, terminator targets resolving to present blocks, uses
+   referring only to value-producing statements, and variable accesses
+   staying within the declared range.  [Opt.optimize ~verify:true] runs
+   the checker after every pass, so a pass that breaks the IR is
+   pinpointed by name instead of surfacing later as miscompiled guest
+   code.
+
+   The checker never mutates the action and reports *all* violations it
+   finds rather than stopping at the first, so tooling (captive_run
+   lint) can show complete diagnostics. *)
+
+module IntSet = Set.Make (Int)
+
+type violation = {
+  v_block : int option; (* containing block, if any *)
+  v_stmt : Ir.id option; (* offending statement, if any *)
+  v_msg : string;
+}
+
+exception
+  Invalid of {
+    action : string;
+    phase : string; (* the pass (or pipeline stage) that produced the IR *)
+    violations : violation list;
+  }
+
+let string_of_violation v =
+  let where =
+    match (v.v_block, v.v_stmt) with
+    | Some b, Some s -> Printf.sprintf "b_%d/s_%d: " b s
+    | Some b, None -> Printf.sprintf "b_%d: " b
+    | None, Some s -> Printf.sprintf "s_%d: " s
+    | None, None -> ""
+  in
+  where ^ v.v_msg
+
+let report ~action ~phase violations =
+  Printf.sprintf "SSA verification failed for %s after %s:\n%s" action phase
+    (String.concat "\n" (List.map (fun v -> "  " ^ string_of_violation v) violations))
+
+(* --- CFG helpers ------------------------------------------------------------ *)
+
+(* Blocks reachable from the entry.  Unreachable blocks are *not* a
+   violation (they legitimately appear between passes, before
+   unreachable-block elimination runs), but dominance is only defined
+   over the reachable subgraph. *)
+let reachable_set (action : Ir.action) =
+  match action.Ir.blocks with
+  | [] -> IntSet.empty
+  | entry :: _ ->
+    let tbl = Hashtbl.create 16 in
+    List.iter (fun b -> Hashtbl.replace tbl b.Ir.bid b) action.Ir.blocks;
+    let seen = ref IntSet.empty in
+    let rec visit bid =
+      if not (IntSet.mem bid !seen) then begin
+        seen := IntSet.add bid !seen;
+        match Hashtbl.find_opt tbl bid with
+        | Some b -> List.iter visit (Ir.successors b)
+        | None -> () (* dangling target: reported separately *)
+      end
+    in
+    visit entry.Ir.bid;
+    !seen
+
+(* Iterative dominator computation over the reachable blocks:
+   dom(entry) = {entry}; dom(b) = {b} union (intersection over preds).
+   Actions are small (tens of blocks), so the set-based fixpoint is
+   plenty fast. *)
+let dominators (action : Ir.action) : (int, IntSet.t) Hashtbl.t =
+  let reach = reachable_set action in
+  let blocks = List.filter (fun b -> IntSet.mem b.Ir.bid reach) action.Ir.blocks in
+  let all = List.fold_left (fun acc b -> IntSet.add b.Ir.bid acc) IntSet.empty blocks in
+  let preds = Hashtbl.create 16 in
+  List.iter (fun b -> Hashtbl.replace preds b.Ir.bid []) blocks;
+  List.iter
+    (fun b ->
+      List.iter
+        (fun s ->
+          match Hashtbl.find_opt preds s with
+          | Some l -> Hashtbl.replace preds s (b.Ir.bid :: l)
+          | None -> ())
+        (Ir.successors b))
+    blocks;
+  let dom = Hashtbl.create 16 in
+  let entry = match blocks with [] -> -1 | b :: _ -> b.Ir.bid in
+  List.iter
+    (fun b ->
+      if b.Ir.bid = entry then Hashtbl.replace dom b.Ir.bid (IntSet.singleton entry)
+      else Hashtbl.replace dom b.Ir.bid all)
+    blocks;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun b ->
+        if b.Ir.bid <> entry then begin
+          let ps = Hashtbl.find preds b.Ir.bid in
+          let meet =
+            List.fold_left
+              (fun acc p ->
+                let dp = Hashtbl.find dom p in
+                match acc with None -> Some dp | Some s -> Some (IntSet.inter s dp))
+              None ps
+          in
+          let nd =
+            match meet with None -> IntSet.singleton b.Ir.bid | Some s -> IntSet.add b.Ir.bid s
+          in
+          if not (IntSet.equal nd (Hashtbl.find dom b.Ir.bid)) then begin
+            Hashtbl.replace dom b.Ir.bid nd;
+            changed := true
+          end
+        end)
+      blocks
+  done;
+  dom
+
+(* --- the checker ------------------------------------------------------------- *)
+
+let check (action : Ir.action) : violation list =
+  let violations = ref [] in
+  let add ?block ?stmt fmt =
+    Printf.ksprintf
+      (fun msg -> violations := { v_block = block; v_stmt = stmt; v_msg = msg } :: !violations)
+      fmt
+  in
+  (match action.Ir.blocks with
+  | [] -> add "action has no blocks"
+  | _ -> ());
+  (* Block ids unique. *)
+  let block_ids = Hashtbl.create 16 in
+  List.iter
+    (fun b ->
+      if Hashtbl.mem block_ids b.Ir.bid then add ~block:b.Ir.bid "duplicate block id"
+      else Hashtbl.replace block_ids b.Ir.bid ())
+    action.Ir.blocks;
+  (* Statement ids unique, within the id range, and indexed for use
+     checking; remember position and block of each definition. *)
+  let def_site : (Ir.id, int * int * Ir.desc) Hashtbl.t = Hashtbl.create 64 in
+  (* id -> (block, position, desc) *)
+  List.iter
+    (fun b ->
+      List.iteri
+        (fun pos i ->
+          if i.Ir.id < 0 || i.Ir.id >= action.Ir.next_id then
+            add ~block:b.Ir.bid ~stmt:i.Ir.id "statement id outside [0, next_id)";
+          if Hashtbl.mem def_site i.Ir.id then
+            add ~block:b.Ir.bid ~stmt:i.Ir.id "duplicate statement id"
+          else Hashtbl.replace def_site i.Ir.id (b.Ir.bid, pos, i.Ir.desc))
+        b.Ir.insts)
+    action.Ir.blocks;
+  (* Terminator targets. *)
+  List.iter
+    (fun b ->
+      List.iter
+        (fun t ->
+          if not (Hashtbl.mem block_ids t) then
+            add ~block:b.Ir.bid "terminator targets missing block b_%d" t)
+        (Ir.term_targets b.Ir.term))
+    action.Ir.blocks;
+  (* Variable discipline: every Var_read/Var_write names a declared
+     variable (allocated by fresh_var, hence registered and in range). *)
+  let check_var b i v =
+    if v < 0 || v >= action.Ir.next_var then
+      add ~block:b ~stmt:i "variable v%d outside [0, next_var)" v
+    else if not (Hashtbl.mem action.Ir.var_names v) then
+      add ~block:b ~stmt:i "variable v%d has no registered name" v
+  in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun i ->
+          match i.Ir.desc with
+          | Ir.Var_read v | Ir.Var_write (v, _) -> check_var b.Ir.bid i.Ir.id v
+          | _ -> ())
+        b.Ir.insts)
+    action.Ir.blocks;
+  (* Use checking: operands must reference existing, value-producing
+     statements, and the definition must dominate the use. *)
+  let dom = dominators action in
+  let reach = reachable_set action in
+  let dominates a b =
+    (* does block a dominate block b? *)
+    match Hashtbl.find_opt dom b with Some s -> IntSet.mem a s | None -> false
+  in
+  let check_use ~ublock ~upos ?user operand =
+    let add fmt = add ~block:ublock ?stmt:user fmt in
+    match Hashtbl.find_opt def_site operand with
+    | None -> add "use of undefined value s_%d" operand
+    | Some (_, _, d) when not (Ir.produces_value d) ->
+      add "use of non-value statement s_%d" operand
+    | Some (dblock, dpos, _) ->
+      (* Dominance is only defined over reachable code; skip the
+         ordering check inside unreachable blocks. *)
+      if IntSet.mem ublock reach then
+        if dblock = ublock then begin
+          if dpos >= upos then
+            add "use of s_%d before its definition" operand
+        end
+        else if not (dominates dblock ublock) then
+          add "use of s_%d whose definition in b_%d does not dominate b_%d" operand dblock ublock
+  in
+  (* Predecessor map for phi checking. *)
+  let preds_of = Hashtbl.create 16 in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun s ->
+          Hashtbl.replace preds_of s
+            (b.Ir.bid :: (try Hashtbl.find preds_of s with Not_found -> [])))
+        (Ir.successors b))
+    action.Ir.blocks;
+  let entry_bid = match action.Ir.blocks with [] -> -1 | b :: _ -> b.Ir.bid in
+  List.iter
+    (fun b ->
+      List.iteri
+        (fun pos i ->
+          match i.Ir.desc with
+          | Ir.Phi arms ->
+            (* Phi operands are uses at the end of the corresponding
+               predecessor, not at the phi itself. *)
+            let actual_preds =
+              try Hashtbl.find preds_of b.Ir.bid with Not_found -> []
+            in
+            if b.Ir.bid = entry_bid then
+              add ~block:b.Ir.bid ~stmt:i.Ir.id "phi in entry block (entry has no predecessors)";
+            let seen = Hashtbl.create 4 in
+            List.iter
+              (fun (p, v) ->
+                if Hashtbl.mem seen p then
+                  add ~block:b.Ir.bid ~stmt:i.Ir.id "phi has duplicate arm for b_%d" p
+                else Hashtbl.replace seen p ();
+                if not (List.mem p actual_preds) then
+                  add ~block:b.Ir.bid ~stmt:i.Ir.id "phi arm for b_%d which is not a predecessor" p
+                else begin
+                  (* The value must be available at the end of the arm's
+                     predecessor block. *)
+                  match Hashtbl.find_opt def_site v with
+                  | None -> add ~block:b.Ir.bid ~stmt:i.Ir.id "phi arm uses undefined value s_%d" v
+                  | Some (_, _, d) when not (Ir.produces_value d) ->
+                    add ~block:b.Ir.bid ~stmt:i.Ir.id "phi arm uses non-value statement s_%d" v
+                  | Some (dblock, _, _) ->
+                    if IntSet.mem p reach && not (dominates dblock p) then
+                      add ~block:b.Ir.bid ~stmt:i.Ir.id
+                        "phi arm value s_%d (defined in b_%d) unavailable at end of b_%d" v dblock p
+                end)
+              arms;
+            List.iter
+              (fun p ->
+                if not (Hashtbl.mem seen p) then
+                  add ~block:b.Ir.bid ~stmt:i.Ir.id "phi misses an arm for predecessor b_%d" p)
+              actual_preds
+          | d -> List.iter (check_use ~ublock:b.Ir.bid ~upos:pos ~user:i.Ir.id) (Ir.operands d))
+        b.Ir.insts;
+      match b.Ir.term with
+      | Ir.Branch (c, _, _) ->
+        check_use ~ublock:b.Ir.bid ~upos:(List.length b.Ir.insts) c
+      | Ir.Jump _ | Ir.Ret -> ())
+    action.Ir.blocks;
+  List.rev !violations
+
+let check_exn ?(phase = "construction") (action : Ir.action) =
+  match check action with
+  | [] -> ()
+  | violations -> raise (Invalid { action = action.Ir.name; phase; violations })

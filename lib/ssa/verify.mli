@@ -1,0 +1,42 @@
+(** SSA well-formedness checker.
+
+    Checks the invariants every offline pass assumes: unique statement
+    ids within the action's id range, def-before-use established by a
+    dominance computation over the block CFG, phi arms matching the
+    actual CFG predecessors (complete, duplicate-free, with each arm's
+    value available at the end of its predecessor), terminator targets
+    resolving to present blocks, operand uses referring only to
+    value-producing statements, and variable reads/writes staying within
+    the declared variable range.
+
+    Unreachable blocks are not themselves violations (they appear
+    legitimately between passes), but dominance-based ordering is only
+    enforced over the reachable subgraph.
+
+    [Opt.optimize ~verify:true] runs {!check_exn} after every pass so a
+    broken pass is attributed by name. *)
+
+type violation = {
+  v_block : int option;  (** containing block, if any *)
+  v_stmt : Ir.id option;  (** offending statement, if any *)
+  v_msg : string;
+}
+
+exception
+  Invalid of {
+    action : string;
+    phase : string;  (** the pass (or pipeline stage) that produced the IR *)
+    violations : violation list;
+  }
+
+val string_of_violation : violation -> string
+
+(** Multi-line report used by exceptions and the lint driver. *)
+val report : action:string -> phase:string -> violation list -> string
+
+(** All violations in the action, in program order; [[]] means
+    well-formed.  Never mutates the action. *)
+val check : Ir.action -> violation list
+
+(** @raise Invalid with the given phase label if {!check} is non-empty. *)
+val check_exn : ?phase:string -> Ir.action -> unit

@@ -1,4 +1,28 @@
-(* Summary statistics for the benchmark harness. *)
+(* Summary statistics for the benchmark harness, plus named counters for
+   structured tool output (the lint driver). *)
+
+module Counters = struct
+  type t = { tbl : (string, int) Hashtbl.t; mutable order : string list (* first-bump order *) }
+
+  let create () = { tbl = Hashtbl.create 16; order = [] }
+
+  let bump ?(by = 1) t name =
+    match Hashtbl.find_opt t.tbl name with
+    | Some v -> Hashtbl.replace t.tbl name (v + by)
+    | None ->
+      Hashtbl.replace t.tbl name by;
+      t.order <- name :: t.order
+
+  let get t name = Option.value ~default:0 (Hashtbl.find_opt t.tbl name)
+
+  (* (name, count) pairs in first-bump order. *)
+  let to_list t = List.rev_map (fun name -> (name, Hashtbl.find t.tbl name)) t.order
+
+  let report t =
+    let items = to_list t in
+    let w = List.fold_left (fun acc (n, _) -> max acc (String.length n)) 0 items in
+    String.concat "" (List.map (fun (n, v) -> Printf.sprintf "  %-*s %d\n" w n v) items)
+end
 
 let mean = function
   | [] -> nan

@@ -1,4 +1,21 @@
-(** Summary statistics for the benchmark harness. *)
+(** Summary statistics for the benchmark harness, plus named counters
+    for structured tool output. *)
+
+(** Named integer counters preserving first-bump order; used by the
+    lint driver to report per-category totals. *)
+module Counters : sig
+  type t
+
+  val create : unit -> t
+  val bump : ?by:int -> t -> string -> unit
+  val get : t -> string -> int
+
+  (** [(name, count)] pairs in first-bump order. *)
+  val to_list : t -> (string * int) list
+
+  (** Aligned multi-line rendering of {!to_list}. *)
+  val report : t -> string
+end
 
 val mean : float list -> float
 
