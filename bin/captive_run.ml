@@ -209,20 +209,31 @@ let ssa_cmd =
       patterns, bad field-extraction plans, bad `when` predicates;
    2. SSA well-formedness (Ssa.Verify) after every optimization pass at
       each level O1-O4, attributing any broken invariant to the
-      offending pass by name;
+      offending pass by name; plus the semantic layer (Ssa.Absint):
+      translation validation of every optimized action against its
+      unoptimized reference, and interval proofs that every bank/slot
+      access index stays within the architecture's declared bounds;
    3. HostIR invariants (Hostir.Verify) on a representative translation
       of every action: post-regalloc operand discipline, spill-slot
       bounds, branch-target resolution and dead-marking soundness.
 
    Exit status is non-zero if any violation is found, so the `@lint`
-   dune alias can gate the test suite on it. *)
+   dune alias can gate the test suite on it.  With --json, stdout
+   carries machine-readable counter objects (one per guest plus a
+   summary line) for CI trending; violations go to stderr. *)
 
 module Counters = Dbt_util.Stats.Counters
 
-let lint_guest c failures (ops : Guest.Ops.ops) =
+let lint_guest ~json c failures (ops : Guest.Ops.ops) =
   let arch = ops.Guest.Ops.model.Ssa.Offline.arch in
   let gname = ops.Guest.Ops.name in
-  Printf.printf "linting %s: %d decode entries, %d execute actions\n%!" gname
+  (* Progress chatter is suppressed in JSON mode; violations go to stderr
+     there so stdout stays parseable. *)
+  let say fmt =
+    if json then Printf.ifprintf stdout fmt else Printf.printf fmt
+  in
+  let shout line = if json then prerr_endline line else print_endline line in
+  say "linting %s: %d decode entries, %d execute actions\n%!" gname
     (List.length arch.Adl.Ast.a_decodes)
     (List.length arch.Adl.Ast.a_executes);
   (* 1. decode table *)
@@ -231,27 +242,56 @@ let lint_guest c failures (ops : Guest.Ops.ops) =
     (fun v ->
       incr failures;
       Counters.bump c "decode-table violations";
-      Printf.printf "  %s: %s\n" gname (Adl.Declint.string_of_violation v))
+      shout (Printf.sprintf "  %s: %s" gname (Adl.Declint.string_of_violation v)))
     (Adl.Declint.check_arch arch);
-  (* 2. SSA after every pass at O1-O4 *)
+  (* 2. SSA after every pass at O1-O4, then the semantic layer: validate
+     the optimized action against its unoptimized twin (statement ids
+     are stable across passes) and range-check every bank/slot access. *)
+  Ssa.Absint.reset_simplify_stats ();
   List.iter
     (fun level ->
       List.iter
         (fun (x : Adl.Ast.execute) ->
+          let reference = Ssa.Build.execute arch x in
           let action = Ssa.Build.execute arch x in
           let ctx = Ssa.Offline.opt_context arch x.Adl.Ast.x_name in
           try
             Ssa.Opt.optimize ~ctx ~verify:true ~level action;
-            Counters.bump c "ssa action/level sweeps verified"
+            Counters.bump c "ssa action/level sweeps verified";
+            let opt_summary = Ssa.Absint.analyze ~ctx action in
+            let findings, compared =
+              Ssa.Absint.validate ~ctx ~opt_summary ~reference ~optimized:action ()
+            in
+            Counters.bump c "absint statements validated" ~by:compared;
+            let rfindings, rchecked =
+              Ssa.Absint.check_ranges ~ctx ~summary:opt_summary action
+            in
+            Counters.bump c "absint accesses range-checked" ~by:rchecked;
+            let report kind fs =
+              List.iter
+                (fun f ->
+                  incr failures;
+                  Counters.bump c (kind ^ " findings");
+                  shout
+                    (Printf.sprintf "  %s O%d %s: %s" gname level kind
+                       (Ssa.Absint.string_of_finding f)))
+                fs
+            in
+            report "validator" findings;
+            report "range-check" rfindings
           with Ssa.Verify.Invalid { action = aname; phase; violations } ->
             incr failures;
             Counters.bump c "ssa violations" ~by:(List.length violations);
-            print_endline
+            shout
               (Ssa.Verify.report
                  ~action:(Printf.sprintf "%s/%s at O%d" gname aname level)
                  ~phase violations))
         arch.Adl.Ast.a_executes)
     [ 1; 2; 3; 4 ];
+  let st = Ssa.Absint.simplify_stats in
+  Counters.bump c "absint-simplify branches folded" ~by:st.Ssa.Absint.branches_folded;
+  Counters.bump c "absint-simplify statements folded" ~by:st.Ssa.Absint.stmts_folded;
+  Counters.bump c "absint-simplify masks dropped" ~by:st.Ssa.Absint.masks_dropped;
   (* 3. HostIR on a representative translation of every O4 action *)
   let cfg =
     {
@@ -293,7 +333,7 @@ let lint_guest c failures (ops : Guest.Ops.ops) =
         | violations ->
           incr failures;
           Counters.bump c "hostir violations" ~by:(List.length violations);
-          print_endline (Hostir.Verify.report ~what:(gname ^ "/" ^ aname) violations)))
+          shout (Hostir.Verify.report ~what:(gname ^ "/" ^ aname) violations)))
     ops.Guest.Ops.model.Ssa.Offline.actions
 
 let lint_cmd =
@@ -301,7 +341,12 @@ let lint_cmd =
     Arg.(value & opt string "all" & info [ "g"; "guest" ] ~docv:"GUEST"
            ~doc:"Guest model to lint (armv8-a, rv64im or all).")
   in
-  let run guest =
+  let json =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Emit counters as JSON on stdout (one object per guest plus a \
+                 summary line); violations go to stderr.")
+  in
+  let run guest json =
     let guests =
       match guest with
       | "all" -> Ok [ Guest_arm.Arm.ops (); Guest_riscv.Riscv.ops () ]
@@ -312,12 +357,24 @@ let lint_cmd =
     match guests with
     | Error msg -> `Error (true, msg)
     | Ok guests ->
-    let c = Counters.create () in
+    let summary = Counters.create () in
     let failures = ref 0 in
-    List.iter (lint_guest c failures) guests;
-    Printf.printf "\nlint counters:\n%s" (Counters.report c);
+    List.iter
+      (fun ops ->
+        let c = Counters.create () in
+        lint_guest ~json c failures ops;
+        List.iter (fun (n, v) -> Counters.bump summary n ~by:v) (Counters.to_list c);
+        if json then
+          Printf.printf "{\"kind\":\"guest\",\"guest\":%s,\"counters\":%s}\n"
+            (Dbt_util.Stats.json_string ops.Guest.Ops.name)
+            (Counters.to_json c))
+      guests;
+    if json then
+      Printf.printf "{\"kind\":\"summary\",\"guests\":%d,\"violations\":%d,\"counters\":%s}\n"
+        (List.length guests) !failures (Counters.to_json summary)
+    else Printf.printf "\nlint counters:\n%s" (Counters.report summary);
     if !failures = 0 then begin
-      print_endline "lint: no violations";
+      if not json then print_endline "lint: no violations";
       `Ok ()
     end
     else `Error (false, Printf.sprintf "lint: %d violation site(s)" !failures)
@@ -325,7 +382,7 @@ let lint_cmd =
   Cmd.v
     (Cmd.info "lint"
        ~doc:"Statically verify decode tables, SSA passes (O1-O4) and HostIR for every guest.")
-    Term.(ret (const run $ guest))
+    Term.(ret (const run $ guest $ json))
 
 let () =
   let doc = "Retargetable system-level DBT hypervisor (Captive reproduction)" in

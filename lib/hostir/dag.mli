@@ -1,0 +1,69 @@
+(** The invocation DAG builder (paper Sec. 2.3.2, Fig. 9).
+
+    Generator functions call into this backend; pure operations build
+    DAG nodes lazily, and operations with runtime side effects collapse
+    the trees rooted at their inputs into low-level IR immediately
+    (feed-forward emission).  Node memoization turns repeated subtrees
+    (e.g. two reads of the same guest register within a block) into
+    shared IR - the "weak form of tree pattern matching on demand" the
+    paper describes, including the PC-increment specialization of
+    Fig. 9(d). *)
+
+(** How an intrinsic is lowered: inline host instructions, or a call to
+    the numbered helper (the hardware-FP vs softfloat-helper choice). *)
+type lowering = L_inline | L_helper of int
+
+type config = {
+  bank_offset : bank:int -> index:int -> int;  (** guest register file layout *)
+  slot_offset : int -> int;
+  lower_intrinsic : string -> lowering;
+  effect_helper : string -> int;
+  coproc_read_helper : int;
+  coproc_write_helper : int;
+  split_va_check : bool;
+      (** Sec. 2.7.5: for 64-bit guests, memory accesses check whether
+          the guest VA crosses the host address-space split; on a regime
+          change a helper switches page-table sets (with PCIDs), and the
+          VA is masked into the lower half. *)
+  as_switch_helper : int;  (** helper performing the page-table-set switch *)
+}
+
+(** The dedicated host register holding the current address-space tag
+    (the value of va >> 47 for the active page-table set). *)
+val as_tag_preg : int
+
+(** A lazily-built pure DAG node; the value type flowing through the
+    {!Ssa.Emitter.t} this backend provides. *)
+type node
+
+(** A DAG build in progress for one translation. *)
+type t
+
+val create : config -> t
+
+(** Host condition code for a comparison binop.
+    @raise Invalid_argument on a non-comparison operator. *)
+val cond_of_binop : Adl.Ast.binop -> bool -> Hir.cond
+
+(** Raised when an intrinsic (or a dynamic-width [sign_extend]) has no
+    inline lowering and no helper was configured for it. *)
+exception Unsupported_lowering of string
+
+(** The {!Ssa.Emitter.t} interface over this DAG: pure operations build
+    memoized nodes, effectful operations force their operand trees to
+    host IR at the program point (hazard and barrier management
+    included). *)
+val emitter : t -> node Ssa.Emitter.t
+
+(** Append a raw instruction (prologue/epilogue/exits, emitted by the
+    engine). *)
+val raw : t -> Hir.instr -> unit
+
+(** Flatten the chunks into the final instruction stream. *)
+val finish : t -> Hir.instr array
+
+(** Number of virtual registers allocated so far. *)
+val vreg_count : t -> int
+
+(** Number of instructions emitted so far. *)
+val instr_count : t -> int

@@ -1,0 +1,98 @@
+(** The low-level host IR (paper Sec. 2.3.2, Fig. 10): "effectively x86
+    machine instructions, but with virtual register operands in place of
+    physical registers".
+
+    Three-address form; any source operand may be an immediate.  After
+    register allocation, virtual registers are replaced by physical
+    registers or spill slots. *)
+
+type operand =
+  | Vreg of int  (** virtual, before allocation *)
+  | Preg of int  (** physical host register *)
+  | Imm of int64
+  | Slot of int  (** spill slot in the translation frame *)
+
+type cond = Ceq | Cne | Cult | Cule | Cugt | Cuge | Cslt | Csle | Csgt | Csge
+
+type aluop = Aadd | Asub | Aand | Aor | Axor | Ashl | Ashr | Asar | Amul
+
+type bit1op =
+  | Bclz32
+  | Bclz64
+  | Bpopcnt
+  | Bswap16
+  | Bswap32
+  | Bswap64
+  | Brbit32
+  | Brbit64
+
+type bit2op = Bror32 | Bror64
+
+type fp2op =
+  | Fadd64 | Fsub64 | Fmul64 | Fdiv64 | Fmin64 | Fmax64
+  | Fadd32 | Fsub32 | Fmul32 | Fdiv32 | Fmin32 | Fmax32
+
+type fp1op =
+  | Fsqrt64 | Fsqrt32
+  | Fcvt_32_64  (** f32 -> f64 *)
+  | Fcvt_64_32
+  | Fcvt_64_s64  (** f64 -> signed int64, truncating *)
+  | Fcvt_64_u64
+  | Fcvt_32_s32
+  | Fcvt_s64_64  (** signed int64 -> f64 *)
+  | Fcvt_u64_64
+  | Fcvt_s32_32
+  | Fcvt_s64_32
+
+type instr =
+  | Mov of operand * operand  (** dst, src *)
+  | Alu of aluop * operand * operand * operand  (** dst, a, b *)
+  | Mulhi of bool * operand * operand * operand  (** signed, dst, a, b *)
+  | Divrem of bool * bool * operand * operand * operand
+      (** signed, want-remainder, dst, a, b; ARM-style guarded divide *)
+  | Setcc of cond * operand * operand * operand  (** dst = (a cond b) *)
+  | Cmov of operand * operand * operand * operand  (** dst = c <> 0 ? a : b *)
+  | Ext of bool * int * operand * operand  (** signed, bits, dst, src *)
+  | Neg of operand * operand
+  | Not of operand * operand
+  | Bit1 of bit1op * operand * operand
+  | Bit2 of bit2op * operand * operand * operand
+  | Fp2 of fp2op * operand * operand * operand
+  | Fp1 of fp1op * operand * operand
+  | Fcmp_flags of int * operand * operand * operand  (** width 32/64; NZCV nibble *)
+  | Flags_add of int * operand * operand * operand * operand
+      (** width, dst, a, b, cin *)
+  | Flags_logic of int * operand * operand
+  | Ldrf of operand * int  (** load from guest register file at byte offset *)
+  | Strf of int * operand
+  | Load_pc of operand
+  | Store_pc of operand
+  | Inc_pc of int
+  | Mem_ld of int * operand * operand  (** width bits, dst, addr *)
+  | Mem_st of int * operand * operand  (** width bits, addr, value *)
+  | Call of int * operand array * operand option
+      (** helper index, args, result *)
+  | Label of int
+  | Jmp of int
+  | Br of operand * int * int  (** condition value, then-label, else-label *)
+  | Exit of int  (** exit via chain slot n *)
+
+val string_of_operand : operand -> string
+val string_of_alu : aluop -> string
+val string_of_cond : cond -> string
+val to_string : instr -> string
+
+(** Source operands read by an instruction, in syntactic order; used by
+    the register allocator. *)
+val sources : instr -> operand list
+
+(** The destination operand written by an instruction, if any. *)
+val dest : instr -> operand option
+
+(** Instructions with no side effect beyond their destination: removable
+    when the destination is never used. *)
+val pure : instr -> bool
+
+(** Apply [f] to every operand (sources and destination alike),
+    rebuilding the instruction. *)
+val map_operands : (operand -> operand) -> instr -> instr

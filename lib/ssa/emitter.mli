@@ -1,0 +1,48 @@
+(** The backend interface used by generator functions (the paper's
+    dbt_emitter, Fig. 7).
+
+    Backends produce values of abstract type ['v]; labels and
+    temporaries are small integers allocated by the backend.  The
+    Captive backend implements this over an invocation DAG that
+    collapses to low-level IR; the QEMU-style backend emits IR
+    directly. *)
+
+type 'v t = {
+  const : int64 -> 'v;
+  binary : Adl.Ast.binop -> signed:bool -> 'v -> 'v -> 'v;
+  unary : Adl.Ast.unop -> 'v -> 'v;
+  normalize : bits:int -> signed:bool -> 'v -> 'v;
+  select : 'v -> 'v -> 'v -> 'v;
+  intrinsic : string -> 'v list -> 'v;
+  load_bankreg : bank:int -> index:int -> 'v;
+  store_bankreg : bank:int -> index:int -> 'v -> unit;
+  load_reg : slot:int -> 'v;
+  store_reg : slot:int -> 'v -> unit;
+  load_pc : unit -> 'v;
+  store_pc : 'v -> unit;
+  inc_pc : int -> unit;
+  mem_read : bits:int -> 'v -> 'v;
+  mem_write : bits:int -> addr:'v -> value:'v -> unit;
+  coproc_read : 'v -> 'v;
+  coproc_write : 'v -> 'v -> unit;
+  effect : string -> 'v list -> unit;
+  (* Control flow, used when an instruction has dynamic internal control
+     flow (e.g. conditional branches testing guest flags). *)
+  create_block : unit -> int;
+  jump : int -> unit;
+  branch : 'v -> int -> int -> unit;
+  set_block : int -> unit;
+  (* Temporaries carrying values across dynamic blocks. *)
+  new_temp : unit -> int;
+  read_temp : int -> 'v;
+  write_temp : int -> 'v -> unit;
+}
+
+(** Raised by {!null}'s [branch] (and by generators probing with it) when
+    an instruction's control flow depends on a runtime value. *)
+exception Dynamic_control_flow
+
+(** A backend that emits nothing; used to probe whether an instruction's
+    control flow is entirely fixed before committing to a translation
+    strategy. *)
+val null : unit t

@@ -24,7 +24,7 @@ type state = {
 
 exception Stop (* raised by state.effect for terminating effects *)
 
-let run (st : state) (action : Ir.action) ~(field : string -> int64) =
+let run ?trace (st : state) (action : Ir.action) ~(field : string -> int64) =
   let env : (Ir.id, int64) Hashtbl.t = Hashtbl.create 64 in
   let vars : (int, int64) Hashtbl.t = Hashtbl.create 8 in
   let get id =
@@ -32,7 +32,10 @@ let run (st : state) (action : Ir.action) ~(field : string -> int64) =
     with Not_found ->
       invalid_arg (Printf.sprintf "Interp: use of undefined value s_%d in %s" id action.Ir.name)
   in
-  let set id v = Hashtbl.replace env id v in
+  let set id v =
+    (match trace with Some f -> f id v | None -> ());
+    Hashtbl.replace env id v
+  in
   let exec (i : Ir.inst) =
     match i.Ir.desc with
     | Ir.Const c -> set i.Ir.id c

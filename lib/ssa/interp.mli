@@ -25,5 +25,8 @@ type state = {
 exception Stop
 
 (** Execute one action to completion against the state.
+    @param trace called with every (statement id, value) pair as values
+    are computed; the {!Absint} soundness property tests use it to check
+    concrete containment in the abstract results.
     @raise Invalid_argument on malformed IR or non-terminating actions. *)
-val run : state -> Ir.action -> field:(string -> int64) -> unit
+val run : ?trace:(Ir.id -> int64 -> unit) -> state -> Ir.action -> field:(string -> int64) -> unit

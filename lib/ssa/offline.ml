@@ -17,6 +17,8 @@ let opt_context (arch : Adl.Ast.arch) (xname : string) : Opt.context =
     Opt.field_widths = Adl.Typecheck.fields_of_execute arch xname;
     bank_widths = List.map (fun b -> (b.Adl.Ast.b_index, b.Adl.Ast.b_width)) arch.Adl.Ast.a_banks;
     slot_widths = List.map (fun s -> (s.Adl.Ast.s_index, s.Adl.Ast.s_width)) arch.Adl.Ast.a_slots;
+    bank_counts = List.map (fun b -> (b.Adl.Ast.b_index, b.Adl.Ast.b_count)) arch.Adl.Ast.a_banks;
+    slot_indices = List.map (fun s -> s.Adl.Ast.s_index) arch.Adl.Ast.a_slots;
   }
 
 (* Build a model from ADL source text at the given optimization level.

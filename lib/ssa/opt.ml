@@ -8,13 +8,19 @@
 module Ast = Adl.Ast
 module Eval = Adl.Eval
 
-type context = {
+(* The architecture context is shared with the abstract interpreter (which
+   the absint-simplify pass and the lint-time validator run on); the type
+   lives in Absint and is re-exported here so existing consumers keep
+   their [Opt.context] spelling. *)
+type context = Absint.ctx = {
   field_widths : (string * int) list; (* decode-pattern field widths *)
   bank_widths : (int * int) list; (* bank index -> element width *)
   slot_widths : (int * int) list;
+  bank_counts : (int * int) list; (* bank index -> number of elements *)
+  slot_indices : int list;
 }
 
-let no_context = { field_widths = []; bank_widths = []; slot_widths = [] }
+let no_context = Absint.no_ctx
 
 (* --- utilities ------------------------------------------------------------ *)
 
@@ -37,8 +43,27 @@ let used_ids action =
   iter_uses action (fun id -> Hashtbl.replace t id ());
   t
 
-(* Rewrite every use of [from] to [to_]. *)
+(* Rewrite every use of [from] to [to_].  Malformed requests raise a
+   descriptive error instead of silently corrupting the IR: [to_] must be
+   a defined value-producing statement, and must differ from [from]. *)
 let replace_uses (action : Ir.action) ~from ~to_ =
+  if from = to_ then
+    invalid_arg
+      (Printf.sprintf "Opt.replace_uses: s_%d -> itself in action %s" from action.Ir.name);
+  (match
+     List.find_map
+       (fun b -> List.find_opt (fun i -> i.Ir.id = to_) b.Ir.insts)
+       action.Ir.blocks
+   with
+  | Some i when Ir.produces_value i.Ir.desc -> ()
+  | Some _ ->
+    invalid_arg
+      (Printf.sprintf
+         "Opt.replace_uses: replacement s_%d produces no value in action %s" to_ action.Ir.name)
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Opt.replace_uses: replacement s_%d is not defined in action %s" to_
+         action.Ir.name));
   let subst x = if x = from then to_ else x in
   List.iter
     (fun b ->
@@ -275,18 +300,9 @@ let width_analysis ctx (action : Ir.action) =
   let defs = defs_of action in
   let widths = Hashtbl.create 64 in
   let width_of id = try Hashtbl.find widths id with Not_found -> 64 in
-  let intrinsic_width = function
-    | "add_flags64" | "add_flags32" | "logic_flags64" | "logic_flags32" | "fp64_cmp_flags"
-    | "fp32_cmp_flags" ->
-      4
-    | "clz32" | "clz64" | "popcount64" -> 7
-    | "udiv32" | "ror32" | "rbit32" | "rev32" | "adc32" | "fp32_add" | "fp32_sub" | "fp32_mul"
-    | "fp32_div" | "fp32_sqrt" | "fp32_min" | "fp32_max" | "fp64_to_fp32" | "fp32_to_sint32"
-    | "sint32_to_fp32" | "sint64_to_fp32" ->
-      32
-    | "rev16" -> 16
-    | _ -> 64
-  in
+  (* Intrinsic result widths are shared with the abstract interpreter so
+     both layers assume identical facts about builtins. *)
+  let intrinsic_width = Absint.intrinsic_width in
   (* One forward pass per block iteration until stable (cheap: small IR). *)
   let stable = ref false in
   while not !stable do
@@ -564,6 +580,15 @@ let phi_passes _ctx (action : Ir.action) =
     end
   end
 
+(* --- abstract-interpretation simplification (O3) --------------------------------- *)
+
+(* Analysis-driven simplification over the known-bits/interval domain of
+   {!Absint}: strictly stronger than local value propagation (facts flow
+   through decode-field seeds, selects, variable states and branch
+   pruning).  The pass body lives in Absint; replace_uses is injected to
+   avoid a module cycle. *)
+let absint_simplify ctx (action : Ir.action) = Absint.simplify ~replace_uses ctx action
+
 (* --- pass manager ----------------------------------------------------------------- *)
 
 type pass = { pname : string; level : int; run : context -> Ir.action -> bool }
@@ -580,22 +605,37 @@ let passes : pass list =
     { pname = "Value Propagation"; level = 3; run = value_propagation };
     { pname = "Load Coalescing"; level = 3; run = load_coalescing };
     { pname = "Dead Write Elimination"; level = 3; run = dead_write_elim };
+    { pname = "absint-simplify"; level = 3; run = absint_simplify };
     { pname = "PHI Analysis/Elimination"; level = 4; run = phi_passes };
   ]
 
 (* Run a pass list to a fixed point.  With [verify], the SSA
    well-formedness checker runs after every pass application that
    reported a change, so a pass that breaks an invariant is attributed
-   by name (raising [Verify.Invalid] with the pass as the phase). *)
+   by name (raising [Verify.Invalid] with the pass as the phase).
+   A pass that escapes with a bare exception is re-raised with the pass
+   and action attached, and a pipeline that fails to reach a fixed point
+   within the iteration budget is an error rather than a silent give-up. *)
 let run_passes ?(ctx = no_context) ?(verify = false) (enabled : pass list) (action : Ir.action) =
   let run_one p =
-    let changed = p.run ctx action in
+    let changed =
+      try p.run ctx action with
+      | Verify.Invalid _ as e -> raise e
+      | Invalid_argument msg | Failure msg ->
+        invalid_arg
+          (Printf.sprintf "pass %s failed on action %s: %s" p.pname action.Ir.name msg)
+      | Not_found ->
+        invalid_arg (Printf.sprintf "pass %s failed on action %s: Not_found" p.pname action.Ir.name)
+    in
     if verify && changed then Verify.check_exn ~phase:p.pname action;
     changed
   in
   if verify then Verify.check_exn ~phase:"SSA construction" action;
   let rec go n =
-    if n > 50 then ()
+    if n > 50 then
+      invalid_arg
+        (Printf.sprintf "Opt.run_passes: no fixed point after %d rounds on action %s" n
+           action.Ir.name)
     else begin
       let changed = List.fold_left (fun acc p -> run_one p || acc) false enabled in
       if changed then go (n + 1)

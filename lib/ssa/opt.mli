@@ -8,22 +8,29 @@
       flow simplification, block merging, dead variable elimination
     - O2: + jump threading
     - O3: + constant folding, value propagation (width analysis, masking
-      and arithmetic identities), load coalescing, dead write elimination
+      and arithmetic identities), load coalescing, dead write
+      elimination, absint-simplify (abstract-interpretation driven
+      folding over the {!Absint} known-bits/interval domain)
     - O4: + PHI analysis/elimination (cross-block variable promotion for
       unique reaching definitions) *)
 
-(** Width information supplied by the architecture: decode-field widths
-    and register bank/slot element widths, consumed by value
-    propagation. *)
-type context = {
+(** Width information supplied by the architecture: decode-field widths,
+    register bank/slot element widths and bounds.  A re-export of
+    {!Absint.ctx}, consumed by value propagation, absint-simplify and
+    the lint-time validator. *)
+type context = Absint.ctx = {
   field_widths : (string * int) list;
   bank_widths : (int * int) list;
   slot_widths : (int * int) list;
+  bank_counts : (int * int) list;
+  slot_indices : int list;
 }
 
 val no_context : context
 
-(** Rewrite every use of one value id to another (exposed for tooling). *)
+(** Rewrite every use of one value id to another (exposed for tooling).
+    @raise Invalid_argument (naming the action) when [to_] is undefined,
+    produces no value, or equals [from]. *)
 val replace_uses : Ir.action -> from:Ir.id -> to_:Ir.id -> unit
 
 type pass = { pname : string; level : int; run : context -> Ir.action -> bool }
@@ -35,8 +42,11 @@ val passes : pass list
     {!Verify} checker runs on the freshly-built IR and again after every
     pass application that reported a change, so an invariant-breaking
     pass raises {!Verify.Invalid} attributed to that pass by name.
-    Exposed so tools and tests can inject their own (e.g. deliberately
-    broken) passes. *)
+    A pass escaping with a bare exception is re-raised as
+    [Invalid_argument] naming the pass and action, and failure to reach
+    a fixed point within the iteration budget is an error.  Exposed so
+    tools and tests can inject their own (e.g. deliberately broken)
+    passes. *)
 val run_passes : ?ctx:context -> ?verify:bool -> pass list -> Ir.action -> unit
 
 (** Optimize the action in place at the given level (1-4).

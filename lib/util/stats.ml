@@ -1,6 +1,24 @@
 (* Summary statistics for the benchmark harness, plus named counters for
    structured tool output (the lint driver). *)
 
+(* Quote and escape a string as a JSON string literal. *)
+let json_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
 module Counters = struct
   type t = { tbl : (string, int) Hashtbl.t; mutable order : string list (* first-bump order *) }
 
@@ -22,6 +40,11 @@ module Counters = struct
     let items = to_list t in
     let w = List.fold_left (fun acc (n, _) -> max acc (String.length n)) 0 items in
     String.concat "" (List.map (fun (n, v) -> Printf.sprintf "  %-*s %d\n" w n v) items)
+
+  let to_json t =
+    Printf.sprintf "{%s}"
+      (String.concat ","
+         (List.map (fun (n, v) -> Printf.sprintf "%s:%d" (json_string n) v) (to_list t)))
 end
 
 let mean = function

@@ -15,7 +15,14 @@ module Counters : sig
 
   (** Aligned multi-line rendering of {!to_list}. *)
   val report : t -> string
+
+  (** One JSON object mapping counter names to totals, in first-bump
+      order; consumed by [captive_run lint --json]. *)
+  val to_json : t -> string
 end
+
+(** Quote and escape a string as a JSON string literal. *)
+val json_string : string -> string
 
 val mean : float list -> float
 

@@ -5,6 +5,7 @@ let () =
       Test_softfloat.suite;
       Test_adl.suite;
       Test_ssa.suite;
+      Test_absint.suite;
       Test_verify.suite;
       Test_hvm.suite;
       Test_hostir.suite;

@@ -162,13 +162,19 @@ let test_broken_pass_attributed_by_name () =
       action.Ir.blocks
     |> Option.get
   in
+  (* replace_uses itself now rejects an undefined replacement, so the
+     broken pass corrupts operands directly, as a buggy pass would. *)
   let broken =
     {
       Opt.pname = "clobber-uses";
       level = 1;
       run =
         (fun _ a ->
-          Opt.replace_uses a ~from:used_id ~to_:999999;
+          let subst x = if x = used_id then 999999 else x in
+          List.iter
+            (fun b ->
+              List.iter (fun i -> i.Ir.desc <- Ir.map_operands subst i.Ir.desc) b.Ir.insts)
+            a.Ir.blocks;
           true);
     }
   in
