@@ -6,14 +6,17 @@
      captive_run info
      captive_run ssa add_sub_imm --level 4
      captive_run lint
+     captive_run mmucheck --json --guard
 
    `spec` runs a SPEC CPU2006 proxy under the mini guest OS, `simbench`
    one SimBench category on both engines, `boot` a demo user program on
    the mini-OS, `info` prints the loaded guest models, `ssa` dumps an
-   instruction's optimized SSA (the offline artifact of Fig. 6), and
-   `lint` statically verifies the whole offline pipeline (decode tables,
-   SSA after every pass at O1-O4, and post-regalloc HostIR) for every
-   guest model. *)
+   instruction's optimized SSA (the offline artifact of Fig. 6), `lint`
+   statically verifies the whole offline pipeline (decode tables, SSA
+   after every pass at O1-O4, and post-regalloc HostIR) for every guest
+   model, and `mmucheck` runs MMU-stress workloads on both guests with
+   the online shadow-oracle sanitizer (page tables, TLB, frame
+   accounting, code-cache W^X, ring transitions) enabled. *)
 
 open Cmdliner
 
@@ -384,9 +387,136 @@ let lint_cmd =
        ~doc:"Statically verify decode tables, SSA passes (O1-O4) and HostIR for every guest.")
     Term.(ret (const run $ guest $ json))
 
+(* --- mmucheck ------------------------------------------------------------------------ *)
+
+(* Online counterpart of `lint`: boot the ARM mini-OS and RISC-V
+   bare-metal MMU-stress workloads with the shadow-oracle sanitizer
+   (Hvm.Sanitize) enabled — checkpointing at every host fault, flush,
+   SMC invalidation and every N translated blocks — and report the
+   per-checker counters.  All five checkers run at every checkpoint:
+   page tables vs. shadow, TLB derivability, frame accounting, code
+   cache W^X/content coherence, and the ring audit.  Exit status is
+   non-zero on any finding or on a wrong guest exit code.
+
+   --guard reruns the ARM workload with the sanitizer off and asserts
+   that cycle counts and exit codes match the sanitized run exactly:
+   the sanitizer charges no cycles and perturbs no statistics, so
+   sanitizer-off throughput is the engine's unmodified cycle model. *)
+
+let mmucheck_cmd =
+  let json =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Emit per-workload counter objects and a summary line as JSON on stdout; \
+                 findings go to stderr.")
+  in
+  let guard =
+    Arg.(value & flag & info [ "guard" ]
+           ~doc:"Also rerun the ARM workload with the sanitizer off and assert identical \
+                 cycle counts and exit code (the sanitizer is observation-free).")
+  in
+  let every =
+    Arg.(value & opt int 32 & info [ "every" ] ~docv:"N"
+           ~doc:"Extra periodic checkpoint every N translated blocks.")
+  in
+  let run json guard every =
+    let failures = ref 0 in
+    let summary = Counters.create () in
+    let say fmt = if json then Printf.ifprintf stdout fmt else Printf.printf fmt in
+    let shout line = if json then prerr_endline line else print_endline line in
+    let config =
+      { Captive.Engine.default_config with Captive.Engine.sanitize = true; sanitize_every = every }
+    in
+    let exit_of = function
+      | Captive.Engine.Poweroff c -> c
+      | Captive.Engine.Cycle_limit -> -2
+      | Captive.Engine.Block_limit -> -3
+    in
+    let run_arm ~sanitize () =
+      let e =
+        Captive.Engine.create ~config:{ config with Captive.Engine.sanitize } (Guest_arm.Arm.ops ())
+      in
+      Workloads.Kernel.install (Workloads.Kernel.captive_target e)
+        ~user:(Workloads.Mmu_stress.arm_user ());
+      let code = exit_of (Captive.Engine.run ~max_cycles:2_000_000_000 e) in
+      (e, code)
+    in
+    let run_riscv () =
+      let e = Captive.Engine.create ~config (Guest_riscv.Riscv.ops ()) in
+      Captive.Engine.load_image e ~addr:Workloads.Mmu_stress.riscv_entry
+        (Workloads.Mmu_stress.riscv_image ());
+      Captive.Engine.set_entry e Workloads.Mmu_stress.riscv_entry;
+      let code = exit_of (Captive.Engine.run ~max_cycles:2_000_000_000 e) in
+      (e, code)
+    in
+    let report name (e : Captive.Engine.t) ~code ~expected =
+      (* One final sweep so even a quiet run ends with a checkpoint. *)
+      Captive.Engine.sanitize_check e ~reason:"final";
+      match e.Captive.Engine.sanitizer with
+      | None -> ()
+      | Some s ->
+        let fnd = Hvm.Sanitize.findings s in
+        List.iter
+          (fun f ->
+            incr failures;
+            shout (Printf.sprintf "  %s: %s" name (Hvm.Sanitize.string_of_finding f)))
+          fnd;
+        if code <> expected then begin
+          incr failures;
+          shout (Printf.sprintf "  %s: exit code %d, expected %d" name code expected)
+        end;
+        let c = Hvm.Sanitize.counters s in
+        List.iter (fun (n, v) -> Counters.bump summary n ~by:v) (Counters.to_list c);
+        if json then
+          Printf.printf
+            "{\"kind\":\"workload\",\"name\":%s,\"exit\":%d,\"expected\":%d,\"findings\":%d,\"counters\":%s}\n"
+            (Dbt_util.Stats.json_string name) code expected (List.length fnd) (Counters.to_json c)
+        else
+          say "%s: exit %d (expected %d), %d finding(s)\n%s\n" name code expected
+            (List.length fnd) (Counters.report c)
+    in
+    say "mmucheck: armv8-a mini-OS MMU stress under the shadow-oracle sanitizer\n%!";
+    let e_arm, code_arm = run_arm ~sanitize:true () in
+    report "armv8-a" e_arm ~code:code_arm ~expected:Workloads.Mmu_stress.arm_expected_exit;
+    say "mmucheck: rv64im MMU stress under the shadow-oracle sanitizer\n%!";
+    let e_rv, code_rv = run_riscv () in
+    report "rv64im" e_rv ~code:code_rv ~expected:Workloads.Mmu_stress.riscv_expected_exit;
+    if guard then begin
+      let e_off, code_off = run_arm ~sanitize:false () in
+      let cy_off = Captive.Engine.cycles e_off and cy_on = Captive.Engine.cycles e_arm in
+      let ok = code_off = code_arm && cy_off = cy_on in
+      if not ok then begin
+        incr failures;
+        shout
+          (Printf.sprintf
+             "  guard: sanitizer perturbs execution (off: exit %d, %d cycles; on: exit %d, %d cycles)"
+             code_off cy_off code_arm cy_on)
+      end;
+      if json then
+        Printf.printf
+          "{\"kind\":\"guard\",\"cycles_off\":%d,\"cycles_on\":%d,\"exit_off\":%d,\"exit_on\":%d,\"ok\":%b}\n"
+          cy_off cy_on code_off code_arm ok
+      else
+        say "guard: sanitizer-off cycles %d, sanitizer-on cycles %d: %s\n" cy_off cy_on
+          (if ok then "identical" else "MISMATCH")
+    end;
+    if json then
+      Printf.printf "{\"kind\":\"summary\",\"workloads\":2,\"findings\":%d,\"counters\":%s}\n"
+        !failures (Counters.to_json summary)
+    else say "\nmmucheck counters:\n%s" (Counters.report summary);
+    if !failures = 0 then begin
+      if not json then print_endline "mmucheck: no findings";
+      `Ok ()
+    end
+    else `Error (false, Printf.sprintf "mmucheck: %d finding(s)" !failures)
+  in
+  Cmd.v
+    (Cmd.info "mmucheck"
+       ~doc:"Run the ARM and RISC-V MMU-stress workloads under the shadow-oracle sanitizer.")
+    Term.(ret (const run $ json $ guard $ every))
+
 let () =
   let doc = "Retargetable system-level DBT hypervisor (Captive reproduction)" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "captive_run" ~doc)
-          [ spec_cmd; simbench_cmd; boot_cmd; info_cmd; ssa_cmd; lint_cmd ]))
+          [ spec_cmd; simbench_cmd; boot_cmd; info_cmd; ssa_cmd; lint_cmd; mmucheck_cmd ]))

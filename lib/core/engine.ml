@@ -30,6 +30,8 @@ type config = {
   split_va_check : bool; (* 64-bit guest address-space split handling *)
   mem_size : int;
   max_block : int; (* maximum guest instructions per translation block *)
+  sanitize : bool; (* shadow-oracle MMU invariant checking (Hvm.Sanitize) *)
+  sanitize_every : int; (* extra periodic checkpoint every N translated blocks *)
 }
 
 let default_config =
@@ -40,6 +42,8 @@ let default_config =
     split_va_check = true;
     mem_size = 256 * 1024 * 1024;
     max_block = 64;
+    sanitize = false;
+    sanitize_every = 32;
   }
 
 type phase_stats = {
@@ -99,6 +103,7 @@ type t = {
   roots : int64 array; (* host page-table roots: [|low; high|] *)
   mutable current_as : int;
   itlb : (int64 * int * bool, int64) Hashtbl.t; (* fetch va page -> pa page *)
+  sanitizer : Hvm.Sanitize.t option;
   stats : phase_stats;
   (* devices *)
   uart : Hvm.Device.Uart.state;
@@ -254,6 +259,7 @@ let rec create ?(config = default_config) (guest : Ops.ops) : t =
       roots;
       current_as = 0;
       itlb = Hashtbl.create 256;
+      sanitizer = (if config.sanitize then Some (Hvm.Sanitize.create ()) else None);
       stats = new_phase_stats ();
       uart;
       timer;
@@ -272,7 +278,16 @@ and flush_host_mappings (e : t) =
   Hvm.Tlb.flush_all e.machine.Machine.tlb;
   Machine.charge e.machine Cost.tlb_flush;
   Hashtbl.reset e.mappings;
-  Hashtbl.reset e.itlb
+  Hashtbl.reset e.itlb;
+  (match e.sanitizer with Some s -> Hvm.Sanitize.record_clear_mappings s | None -> ());
+  sanitize_check e ~reason:"flush"
+
+(* Shadow-oracle checkpoint (config.sanitize): sweep the real MMU state
+   against the sanitizer's shadow.  Free by construction when off. *)
+and sanitize_check (e : t) ~reason =
+  match e.sanitizer with
+  | Some s -> Hvm.Sanitize.check s ~machine:e.machine ~roots:e.roots ~reason
+  | None -> ()
 
 (* --- host page fault handling (Sec. 2.7.3) --------------------------------------- *)
 
@@ -285,11 +300,14 @@ and invalidate_page e phys_page =
     Hashtbl.remove e.by_page phys_page;
     e.stats.smc_invalidations <- e.stats.smc_invalidations + 1
   | None -> ());
-  Hashtbl.remove e.protected phys_page
+  Hashtbl.remove e.protected phys_page;
+  (match e.sanitizer with Some s -> Hvm.Sanitize.record_invalidate_page s ~pa_page:phys_page | None -> ());
+  sanitize_check e ~reason:"invalidate"
 
 and protect_page e phys_page =
   if not (Hashtbl.mem e.protected phys_page) then begin
     Hashtbl.replace e.protected phys_page ();
+    (match e.sanitizer with Some s -> Hvm.Sanitize.record_protect_page s ~pa_page:phys_page | None -> ());
     (* Downgrade any existing writable host mapping of this guest page. *)
     match Hashtbl.find_opt e.mappings phys_page with
     | Some lst ->
@@ -318,6 +336,7 @@ and handle_fault (e : t) ctx (access : Machine.access) va ~bits ~value : Exec.fa
   match e.guest.Ops.mmu_translate sys ~access:(Common.access_of access) gva with
   | Error fault ->
     Machine.charge e.machine Cost.guest_fault_bookkeeping;
+    sanitize_check e ~reason:"guest-fault";
     e.guest.Ops.data_abort sys ~va:gva ~access:(Common.access_of access) ~fault;
     raise Ops.Guest_trap
   | Ok (pa, perms) -> (
@@ -328,6 +347,7 @@ and handle_fault (e : t) ctx (access : Machine.access) va ~bits ~value : Exec.fa
     in
     if not allowed then begin
       Machine.charge e.machine Cost.guest_fault_bookkeeping;
+      sanitize_check e ~reason:"guest-fault";
       e.guest.Ops.data_abort sys ~va:gva ~access:(Common.access_of access)
         ~fault:(Ops.Gf_permission 3);
       raise Ops.Guest_trap
@@ -360,6 +380,12 @@ and handle_fault (e : t) ctx (access : Machine.access) va ~bits ~value : Exec.fa
       in
       let root = e.roots.(e.current_as) in
       Hvm.Pagetable.map e.machine.Machine.mem e.machine.Machine.palloc ~root va_page phys_page flags;
+      (* The PTE just changed: shoot down any stale hardware-TLB entry
+         for this page, or the retry re-faults through the old
+         translation forever — e.g. an SMC write to a code page that was
+         previously read (TLB-resident, read-only) and has just been
+         remapped writable. *)
+      Hvm.Tlb.flush_page e.machine.Machine.tlb (Int64.shift_right_logical va_page 12);
       (let lst =
          match Hashtbl.find_opt e.mappings phys_page with
          | Some l -> l
@@ -369,6 +395,10 @@ and handle_fault (e : t) ctx (access : Machine.access) va ~bits ~value : Exec.fa
            l
        in
        if not (List.mem (e.current_as, va_page) !lst) then lst := (e.current_as, va_page) :: !lst);
+      (match e.sanitizer with
+      | Some s -> Hvm.Sanitize.record_map s ~asid:e.current_as ~va_page ~pa_page:phys_page ~flags
+      | None -> ());
+      sanitize_check e ~reason:"fault";
       Exec.Retry)
 
 (* --- instruction fetch and translation -------------------------------------------- *)
@@ -498,6 +528,13 @@ let translate_block (e : t) sys ~va ~pa ~el ~mmu_on : translation =
   | Some l -> l := tr.t_key :: !l
   | None -> Hashtbl.replace e.by_page page (ref [ tr.t_key ]));
   protect_page e page;
+  (match e.sanitizer with
+  | Some sa ->
+    Hvm.Sanitize.record_translation sa ~mem:e.machine.Machine.mem ~pa ~el ~mmu:mmu_on
+      ~len:(4 * !n);
+    if e.config.sanitize_every > 0 && s.blocks_translated mod e.config.sanitize_every = 0 then
+      sanitize_check e ~reason:"periodic"
+  | None -> ());
   tr
 
 (* --- dispatch loop ------------------------------------------------------------------- *)
@@ -514,6 +551,18 @@ let lookup_fetch (e : t) sys va ~el ~mmu_on =
     | Ok pa ->
       Hashtbl.replace e.itlb (va_page, el, mmu_on) (Bits.align_down pa 4096);
       Ok pa)
+
+(* Enter a block at [va] under exception level [el]: set the host ring
+   (guest EL0 runs in host ring 3, everything else ring 0) and, when
+   sanitizing, audit the ring/user-bit invariant.  Also called at chain
+   transitions, where the exception level may have changed mid-chain. *)
+let enter_block (e : t) ~el ~va =
+  e.machine.Machine.ring <- (if el = 0 then 3 else 0);
+  match e.sanitizer with
+  | None -> ()
+  | Some s ->
+    let asid = if Int64.shift_right_logical va 47 = 0L then 0 else 1 in
+    Hvm.Sanitize.audit_ring s ~machine:e.machine ~roots:e.roots ~asid ~guest_el:el ~pc:va
 
 let prepare_as (e : t) va =
   (* Set the active page-table set to match the next PC's half. *)
@@ -540,8 +589,8 @@ let run ?(max_cycles = max_int) ?(max_blocks = max_int) (e : t) : exit_reason =
          if Machine.irq_pending e.machine then ignore (e.guest.Ops.deliver_irq sys);
          let el = e.guest.Ops.privilege_level sys in
          let mmu_on = e.guest.Ops.mmu_enabled sys in
-         e.machine.Machine.ring <- (if el = 0 then 3 else 0);
          let va = e.ctx.Exec.pc in
+         enter_block e ~el ~va;
          Machine.charge e.machine Cost.dispatch_lookup;
          match lookup_fetch e sys va ~el ~mmu_on with
          | Error () -> () (* instruction abort redirected the PC *)
@@ -576,6 +625,7 @@ let run ?(max_cycles = max_int) ?(max_blocks = max_int) (e : t) : exit_reason =
                  | Some (cva, cel, target) when cva = next_va && cel = next_el ->
                    Machine.charge e.machine Cost.branch;
                    e.stats.chain_hits <- e.stats.chain_hits + 1;
+                   enter_block e ~el:next_el ~va:next_va;
                    cur := target
                  | _ -> (
                    (* Try to link: only when the target is already
@@ -589,6 +639,7 @@ let run ?(max_cycles = max_int) ?(max_blocks = max_int) (e : t) : exit_reason =
                        | Some target ->
                          !cur.t_chain <- Some (next_va, next_el, target);
                          Machine.charge e.machine Cost.dispatch_lookup;
+                         enter_block e ~el:next_el ~va:next_va;
                          cur := target
                        | None -> continue_chain := false)
                      | None -> continue_chain := false

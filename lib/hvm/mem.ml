@@ -1,9 +1,20 @@
 (* Physical memory of the host virtual machine.
 
    Little-endian, byte addressable.  Out-of-range accesses raise
-   [Bus_error], which the machine surfaces like a hardware machine-check. *)
+   [Bus_error], which the machine surfaces like a hardware machine-check.
+   The exception carries the access width and direction so that memory
+   diagnostics (e.g. `captive_run mmucheck` findings) are actionable. *)
 
-exception Bus_error of int64
+exception Bus_error of { addr : int64; bits : int; write : bool }
+
+let () =
+  Printexc.register_printer (function
+    | Bus_error { addr; bits; write } ->
+      Some
+        (Printf.sprintf "Mem.Bus_error(%s of %d bits at 0x%Lx)"
+           (if write then "write" else "read")
+           bits addr)
+    | _ -> None)
 
 type t = {
   bytes : Bytes.t;
@@ -12,38 +23,38 @@ type t = {
 
 let create size = { bytes = Bytes.make size '\000'; size }
 
-let check t addr len =
+let check t addr len ~write =
   let a = Int64.to_int addr in
   if addr < 0L || Int64.compare addr (Int64.of_int t.size) >= 0 || a + len > t.size then
-    raise (Bus_error addr);
+    raise (Bus_error { addr; bits = 8 * len; write });
   a
 
-let read8 t addr = Int64.of_int (Char.code (Bytes.get t.bytes (check t addr 1)))
+let read8 t addr = Int64.of_int (Char.code (Bytes.get t.bytes (check t addr 1 ~write:false)))
 let write8 t addr v =
-  Bytes.set t.bytes (check t addr 1) (Char.chr (Int64.to_int (Int64.logand v 0xFFL)))
+  Bytes.set t.bytes (check t addr 1 ~write:true) (Char.chr (Int64.to_int (Int64.logand v 0xFFL)))
 
 let read16 t addr =
-  let a = check t addr 2 in
+  let a = check t addr 2 ~write:false in
   Int64.of_int (Bytes.get_uint16_le t.bytes a)
 
 let write16 t addr v =
-  let a = check t addr 2 in
+  let a = check t addr 2 ~write:true in
   Bytes.set_uint16_le t.bytes a (Int64.to_int (Int64.logand v 0xFFFFL))
 
 let read32 t addr =
-  let a = check t addr 4 in
+  let a = check t addr 4 ~write:false in
   Int64.logand (Int64.of_int32 (Bytes.get_int32_le t.bytes a)) 0xFFFFFFFFL
 
 let write32 t addr v =
-  let a = check t addr 4 in
+  let a = check t addr 4 ~write:true in
   Bytes.set_int32_le t.bytes a (Int64.to_int32 v)
 
 let read64 t addr =
-  let a = check t addr 8 in
+  let a = check t addr 8 ~write:false in
   Bytes.get_int64_le t.bytes a
 
 let write64 t addr v =
-  let a = check t addr 8 in
+  let a = check t addr 8 ~write:true in
   Bytes.set_int64_le t.bytes a v
 
 let read t ~bits addr =
@@ -64,9 +75,9 @@ let write t ~bits addr v =
 
 (* Bulk load (e.g. kernel images). *)
 let blit_in t ~addr (src : Bytes.t) =
-  let a = check t addr (Bytes.length src) in
+  let a = check t addr (Bytes.length src) ~write:true in
   Bytes.blit src 0 t.bytes a (Bytes.length src)
 
 let zero_range t ~addr ~len =
-  let a = check t addr len in
+  let a = check t addr len ~write:true in
   Bytes.fill t.bytes a len '\000'

@@ -1,8 +1,10 @@
 (** Physical memory of the host virtual machine: little-endian, byte
     addressable.  Out-of-range accesses raise {!Bus_error}, surfaced by
-    the machine like a hardware machine-check. *)
+    the machine like a hardware machine-check.  The payload carries the
+    access width (in bits) and direction so memory diagnostics are
+    actionable; a [Printexc] printer renders it readably. *)
 
-exception Bus_error of int64
+exception Bus_error of { addr : int64; bits : int; write : bool }
 
 type t = {
   bytes : Bytes.t;

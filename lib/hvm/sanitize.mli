@@ -1,0 +1,106 @@
+(** Memory-system sanitizer: an independent shadow oracle of what the
+    host MMU state {e must} be, checked against the real state.
+
+    The engine reports every state transition it performs (mapping a host
+    page, write-protecting a code page, invalidating a translation,
+    clearing the guest half on a guest TLB flush, registering a
+    translation) through the [record_*] hooks; {!check} then sweeps the
+    {e real} state — the page tables in host physical memory, the
+    hardware-TLB model, the frame allocator — and reports any divergence.
+    Five checkers run at each checkpoint:
+
+    - {b pt}: full walks of every live root against the shadow mapping
+      table — no dangling PTEs, no lost mappings, no permission
+      escalation at intermediate levels, NX/user/writable exactly as
+      mapped.
+    - {b tlb}: every valid hardware-TLB entry must be derivable from the
+      current page tables under its PCID (or, for global entries, under
+      some root) — stale entries after [clear_low_half], [unmap],
+      [protect] or a flush are hard findings.
+    - {b frames}: frame accounting against {!Palloc} — no leaked,
+      double-mapped, or freed-but-mapped table frames.
+    - {b code}: code-cache coherence — every translation's backing
+      guest-physical page is still write-protected (W^X), and the
+      translated bytes still hash to what was translated, i.e.
+      [invalidate_page] fired for every write to a translated page.
+    - {b ring}: guest user code only runs on user-bit mappings in host
+      ring 3 (see {!audit_ring}).
+
+    The sanitizer is deliberately invisible to the system under test: it
+    reads memory through raw {!Mem} accessors (never [phys_read]), scans
+    TLB entries directly (never [Tlb.lookup]), and charges no cycles —
+    a sanitized run's cycle count and statistics are bit-identical to an
+    unsanitized one. *)
+
+type checker = Pt_shadow | Tlb_shadow | Frames | Code_cache | Ring
+
+val checker_name : checker -> string
+
+type finding = { checker : checker; detail : string }
+
+val string_of_finding : finding -> string
+
+type t
+
+(** [create ()] starts with an empty shadow (no mappings, no code pages,
+    no translations).  [max_findings] bounds the retained finding list
+    (counters keep exact totals); findings are deduplicated by detail. *)
+val create : ?max_findings:int -> unit -> t
+
+(** {2 Recording hooks — the engine narrates its transitions} *)
+
+(** A host mapping [va_page -> pa_page] was installed (or re-installed
+    with new permissions) in address space [asid]. *)
+val record_map :
+  t -> asid:int -> va_page:int64 -> pa_page:int64 -> flags:Pagetable.flags -> unit
+
+(** The leaf mapping of [va_page] in [asid] was removed. *)
+val record_unmap : t -> asid:int -> va_page:int64 -> unit
+
+(** Physical page [pa_page] now backs translated code: every shadow
+    mapping of it is downgraded to read-only and the page joins the
+    write-protected set. *)
+val record_protect_page : t -> pa_page:int64 -> unit
+
+(** A guest write hit protected page [pa_page]: its translations are
+    dropped from the shadow and it leaves the write-protected set. *)
+val record_invalidate_page : t -> pa_page:int64 -> unit
+
+(** The guest half of every address space was torn down
+    ([clear_low_half] on all roots + full TLB flush).  Code pages and
+    translations survive — the code cache is physically indexed. *)
+val record_clear_mappings : t -> unit
+
+(** A translation of [len] guest bytes at physical address [pa] was
+    registered in the code cache under key [(pa, el, mmu)]; the bytes
+    are hashed now and re-hashed at every checkpoint. *)
+val record_translation :
+  t -> mem:Mem.t -> pa:int64 -> el:int -> mmu:bool -> len:int -> unit
+
+(** {2 Checkpoints} *)
+
+(** Run checkers (a)–(d) against the machine's real state.  [roots] are
+    the live page-table roots, indexed by address-space id / PCID.
+    [reason] tags the checkpoint in the counters. *)
+val check : t -> machine:Machine.t -> roots:int64 array -> reason:string -> unit
+
+(** Checker (e), run at block-dispatch time: guest EL0 must execute in
+    host ring 3 and vice versa, and in ring 3 the (present) host mapping
+    of the executing page must carry the user bit. *)
+val audit_ring :
+  t -> machine:Machine.t -> roots:int64 array -> asid:int -> guest_el:int -> pc:int64 -> unit
+
+(** {2 Results} *)
+
+val ok : t -> bool
+
+(** Distinct findings in discovery order (capped at [max_findings]). *)
+val findings : t -> finding list
+
+(** Per-checker counters: work performed ("pt leaves checked", "tlb
+    entries checked", ...) and findings ("pt findings", ...), plus
+    checkpoint totals. *)
+val counters : t -> Dbt_util.Stats.Counters.t
+
+(** Findings (one per line) followed by the counter report. *)
+val report : t -> string

@@ -77,6 +77,13 @@ let flush_pcid t pcid =
   t.flushes <- t.flushes + 1;
   Array.iter (fun e -> if e.pcid = pcid && not e.global then e.valid <- false) t.entries
 
+(* invlpg semantics: PCID-blind and global-blind.  The invalidation
+   deliberately ignores both [e.pcid] and [e.global] — `invlpg` drops
+   matching translations for every PCID *and* global entries.  Because the
+   TLB is direct-mapped by VPN, at most one entry for [vpn] can be resident
+   (in slot [vpn mod size]), so checking that single slot covers every
+   PCID.  An entry for a *different* VPN aliasing the same slot must
+   survive, hence the [e.vpn = vpn] guard. *)
 let flush_page t vpn =
   let e = t.entries.(slot t vpn) in
   if e.valid && e.vpn = vpn then e.valid <- false

@@ -36,5 +36,10 @@ val flush_all : t -> unit
 (** Flush one PCID's non-global entries (a plain CR3 write). *)
 val flush_pcid : t -> int -> unit
 
+(** Invalidate any resident translation of one virtual page number —
+    [invlpg] semantics: matches under {e every} PCID and also drops
+    global entries.  (The TLB is direct-mapped, so the single slot for
+    the VPN covers all PCIDs; aliasing entries for other VPNs in the
+    same slot survive.) *)
 val flush_page : t -> int64 -> unit
 val reset_stats : t -> unit

@@ -15,7 +15,18 @@ let test_mem_widths () =
   Alcotest.(check int64) "read8" 0x88L (Mem.read8 m 0L);
   Mem.write8 m 1L 0xFFL;
   Alcotest.(check int64) "byte patch" 0x112233445566FF88L (Mem.read64 m 0L);
-  Alcotest.check_raises "oob" (Mem.Bus_error 4096L) (fun () -> ignore (Mem.read8 m 4096L))
+  Alcotest.check_raises "oob read" (Mem.Bus_error { addr = 4096L; bits = 8; write = false })
+    (fun () -> ignore (Mem.read8 m 4096L));
+  Alcotest.check_raises "oob write carries width and direction"
+    (Mem.Bus_error { addr = 4092L; bits = 64; write = true })
+    (fun () -> Mem.write64 m 4092L 0L);
+  Alcotest.(check bool) "bus error printer" true
+    (try
+       ignore (Mem.read32 m 8000L);
+       false
+     with e ->
+       let s = Printexc.to_string e in
+       s = "Mem.Bus_error(read of 32 bits at 0x1f40)")
 
 let mk_machine () = Machine.create ~mem_size:(16 * 1024 * 1024) ()
 
@@ -64,6 +75,68 @@ let test_tlb_pcid () =
   Alcotest.(check bool) "pcid1 survives pcid0 flush" true (Tlb.lookup tlb ~pcid:1 6L <> None);
   Tlb.flush_all tlb;
   Alcotest.(check bool) "all flushed" true (Tlb.lookup tlb ~pcid:1 6L = None)
+
+(* invlpg semantics: flush_page must drop the translation under *every*
+   PCID and also global entries, but leave entries for other VPNs that
+   merely alias the same direct-mapped slot alone. *)
+let test_tlb_flush_page_pcid_blind () =
+  let tlb = Tlb.create ~size:64 () in
+  let flags = { Pt.writable = true; user = true; executable = true } in
+  Tlb.insert tlb ~pcid:3 ~vpn:5L ~frame:0x5000L ~flags ~global:false;
+  Tlb.flush_page tlb 5L;
+  Alcotest.(check bool) "flushed under a foreign pcid" true (Tlb.lookup tlb ~pcid:3 5L = None);
+  Tlb.insert tlb ~pcid:0 ~vpn:7L ~frame:0x7000L ~flags ~global:true;
+  Tlb.flush_page tlb 7L;
+  Alcotest.(check bool) "global entry flushed" true (Tlb.lookup tlb ~pcid:9 7L = None);
+  Tlb.insert tlb ~pcid:0 ~vpn:9L ~frame:0x9000L ~flags ~global:false;
+  Tlb.flush_page tlb (Int64.of_int (9 + 64)); (* aliases slot 9, different vpn *)
+  Alcotest.(check bool) "slot-aliasing vpn survives" true (Tlb.lookup tlb ~pcid:0 9L <> None)
+
+(* Frame accounting: map/unmap/clear cycles must return every intermediate
+   table frame to the allocator exactly once (no leak, no double free). *)
+let prop_frame_accounting =
+  QCheck2.Test.make ~name:"map/unmap/clear returns every table frame exactly once" ~count:50
+    QCheck2.Gen.(list_size (int_range 1 30) (int_range 0 2_000_000))
+    (fun pages ->
+      let m = mk_machine () in
+      let p = m.Machine.palloc in
+      let root = Hvm.Palloc.alloc p in
+      let flags = { Pt.writable = true; user = true; executable = false } in
+      let no_dups l = List.length (List.sort_uniq compare l) = List.length l in
+      let cycle () =
+        List.iter
+          (fun pg -> Pt.map m.Machine.mem p ~root (Int64.mul (Int64.of_int pg) 4096L) 0x1000L flags)
+          pages;
+        (* unmap half of them first: leaves clear but tables remain *)
+        List.iteri
+          (fun i pg ->
+            if i mod 2 = 0 then Pt.unmap m.Machine.mem ~root (Int64.mul (Int64.of_int pg) 4096L))
+          pages;
+        Pt.clear_low_half m.Machine.mem p ~root
+      in
+      cycle ();
+      let ok1 = Hvm.Palloc.frames_used p = 1 && no_dups p.Hvm.Palloc.free in
+      (* A second cycle re-allocates from the free list and must balance again. *)
+      cycle ();
+      ok1 && Hvm.Palloc.frames_used p = 1 && no_dups p.Hvm.Palloc.free)
+
+let test_free_subtree_accounting () =
+  let m = mk_machine () in
+  let p = m.Machine.palloc in
+  let root = Hvm.Palloc.alloc p in
+  let flags = { Pt.writable = true; user = true; executable = false } in
+  let high = 0x0000_8000_0000_0000L in
+  Pt.map m.Machine.mem p ~root high 0x2000L flags;
+  Pt.map m.Machine.mem p ~root 0x1000L 0x3000L flags;
+  Alcotest.(check int) "root + 2x3 tables" 7 (Hvm.Palloc.frames_used p);
+  Pt.clear_low_half m.Machine.mem p ~root;
+  Alcotest.(check int) "high-half tables survive clear" 4 (Hvm.Palloc.frames_used p);
+  Alcotest.(check bool) "high mapping still walks" true
+    (fst (Pt.walk m.Machine.mem ~root high) <> None);
+  Pt.free_subtree m.Machine.mem p root 3;
+  Alcotest.(check int) "free_subtree releases everything" 0 (Hvm.Palloc.frames_used p);
+  Alcotest.(check bool) "no double free" true
+    (List.length (List.sort_uniq compare p.Hvm.Palloc.free) = List.length p.Hvm.Palloc.free)
 
 let test_machine_translate_rings () =
   let m = mk_machine () in
@@ -126,7 +199,10 @@ let suite =
       Alcotest.test_case "pagetable map/walk" `Quick test_pagetable_map_walk;
       Alcotest.test_case "protect and clear-low-half" `Quick test_pagetable_protect_and_clear;
       Alcotest.test_case "tlb pcid tagging" `Quick test_tlb_pcid;
+      Alcotest.test_case "tlb flush_page is pcid-blind" `Quick test_tlb_flush_page_pcid_blind;
+      Alcotest.test_case "free_subtree/clear_low_half accounting" `Quick test_free_subtree_accounting;
       Alcotest.test_case "machine rings" `Quick test_machine_translate_rings;
       Alcotest.test_case "devices" `Quick test_devices;
       q prop_map_walk;
+      q prop_frame_accounting;
     ] )

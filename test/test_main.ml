@@ -12,4 +12,5 @@ let () =
       Test_arm.suite;
       Test_engine.suite;
       Test_workloads.suite;
+      Test_sanitize.suite;
     ]
