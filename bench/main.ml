@@ -27,11 +27,11 @@ type run_result = {
   bytes_per_guest : float;
   blocks_translated : int;
   phases : float * float * float * float; (* decode/translate/ra/encode seconds *)
-  block_stats : (int64 * int * int * int * int) list;
+  block_stats : (int64 * int * int * int * int * int) list;
 }
 
 let exec_guest_instrs stats =
-  List.fold_left (fun acc (_, ng, _, ex, _) -> acc + (ng * ex)) 0 stats
+  List.fold_left (fun acc (_, ng, _, ex, _, _) -> acc + (ng * ex)) 0 stats
 
 let run_captive ?(config = CE.default_config) ?ops user =
   let guest = match ops with Some o -> o | None -> Guest_arm.Arm.ops () in
@@ -260,11 +260,11 @@ let fig21 () =
       hpg := (c.host_per_guest, q.host_per_guest);
       let qtbl = Hashtbl.create 256 in
       List.iter
-        (fun (va, _, _, ex, cyc) ->
+        (fun (va, _, _, ex, cyc, _) ->
           if ex > 0 then Hashtbl.replace qtbl va (float_of_int cyc /. float_of_int ex))
         q.block_stats;
       List.iter
-        (fun (va, _, _, ex, cyc) ->
+        (fun (va, _, _, ex, cyc, _) ->
           if ex >= 5 then
             match Hashtbl.find_opt qtbl va with
             | Some qc when qc > 0. -> pairs := (float_of_int cyc /. float_of_int ex, qc) :: !pairs

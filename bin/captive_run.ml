@@ -514,9 +514,208 @@ let mmucheck_cmd =
        ~doc:"Run the ARM and RISC-V MMU-stress workloads under the shadow-oracle sanitizer.")
     Term.(ret (const run $ json $ guard $ every))
 
+(* --- bench --------------------------------------------------------------------------- *)
+
+(* The CI perf-regression gate.  `bench --quick` runs a handful of
+   loop-heavy SPEC proxies on three engines — Captive with tiering, Captive
+   tier-0-only, and the QEMU-style reference engine — and emits one flat
+   JSON object per workload plus a summary (`--json`), in exactly the
+   shape `bench/baseline.json` is committed in.  When a baseline is
+   available the verdict gates: the run fails if tiered Captive cycles on
+   any workload regress by more than 5% over the baseline, or if the
+   Captive-vs-QEMU speedup drops below baseline - 5%.  Scaling reuses the
+   harness's BENCH_SCALE convention so the quick set stays under ~60s. *)
+
+module MJ = Dbt_util.Minijson
+
+let bench_quick_names = [ "462.libquantum"; "429.mcf"; "400.perlbench"; "458.sjeng" ]
+let bench_full_names = bench_quick_names @ [ "445.gobmk"; "471.omnetpp"; "483.xalancbmk" ]
+
+type bench_row = {
+  br_name : string;
+  br_exit_ok : bool;
+  br_tiered : int; (* tiered Captive cycles *)
+  br_untiered : int;
+  br_qemu : int;
+  br_speedup : float; (* qemu / tiered captive *)
+  br_gain_pct : float; (* (untiered - tiered) / untiered * 100 *)
+  br_hinstrs : int; (* host instrs interpreted, tiered *)
+  br_hinstrs_u : int; (* host instrs interpreted, tier-0 only *)
+  br_stats : Captive.Engine.phase_stats;
+}
+
+let bench_run_one ~scale name : bench_row =
+  let user = (Workloads.Spec.find name).Workloads.Spec.build ~scale in
+  let exit_of = function
+    | Captive.Engine.Poweroff c -> c
+    | Captive.Engine.Cycle_limit -> -2
+    | Captive.Engine.Block_limit -> -3
+  in
+  let run_captive config =
+    let e = Captive.Engine.create ~config (Guest_arm.Arm.ops ()) in
+    Workloads.Kernel.install (Workloads.Kernel.captive_target e) ~user;
+    let code = exit_of (Captive.Engine.run ~max_cycles:50_000_000_000 e) in
+    (e, code)
+  in
+  let e_t, code_t = run_captive Captive.Engine.default_config in
+  let e_u, code_u =
+    run_captive { Captive.Engine.default_config with Captive.Engine.tiering = false }
+  in
+  let cy_u = Captive.Engine.cycles e_u in
+  let e_q = Qemu_ref.Qemu_engine.create (Guest_arm.Arm.ops ()) in
+  Workloads.Kernel.install (Workloads.Kernel.qemu_target e_q) ~user;
+  let code_q =
+    match Qemu_ref.Qemu_engine.run ~max_cycles:50_000_000_000 e_q with
+    | Qemu_ref.Qemu_engine.Poweroff c -> c
+    | _ -> -2
+  in
+  let cy_t = Captive.Engine.cycles e_t and cy_q = Qemu_ref.Qemu_engine.cycles e_q in
+  {
+    br_name = name;
+    br_exit_ok = code_t = code_u && code_t = code_q && code_t >= 0;
+    br_tiered = cy_t;
+    br_untiered = cy_u;
+    br_qemu = cy_q;
+    br_speedup = float_of_int cy_q /. float_of_int (max 1 cy_t);
+    br_gain_pct = 100. *. float_of_int (cy_u - cy_t) /. float_of_int (max 1 cy_u);
+    br_hinstrs = e_t.Captive.Engine.ctx.Hostir.Exec.instrs_executed;
+    br_hinstrs_u = e_u.Captive.Engine.ctx.Hostir.Exec.instrs_executed;
+    br_stats = e_t.Captive.Engine.stats;
+  }
+
+let bench_row_json r =
+  let s = r.br_stats in
+  Printf.sprintf
+    "{\"kind\":\"workload\",\"name\":%s,\"exit_ok\":%b,\"captive_cycles\":%d,\"captive_untiered_cycles\":%d,\"qemu_cycles\":%d,\"speedup\":%.4f,\"tiered_gain_pct\":%.2f,\"host_instrs\":%d,\"host_instrs_untiered\":%d,\"promotions\":%d,\"regions\":%d,\"region_blocks\":%d,\"region_entries\":%d,\"region_block_execs\":%d,\"region_dead_stores\":%d}"
+    (Dbt_util.Stats.json_string r.br_name)
+    r.br_exit_ok r.br_tiered r.br_untiered r.br_qemu r.br_speedup r.br_gain_pct r.br_hinstrs
+    r.br_hinstrs_u s.Captive.Engine.promotions s.Captive.Engine.regions_formed
+    s.Captive.Engine.region_blocks s.Captive.Engine.region_entries
+    s.Captive.Engine.region_block_execs s.Captive.Engine.region_dead_stores
+
+(* Parse a committed baseline: one flat JSON object per line, keyed by
+   "name"; only "captive_cycles" and "speedup" gate. *)
+let bench_load_baseline file : (string * (float * float)) list =
+  if not (Sys.file_exists file) then []
+  else begin
+    let ic = open_in file in
+    let rows = ref [] in
+    (try
+       while true do
+         let line = input_line ic in
+         match MJ.parse_line_opt line with
+         | Some fields when MJ.find_string fields "kind" = Some "workload" -> (
+           match
+             (MJ.find_string fields "name", MJ.find_number fields "captive_cycles",
+              MJ.find_number fields "speedup")
+           with
+           | Some n, Some c, Some s -> rows := (n, (c, s)) :: !rows
+           | _ -> ())
+         | _ -> ()
+       done
+     with End_of_file -> ());
+    close_in ic;
+    List.rev !rows
+  end
+
+let bench_cmd =
+  let json =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Emit one flat JSON object per workload plus a summary line on stdout; the \
+                 gate verdict goes to stderr.")
+  in
+  let quick =
+    Arg.(value & flag & info [ "quick" ]
+           ~doc:"Run the quick loop-heavy subset (under ~60s) used by the CI gate.")
+  in
+  let baseline =
+    Arg.(value & opt (some string) None & info [ "baseline" ] ~docv:"FILE"
+           ~doc:"Baseline to gate against (default: bench/baseline.json when present).")
+  in
+  let run json quick baseline scale =
+    let scale =
+      if scale <> 1 then scale
+      else try int_of_string (Sys.getenv "BENCH_SCALE") with _ -> 1
+    in
+    let names = if quick then bench_quick_names else bench_full_names in
+    let say fmt = if json then Printf.ifprintf stdout fmt else Printf.printf fmt in
+    let shout line = if json then prerr_endline line else print_endline line in
+    say "bench%s: %d workloads at scale %d (captive tiered / captive tier-0 / qemu)\n%!"
+      (if quick then " --quick" else "")
+      (List.length names) scale;
+    let rows = List.map (bench_run_one ~scale) names in
+    let failures = ref 0 in
+    List.iter
+      (fun r ->
+        if json then print_endline (bench_row_json r)
+        else
+          say "%-16s captive %11d  tier-0 %11d  qemu %11d  speedup %5.2fx  tiered gain %+5.1f%%  (regions %d/%d blocks)%s\n"
+            r.br_name r.br_tiered r.br_untiered r.br_qemu r.br_speedup r.br_gain_pct
+            r.br_stats.Captive.Engine.regions_formed r.br_stats.Captive.Engine.region_blocks
+            (if r.br_exit_ok then "" else "  EXIT MISMATCH");
+        if not r.br_exit_ok then begin
+          incr failures;
+          shout (Printf.sprintf "bench: %s: engines disagree on exit code" r.br_name)
+        end)
+      rows;
+    let geomean f =
+      exp (List.fold_left (fun a r -> a +. log (max 1e-9 (f r))) 0. rows
+           /. float_of_int (max 1 (List.length rows)))
+    in
+    let gm_speedup = geomean (fun r -> r.br_speedup) in
+    let baseline_file =
+      match baseline with
+      | Some f -> f
+      | None -> Filename.concat "bench" "baseline.json"
+    in
+    let base = bench_load_baseline baseline_file in
+    let gate =
+      if base = [] then "no-baseline"
+      else begin
+        List.iter
+          (fun r ->
+            match List.assoc_opt r.br_name base with
+            | None -> ()
+            | Some (bc, bs) ->
+              if float_of_int r.br_tiered > bc *. 1.05 then begin
+                incr failures;
+                shout
+                  (Printf.sprintf
+                     "bench: %s: captive cycles regressed >5%% (%d vs baseline %.0f)" r.br_name
+                     r.br_tiered bc)
+              end;
+              if r.br_speedup < bs *. 0.95 then begin
+                incr failures;
+                shout
+                  (Printf.sprintf
+                     "bench: %s: captive-vs-qemu speedup %.2fx below baseline %.2fx - 5%%"
+                     r.br_name r.br_speedup bs)
+              end)
+          rows;
+        if !failures = 0 then "pass" else "fail"
+      end
+    in
+    if json then
+      Printf.printf
+        "{\"kind\":\"summary\",\"workloads\":%d,\"scale\":%d,\"geomean_speedup\":%.4f,\"gate\":%s,\"failures\":%d}\n"
+        (List.length rows) scale gm_speedup
+        (Dbt_util.Stats.json_string gate)
+        !failures;
+    shout
+      (Printf.sprintf "bench: geomean speedup %.2fx over qemu; gate vs %s: %s" gm_speedup
+         (if base = [] then "(no baseline)" else baseline_file)
+         (String.uppercase_ascii gate));
+    if !failures = 0 then `Ok ()
+    else `Error (false, Printf.sprintf "bench: %d gate failure(s)" !failures)
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:"Run the perf benchmark set on all engines and gate against bench/baseline.json.")
+    Term.(ret (const run $ json $ quick $ baseline $ scale_arg))
+
 let () =
   let doc = "Retargetable system-level DBT hypervisor (Captive reproduction)" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "captive_run" ~doc)
-          [ spec_cmd; simbench_cmd; boot_cmd; info_cmd; ssa_cmd; lint_cmd; mmucheck_cmd ]))
+          [ spec_cmd; simbench_cmd; boot_cmd; info_cmd; ssa_cmd; lint_cmd; mmucheck_cmd; bench_cmd ]))

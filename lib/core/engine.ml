@@ -32,6 +32,9 @@ type config = {
   max_block : int; (* maximum guest instructions per translation block *)
   sanitize : bool; (* shadow-oracle MMU invariant checking (Hvm.Sanitize) *)
   sanitize_every : int; (* extra periodic checkpoint every N translated blocks *)
+  tiering : bool; (* tiered translation: profile tier-0 blocks, form hot regions *)
+  hot_threshold : int; (* executions of a tier-0 block before promotion *)
+  region_max_blocks : int; (* maximum members in one region (all on one page) *)
 }
 
 let default_config =
@@ -44,6 +47,9 @@ let default_config =
     max_block = 64;
     sanitize = false;
     sanitize_every = 32;
+    tiering = true;
+    hot_threshold = 64;
+    region_max_blocks = 8;
   }
 
 type phase_stats = {
@@ -60,6 +66,14 @@ type phase_stats = {
   mutable blocks_executed : int;
   mutable chain_hits : int;
   mutable smc_invalidations : int;
+  (* tiered translation *)
+  mutable promotions : int; (* tier-0 blocks that crossed the hotness threshold *)
+  mutable regions_formed : int; (* multi-block region translations built *)
+  mutable region_blocks : int; (* total member blocks across formed regions *)
+  mutable region_host_instrs : int; (* host instrs emitted for region units *)
+  mutable region_entries : int; (* dispatches that entered a region unit *)
+  mutable region_block_execs : int; (* member blocks executed inside regions *)
+  mutable region_dead_stores : int; (* cross-block dead register-file stores removed *)
 }
 
 let new_phase_stats () =
@@ -77,6 +91,13 @@ let new_phase_stats () =
     blocks_executed = 0;
     chain_hits = 0;
     smc_invalidations = 0;
+    promotions = 0;
+    regions_formed = 0;
+    region_blocks = 0;
+    region_host_instrs = 0;
+    region_entries = 0;
+    region_block_execs = 0;
+    region_dead_stores = 0;
   }
 
 type translation = {
@@ -89,6 +110,16 @@ type translation = {
   mutable t_chain : (int64 * int * translation) option; (* expected (va, el) -> target *)
   mutable t_exec_count : int;
   mutable t_cycles : int;
+  (* tiered translation *)
+  mutable t_tier : int; (* 0 = profiled tier-0 block; 1 = promoted/region member *)
+  t_members : int; (* 1 for plain blocks; number of member blocks for regions *)
+  mutable t_succs : (int64 * int * int) list; (* bounded (va, el, count) profile *)
+  (* Per-exit-site chain edges of a region unit, indexed by exit slot - 1:
+     each member's dispatch chunk exits through its own slot, so each exit
+     site patches to its own stable successor (classic trace-exit
+     chaining) instead of flapping a single shared edge.  [||] for plain
+     blocks, which keep the single [t_chain] edge. *)
+  t_exits : (int64 * int * translation) option array;
 }
 
 type t = {
@@ -109,16 +140,18 @@ type t = {
   uart : Hvm.Device.Uart.state;
   timer : Hvm.Device.Timer.state;
   syscon : Hvm.Device.Syscon.state;
+  (* Optional fault/transition tracing for debugging guest bring-up.
+     Per-engine so a traced run doesn't mute tracing for engines created
+     later in the same process. *)
+  tracing : bool;
+  mutable trace_events : int;
 }
 
 let now () = Unix.gettimeofday ()
-(* Optional fault/transition tracing for debugging guest bring-up. *)
-let tracing = Sys.getenv_opt "CAPTIVE_TRACE" <> None
-let trace_events = ref 0
 
-let trace fmt =
-  if tracing && !trace_events < 400 then begin
-    incr trace_events;
+let trace e fmt =
+  if e.tracing && e.trace_events < 400 then begin
+    e.trace_events <- e.trace_events + 1;
     Printf.eprintf fmt
   end
   else Printf.ifprintf stderr fmt
@@ -181,6 +214,7 @@ let rec create ?(config = default_config) (guest : Ops.ops) : t =
     {
       Exec.fn =
         (fun ctx args ->
+          poison_regions (engine ());
           guest.Ops.take_exception (sys ctx) ~ec:args.(0) ~iss:args.(1);
           0L);
       cost = 60;
@@ -189,6 +223,7 @@ let rec create ?(config = default_config) (guest : Ops.ops) : t =
     {
       Exec.fn =
         (fun ctx _ ->
+          poison_regions (engine ());
           guest.Ops.eret (sys ctx);
           0L);
       cost = 60;
@@ -237,7 +272,7 @@ let rec create ?(config = default_config) (guest : Ops.ops) : t =
           Machine.set_page_table ctx.Exec.machine ~root:e.roots.(target_as) ~pcid:target_as
             ~keep_tlb:e.config.pcid;
           ctx.Exec.regs.(Dag.as_tag_preg) <- as_tag_value target_as;
-          trace "SWITCH as=%d pc=%Lx\n%!" target_as ctx.Exec.pc;
+          trace e "SWITCH as=%d pc=%Lx\n%!" target_as ctx.Exec.pc;
           0L);
       cost = 5;
     };
@@ -264,16 +299,26 @@ let rec create ?(config = default_config) (guest : Ops.ops) : t =
       uart;
       timer;
       syscon;
+      tracing = Sys.getenv_opt "CAPTIVE_TRACE" <> None;
+      trace_events = 0;
     }
   in
   engine_ref := Some e;
   guest.Ops.reset (sys ctx) ~entry:0L;
   e
 
+(* A regime change (exception entry/return, MMU/TLB state change, SMC
+   invalidation) poisons in-flight regions: tier-1 region translations
+   test this host flag at every member-entry safepoint and bail out to
+   the dispatcher, which re-validates (EL, MMU regime) itself.  Cleared
+   on every block entry. *)
+and poison_regions (e : t) = e.ctx.Exec.regs.(Hir.region_poison_preg) <- 1L
+
 (* Invalidate all host page-table mappings of the guest halves (the
    paper's TLB-flush intercept: clear the low 256 PML4 entries of each
    set and flush the host TLB). *)
 and flush_host_mappings (e : t) =
+  poison_regions e;
   Array.iter (fun root -> Hvm.Pagetable.clear_low_half e.machine.Machine.mem e.machine.Machine.palloc ~root) e.roots;
   Hvm.Tlb.flush_all e.machine.Machine.tlb;
   Machine.charge e.machine Cost.tlb_flush;
@@ -294,9 +339,35 @@ and sanitize_check (e : t) ~reason =
 and device_of e pa = Machine.find_device e.machine pa
 
 and invalidate_page e phys_page =
+  poison_regions e;
   (match Hashtbl.find_opt e.by_page phys_page with
   | Some keys ->
+    let removed = List.filter_map (fun k -> Hashtbl.find_opt e.cache k) !keys in
     List.iter (fun k -> Hashtbl.remove e.cache k) !keys;
+    (* Unlink every chain edge targeting an invalidated translation: a
+       chain hit bypasses the cache, so a surviving edge would re-enter
+       stale code after self-modification (fatal for a region unit, whose
+       members just got demoted). *)
+    Hashtbl.iter
+      (fun _ tr ->
+        (match tr.t_chain with
+        | Some (_, _, tgt) when List.memq tgt removed -> tr.t_chain <- None
+        | _ -> ());
+        Array.iteri
+          (fun i edge ->
+            match edge with
+            | Some (_, _, tgt) when List.memq tgt removed -> tr.t_exits.(i) <- None
+            | _ -> ())
+          tr.t_exits)
+      e.cache;
+    (* Also the removed records' own outgoing edges: the dispatch loop may
+       still hold one of them as its current block (a block that rewrote
+       its own page), and must not chain onward into stale code. *)
+    List.iter
+      (fun tr ->
+        tr.t_chain <- None;
+        Array.fill tr.t_exits 0 (Array.length tr.t_exits) None)
+      removed;
     Hashtbl.remove e.by_page phys_page;
     e.stats.smc_invalidations <- e.stats.smc_invalidations + 1
   | None -> ());
@@ -327,7 +398,7 @@ and protect_page e phys_page =
   end
 
 and handle_fault (e : t) ctx (access : Machine.access) va ~bits ~value : Exec.fault_response =
-  trace "FAULT va=%Lx access=%s as=%d ring=%d pc=%Lx tag=%Lx\n%!" va
+  trace e "FAULT va=%Lx access=%s as=%d ring=%d pc=%Lx tag=%Lx\n%!" va
     (match access with Machine.Read -> "R" | Machine.Write -> "W" | Machine.Exec -> "X")
     e.current_as e.machine.Machine.ring ctx.Exec.pc ctx.Exec.regs.(Dag.as_tag_preg);
   let sys = Common.sys_ctx e.guest ctx in
@@ -418,8 +489,8 @@ let fetch_translate (e : t) sys va : (int64, unit) result =
     end
     else Ok pa
 
-let field_fn (e : t) sys (d : Adl.Decode.decoded) =
-  let el = Int64.of_int (e.guest.Ops.privilege_level sys) in
+let field_of ~el (d : Adl.Decode.decoded) =
+  let el = Int64.of_int el in
   fun name ->
     if name = "__el" then el
     else
@@ -427,11 +498,14 @@ let field_fn (e : t) sys (d : Adl.Decode.decoded) =
       | Some v -> v
       | None -> invalid_arg (Printf.sprintf "no field %s in %s" name d.Adl.Decode.name)
 
-let translate_block (e : t) sys ~va ~pa ~el ~mmu_on : translation =
-  let s = e.stats in
+let field_fn (e : t) sys (d : Adl.Decode.decoded) =
+  field_of ~el:(e.guest.Ops.privilege_level sys) d
+
+(* Decode one guest basic block starting at [va]/[pa]; returns the
+   decoded instructions in order, or [(..., true)] when the very first
+   instruction is undefined (the caller emits an exception stub). *)
+let decode_block (e : t) ~va ~pa : Adl.Decode.decoded list * bool =
   let model = e.guest.Ops.model in
-  (* Phase 1: decode one guest basic block. *)
-  let t0 = now () in
   let decoded = ref [] in
   let n = ref 0 in
   let undefined_stub = ref false in
@@ -440,7 +514,7 @@ let translate_block (e : t) sys ~va ~pa ~el ~mmu_on : translation =
     let insn_va = Int64.add va (Int64.of_int (4 * !n)) in
     let insn_pa = Int64.add pa (Int64.of_int (4 * !n)) in
     let word = Machine.phys_read e.machine ~bits:32 insn_pa in
-    (match Ssa.Offline.decode model word with
+    match Ssa.Offline.decode model word with
     | Some d ->
       decoded := d :: !decoded;
       incr n;
@@ -449,25 +523,35 @@ let translate_block (e : t) sys ~va ~pa ~el ~mmu_on : translation =
       then continue_ := false
     | None ->
       if !n = 0 then undefined_stub := true;
-      continue_ := false)
+      continue_ := false
   done;
-  let decoded = List.rev !decoded in
+  (List.rev !decoded, !undefined_stub)
+
+let dag_config_of (e : t) ~mmu_on =
+  {
+    Dag.bank_offset = e.guest.Ops.bank_offset;
+    slot_offset = e.guest.Ops.slot_offset;
+    lower_intrinsic = lower_intrinsic e.config;
+    effect_helper = Common.effect_helper_index;
+    coproc_read_helper = Common.h_coproc_read;
+    coproc_write_helper = Common.h_coproc_write;
+    split_va_check = e.config.split_va_check && mmu_on;
+    as_switch_helper = Common.h_as_switch;
+  }
+
+let translate_block (e : t) sys ~va ~pa ~el ~mmu_on : translation =
+  let s = e.stats in
+  ignore sys;
+  (* Phase 1: decode one guest basic block. *)
+  let t0 = now () in
+  let decoded, undefined_stub = decode_block e ~va ~pa in
+  let n = ref (List.length decoded) in
+  let undefined_stub = ref undefined_stub in
   s.t_decode <- s.t_decode +. (now () -. t0);
   (* Phase 2: translation via generator functions over the invocation DAG. *)
   let t1 = now () in
-  let dag_config =
-    {
-      Dag.bank_offset = e.guest.Ops.bank_offset;
-      slot_offset = e.guest.Ops.slot_offset;
-      lower_intrinsic = lower_intrinsic e.config;
-      effect_helper = Common.effect_helper_index;
-      coproc_read_helper = Common.h_coproc_read;
-      coproc_write_helper = Common.h_coproc_write;
-      split_va_check = e.config.split_va_check && mmu_on;
-      as_switch_helper = Common.h_as_switch;
-    }
-  in
-  let dag = Dag.create dag_config in
+  let model = e.guest.Ops.model in
+  let dag = Dag.create (dag_config_of e ~mmu_on) in
   let em = Dag.emitter dag in
   if !undefined_stub then
     (* An undefined first instruction gets a cached stub that raises the
@@ -477,7 +561,7 @@ let translate_block (e : t) sys ~va ~pa ~el ~mmu_on : translation =
     List.iter
       (fun d ->
         let action = Ssa.Offline.action model d.Adl.Decode.name in
-        let field = field_fn e sys d in
+        let field = field_of ~el d in
         let inc_pc = if d.Adl.Decode.ends_block then None else Some e.guest.Ops.insn_size in
         Ssa.Gen.translate em action ~field ~inc_pc)
       decoded;
@@ -517,6 +601,10 @@ let translate_block (e : t) sys ~va ~pa ~el ~mmu_on : translation =
       t_chain = None;
       t_exec_count = 0;
       t_cycles = 0;
+      t_tier = 0;
+      t_members = 1;
+      t_succs = [];
+      t_exits = [||];
     }
   in
   (* Register in the cache and write-protect the code's guest pages. *)
@@ -536,6 +624,236 @@ let translate_block (e : t) sys ~va ~pa ~el ~mmu_on : translation =
       sanitize_check e ~reason:"periodic"
   | None -> ());
   tr
+
+(* --- tiered translation: hot-region formation (tier 1) ---------------------------- *)
+
+(* Bounded successor profile (space-saving, k = 4): recorded free of
+   charge in the run loop while a block is still tier 0; drives member
+   selection and dispatch ordering when the block is promoted. *)
+let record_succ (tr : translation) va el =
+  let rec bump = function
+    | [] -> None
+    | (v, e_, c) :: rest when Int64.equal v va && e_ = el -> Some ((v, e_, c + 1) :: rest)
+    | x :: rest -> Option.map (fun r -> x :: r) (bump rest)
+  in
+  match bump tr.t_succs with
+  | Some l -> tr.t_succs <- l
+  | None ->
+    if List.length tr.t_succs < 4 then tr.t_succs <- (va, el, 1) :: tr.t_succs
+    else begin
+      (* replace the coldest entry, inheriting its count *)
+      let min_c = List.fold_left (fun m (_, _, c) -> min m c) max_int tr.t_succs in
+      let replaced = ref false in
+      tr.t_succs <-
+        List.map
+          (fun (v, e_, c) ->
+            if (not !replaced) && c = min_c then begin
+              replaced := true;
+              (va, el, min_c + 1)
+            end
+            else (v, e_, c))
+          tr.t_succs
+    end
+
+(* Profiled successor VAs of [tr] at exception level [el], hottest first;
+   the recorded chain edge counts as the hottest observation. *)
+let succs_by_heat (tr : translation) ~el =
+  let base = List.filter (fun (_, e_, _) -> e_ = el) tr.t_succs in
+  let base =
+    match tr.t_chain with
+    | Some (cva, cel, _)
+      when cel = el && not (List.exists (fun (v, _, _) -> Int64.equal v cva) base) ->
+      (cva, el, max_int) :: base
+    | _ -> base
+  in
+  List.sort (fun (_, _, a) (_, _, b) -> compare b a) base |> List.map (fun (v, _, _) -> v)
+
+(* Promote a hot tier-0 block: grow a region by following the recorded
+   chain edge plus the bounded taken-target profile — limited to
+   [region_max_blocks] members on the head's guest page (so physical
+   code-cache indexing and page-granular SMC invalidation stay exact) and
+   to the head's exception level and MMU regime — and translate the
+   region as one unit.  Intra-region control flow becomes a PC-compare
+   dispatch per member, straightened into direct jumps where the target
+   is static, with no per-block prologue and cross-block dead
+   register-file stores eliminated.  Members keep their own tier-0 cache
+   entries (the region replaces only the head's), so a mid-region exit
+   falls back to block-at-a-time execution; every member entry begins
+   with a [Poll] safepoint, so interrupts, regime changes (the poison
+   register) and the run loop's cycle/block budgets are honoured at
+   block granularity exactly like the baseline dispatch loop. *)
+let translate_region (e : t) (head : translation) : unit =
+  let s = e.stats in
+  let pa_head, el, mmu_on = head.t_key in
+  let va_page = Bits.align_down head.t_va 4096 in
+  let pa_page = Bits.align_down pa_head 4096 in
+  s.promotions <- s.promotions + 1;
+  head.t_tier <- 1;
+  (* Member selection: breadth-first over profiled edges. *)
+  let members = ref [ head ] in
+  let queue = Queue.create () in
+  Queue.add head queue;
+  while (not (Queue.is_empty queue)) && List.length !members < e.config.region_max_blocks do
+    let m = Queue.pop queue in
+    List.iter
+      (fun va ->
+        if
+          List.length !members < e.config.region_max_blocks
+          && Int64.equal (Bits.align_down va 4096) va_page
+          && not (List.exists (fun m' -> Int64.equal m'.t_va va) !members)
+        then
+          let pa = Int64.logor pa_page (Int64.logand va 0xFFFL) in
+          match Hashtbl.find_opt e.cache (pa, el, mmu_on) with
+          | Some tr
+            when tr.t_n_guest > 0 && tr.t_members = 1
+                 && Array.length tr.t_exits = 0
+                 && Int64.equal tr.t_va va ->
+            members := !members @ [ tr ];
+            Queue.add tr queue
+          | _ -> ())
+      (succs_by_heat m ~el)
+  done;
+  let members = !members in
+  (* A single-member region is still worth translating when the head
+     loops back to itself: the self-edge becomes an in-region transfer
+     with no dispatch, no per-iteration block entry and a deferred PC
+     sync — the hottest shape in loop kernels. *)
+  let self_loop =
+    List.exists (fun va -> Int64.equal va head.t_va) (succs_by_heat head ~el)
+  in
+  if List.length members > 1 || self_loop then begin
+    s.regions_formed <- s.regions_formed + 1;
+    s.region_blocks <- s.region_blocks + List.length members;
+    let t1 = now () in
+    let model = e.guest.Ops.model in
+    let dag = Dag.create (dag_config_of e ~mmu_on) in
+    let em = Dag.emitter dag in
+    let entries = List.map (fun m -> (m, em.Ssa.Emitter.create_block ())) members in
+    let entry_label va =
+      List.find_map (fun (m, l) -> if Int64.equal m.t_va va then Some l else None) entries
+    in
+    let dispatch_labels = ref Hostir.Region.Iset.empty in
+    let n_guest = ref 0 in
+    List.iteri
+      (fun mi (m, l) ->
+        em.Ssa.Emitter.set_block l;
+        Dag.raw dag (Hir.Poll 0);
+        let pa_m = Int64.logor pa_page (Int64.logand m.t_va 0xFFFL) in
+        let decoded, undef = decode_block e ~va:m.t_va ~pa:pa_m in
+        if undef || decoded = [] then
+          (* cannot happen for an already-translated member; bail to the
+             dispatcher rather than mistranslate *)
+          Dag.raw dag (Hir.Exit 0)
+        else begin
+          n_guest := !n_guest + List.length decoded;
+          List.iter
+            (fun d ->
+              let action = Ssa.Offline.action model d.Adl.Decode.name in
+              let field = field_of ~el d in
+              let inc_pc =
+                if d.Adl.Decode.ends_block then None else Some e.guest.Ops.insn_size
+              in
+              Ssa.Gen.translate em action ~field ~inc_pc)
+            decoded;
+          (* Member epilogue: PC-compare dispatch to the profiled
+             in-region successors, hottest first; anything else exits to
+             the engine dispatcher. *)
+          let l_d = em.Ssa.Emitter.create_block () in
+          Dag.raw dag (Hir.Jmp l_d);
+          em.Ssa.Emitter.set_block l_d;
+          dispatch_labels := Hostir.Region.Iset.add l_d !dispatch_labels;
+          let targets =
+            List.filter_map
+              (fun va -> Option.map (fun lt -> (va, lt)) (entry_label va))
+              (succs_by_heat m ~el)
+          in
+          let pc = Dag.fresh_vreg dag in
+          if targets <> [] then Dag.raw dag (Hir.Load_pc pc);
+          List.iter
+            (fun (va_t, lt) ->
+              let c = Dag.fresh_vreg dag in
+              Dag.raw dag (Hir.Setcc (Hir.Ceq, c, pc, Hir.Imm va_t));
+              let l_next = em.Ssa.Emitter.create_block () in
+              Dag.raw dag (Hir.Br (c, lt, l_next));
+              em.Ssa.Emitter.set_block l_next)
+            targets;
+          (* Slot mi+1: this member's own exit site, so the engine can
+             patch a per-site chain edge (slot 0 = safepoint bail,
+             never chained). *)
+          Dag.raw dag (Hir.Exit (mi + 1))
+        end)
+      entries;
+    let instrs = Dag.finish dag in
+    let member_entry = List.map (fun (m, l) -> (m.t_va, l)) entries in
+    let n0 = Array.length instrs in
+    let instrs =
+      Hostir.Region.straighten ~dispatch_labels:!dispatch_labels ~member_entry instrs
+      |> Hostir.Region.elide_jumps |> Hostir.Region.prune_unreachable
+      |> Hostir.Region.coalesce_inc_pc |> Hostir.Region.forward_store_pc
+      |> Hostir.Region.eliminate_dead_stores
+    in
+    s.region_dead_stores <- s.region_dead_stores + (n0 - Array.length instrs);
+    s.t_translate <- s.t_translate +. (now () -. t1);
+    let t2 = now () in
+    let ra = Regalloc.run instrs in
+    s.t_regalloc <- s.t_regalloc +. (now () -. t2);
+    let t3 = now () in
+    let code = Encode.encode ra in
+    let program = Encode.decode_program ~n_slots:ra.Regalloc.n_slots code in
+    s.t_encode <- s.t_encode +. (now () -. t3);
+    let n_host = Array.length instrs in
+    Machine.charge e.machine ((1400 * !n_guest) + (260 * n_host));
+    s.region_host_instrs <- s.region_host_instrs + n_host;
+    let region =
+      {
+        t_key = head.t_key;
+        t_va = head.t_va;
+        t_program = program;
+        t_n_guest = !n_guest;
+        t_n_host = n_host;
+        t_bytes = Bytes.length code;
+        t_chain = None;
+        t_exec_count = 0;
+        t_cycles = 0;
+        t_tier = 1;
+        t_members = List.length members;
+        t_succs = [];
+        t_exits = Array.make (List.length members) None;
+      }
+    in
+    (* The head's by_page entry already covers the region: all members
+       live on the head's page, so one SMC invalidation sweeps the
+       region unit and every member, demoting the whole page to tier 0. *)
+    Hashtbl.replace e.cache region.t_key region;
+    List.iter (fun m -> m.t_tier <- 1) members;
+    (* Drop the replaced head's chain edge, and unlink every chain edge
+       that targets the replaced head record: predecessors must relink
+       through the cache (one dispatch lookup) so the hot path migrates
+       into the region unit instead of chaining into the orphaned tier-0
+       head forever. *)
+    head.t_chain <- None;
+    Hashtbl.iter
+      (fun _ tr ->
+        (match tr.t_chain with
+        | Some (_, _, tgt) when tgt == head -> tr.t_chain <- None
+        | _ -> ());
+        Array.iteri
+          (fun i edge ->
+            match edge with
+            | Some (_, _, tgt) when tgt == head -> tr.t_exits.(i) <- None
+            | _ -> ())
+          tr.t_exits)
+      e.cache;
+    match e.sanitizer with
+    | Some sa ->
+      List.iter
+        (fun m ->
+          let pa_m = Int64.logor pa_page (Int64.logand m.t_va 0xFFFL) in
+          Hvm.Sanitize.record_translation sa ~mem:e.machine.Machine.mem ~pa:pa_m ~el
+            ~mmu:mmu_on ~len:(4 * m.t_n_guest))
+        members
+    | None -> ()
+  end
 
 (* --- dispatch loop ------------------------------------------------------------------- *)
 
@@ -557,6 +875,9 @@ let lookup_fetch (e : t) sys va ~el ~mmu_on =
    sanitizing, audit the ring/user-bit invariant.  Also called at chain
    transitions, where the exception level may have changed mid-chain. *)
 let enter_block (e : t) ~el ~va =
+  (* The dispatcher re-validated (EL, MMU regime): clear the region
+     poison flag so tier-1 regions run until the next regime change. *)
+  e.ctx.Exec.regs.(Hir.region_poison_preg) <- 0L;
   e.machine.Machine.ring <- (if el = 0 then 3 else 0);
   match e.sanitizer with
   | None -> ()
@@ -572,11 +893,13 @@ let prepare_as (e : t) va =
     Machine.set_page_table e.machine ~root:e.roots.(target_as) ~pcid:target_as
       ~keep_tlb:e.config.pcid
   end;
-  trace "PREPARE va=%Lx as=%d\n%!" va target_as;
+  trace e "PREPARE va=%Lx as=%d\n%!" va target_as;
   e.ctx.Exec.regs.(Dag.as_tag_preg) <- as_tag_value target_as
 
 let run ?(max_cycles = max_int) ?(max_blocks = max_int) (e : t) : exit_reason =
   let sys = Common.sys_ctx e.guest e.ctx in
+  (* Region safepoints honour this run's cycle ceiling. *)
+  e.ctx.Exec.poll_deadline <- max_cycles;
   let result = ref None in
   (try
      while !result = None do
@@ -609,19 +932,62 @@ let run ?(max_cycles = max_int) ?(max_blocks = max_int) (e : t) : exit_reason =
              while !continue_chain do
                let c0 = e.machine.Machine.cycles in
                Machine.charge e.machine Cost.block_entry;
-               ignore (Exec.run e.ctx !cur.t_program);
+               let slot = ref 0 in
+               (* A region unit is exactly a translation with exit sites
+                  (a self-loop region has t_members = 1 but one site). *)
+               if Array.length !cur.t_exits > 0 then begin
+                 (* Region unit: each member entry polls a block-budget
+                    safepoint, so the run loop's max_blocks bound holds
+                    at block granularity even without dispatching. *)
+                 let budget =
+                   if max_blocks = max_int then max_int
+                   else max 1 (max_blocks - e.stats.blocks_executed)
+                 in
+                 e.ctx.Exec.poll_budget <- budget;
+                 slot := Exec.run e.ctx !cur.t_program;
+                 let consumed = max 1 (budget - e.ctx.Exec.poll_budget) in
+                 e.stats.blocks_executed <- e.stats.blocks_executed + consumed;
+                 e.stats.region_entries <- e.stats.region_entries + 1;
+                 e.stats.region_block_execs <- e.stats.region_block_execs + consumed
+               end
+               else begin
+                 ignore (Exec.run e.ctx !cur.t_program);
+                 e.stats.blocks_executed <- e.stats.blocks_executed + 1
+               end;
                !cur.t_exec_count <- !cur.t_exec_count + 1;
                !cur.t_cycles <- !cur.t_cycles + (e.machine.Machine.cycles - c0);
-               e.stats.blocks_executed <- e.stats.blocks_executed + 1;
                let next_va = e.ctx.Exec.pc in
                let next_el = e.guest.Ops.privilege_level sys in
+               if e.config.tiering && !cur.t_tier = 0 then begin
+                 record_succ !cur next_va next_el;
+                 if !cur.t_n_guest > 0 && !cur.t_exec_count >= e.config.hot_threshold then
+                   translate_region e !cur
+               end;
                if
                  e.config.chaining
                  && (not (Machine.irq_pending e.machine))
                  && e.stats.blocks_executed <= max_blocks
                  && e.machine.Machine.cycles <= max_cycles
                then begin
-                 match !cur.t_chain with
+                 (* Regions chain per exit site (each member's dispatch
+                    chunk has its own patchable slot); plain blocks keep
+                    the single chain edge.  Slot 0 is the safepoint bail
+                    path and is never patched: the bail reasons (poison,
+                    budget, irq) all need the checks above or the full
+                    dispatcher. *)
+                 let site =
+                   if Array.length !cur.t_exits > 0 then
+                     if !slot >= 1 && !slot <= Array.length !cur.t_exits then Some (!slot - 1)
+                     else None
+                   else Some (-1) (* plain block: the t_chain edge *)
+                 in
+                 let edge =
+                   match site with
+                   | Some s when s >= 0 -> !cur.t_exits.(s)
+                   | Some _ -> !cur.t_chain
+                   | None -> None
+                 in
+                 match edge with
                  | Some (cva, cel, target) when cva = next_va && cel = next_el ->
                    Machine.charge e.machine Cost.branch;
                    e.stats.chain_hits <- e.stats.chain_hits + 1;
@@ -637,7 +1003,10 @@ let run ?(max_cycles = max_int) ?(max_blocks = max_int) (e : t) : exit_reason =
                        let npa = Int64.logor pa_page (Int64.logand next_va 0xFFFL) in
                        match Hashtbl.find_opt e.cache (npa, next_el, mmu_on') with
                        | Some target ->
-                         !cur.t_chain <- Some (next_va, next_el, target);
+                         (match site with
+                         | Some s when s >= 0 -> !cur.t_exits.(s) <- Some (next_va, next_el, target)
+                         | Some _ -> !cur.t_chain <- Some (next_va, next_el, target)
+                         | None -> ());
                          Machine.charge e.machine Cost.dispatch_lookup;
                          enter_block e ~el:next_el ~va:next_va;
                          cur := target
@@ -667,8 +1036,9 @@ let cycles (e : t) = e.machine.Machine.cycles
 
 (* Per-translation execution statistics, for the Fig. 21 code-quality
    analysis: (translation VA, guest instrs, host instrs, executions,
-   accumulated cycles). *)
+   accumulated cycles, tier). *)
 let block_stats (e : t) =
   Hashtbl.fold
-    (fun _ tr acc -> (tr.t_va, tr.t_n_guest, tr.t_n_host, tr.t_exec_count, tr.t_cycles) :: acc)
+    (fun _ tr acc ->
+      (tr.t_va, tr.t_n_guest, tr.t_n_host, tr.t_exec_count, tr.t_cycles, tr.t_tier) :: acc)
     e.cache []

@@ -555,6 +555,7 @@ let emitter (t : t) : node Ssa.Emitter.t =
 (* Append a raw instruction (prologue/epilogue/exits, emitted by the
    engine). *)
 let raw t i = emit t i
+let fresh_vreg t = fresh t
 
 (* Flatten the chunks into the final instruction stream. *)
 let finish t : instr array =

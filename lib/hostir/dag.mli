@@ -59,6 +59,10 @@ val emitter : t -> node Ssa.Emitter.t
     engine). *)
 val raw : t -> Hir.instr -> unit
 
+(** Allocate a fresh virtual register for raw instruction sequences
+    (the engine's region dispatch code). *)
+val fresh_vreg : t -> Hir.operand
+
 (** Flatten the chunks into the final instruction stream. *)
 val finish : t -> Hir.instr array
 

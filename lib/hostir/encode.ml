@@ -42,6 +42,7 @@ let opcode = function
   | Jmp _ -> 0x19
   | Br _ -> 0x1A
   | Exit _ -> 0x1B
+  | Poll _ -> 0x1C
   | Label _ -> 0x00 (* never encoded *)
 
 let alu_code = function
@@ -225,6 +226,7 @@ let encode_instr e (i : instr) =
       target e t;
       target e f
     | Exit slot -> u16 e slot
+    | Poll slot -> u16 e slot
     | Label _ -> assert false)
 
 (* Encode an allocated instruction stream; dead instructions are skipped.
@@ -381,6 +383,7 @@ let decode_program ?(n_slots = 0) (code : bytes) : program =
         let t = i32 () in
         Br (c, t, i32 ())
       | 0x1B -> Exit (u16 ())
+      | 0x1C -> Poll (u16 ())
       | _ -> raise (Encode_error (Printf.sprintf "bad opcode %#x at %d" op start))
     in
     instrs := i :: !instrs;

@@ -25,6 +25,10 @@ type ctx = {
   fault_handler : ctx -> Machine.access -> int64 -> bits:int -> value:int64 option -> fault_response;
   regs : int64 array; (* host GPRs *)
   mutable slots : int64 array; (* current translation frame *)
+  (* region safepoint budgets, set by the engine before entering a
+     tier-1 region translation; [Poll] exits when either is exhausted *)
+  mutable poll_deadline : int; (* machine-cycle ceiling (run's max_cycles) *)
+  mutable poll_budget : int; (* remaining block executions (run's max_blocks) *)
   (* statistics *)
   mutable instrs_executed : int;
 }
@@ -43,6 +47,8 @@ let create ~machine ~helpers ~fault_handler =
     fault_handler;
     regs = Array.make 16 0L;
     slots = [||];
+    poll_deadline = max_int;
+    poll_budget = max_int;
     instrs_executed = 0;
   }
 
@@ -155,6 +161,9 @@ let instr_cost = function
   | Jmp _ -> Cost.branch
   | Br _ -> Cost.branch
   | Exit _ -> 0
+  (* free, like the run loop's own irq_pending check at block boundaries:
+     a single host flag test folded into the dispatch branch *)
+  | Poll _ -> 0
   | Label _ -> 0
 
 (* Run a decoded program; returns the chain-slot id of the exit taken. *)
@@ -260,7 +269,15 @@ let run (ctx : ctx) (p : Encode.program) : int =
          (match ret with Some dst -> wr ctx dst r | None -> ())
        | Jmp t -> next := t
        | Br (c, t, f) -> next := (if rd ctx c <> 0L then t else f)
-       | Exit slot -> result := slot);
+       | Exit slot -> result := slot
+       | Poll slot ->
+         if
+           ctx.regs.(region_poison_preg) <> 0L
+           || ctx.poll_budget <= 0
+           || m.Machine.cycles >= ctx.poll_deadline
+           || Machine.irq_pending m
+         then result := slot
+         else ctx.poll_budget <- ctx.poll_budget - 1);
        idx := !next
      with Machine.Host_fault { va; access } -> (
        m.Machine.faults <- m.Machine.faults + 1;

@@ -74,6 +74,17 @@ type instr =
   | Jmp of int
   | Br of operand * int * int (* condition value, then-label, else-label *)
   | Exit of int (* exit via chain slot n *)
+  | Poll of int
+      (* region safepoint: exit via chain slot n when an interrupt is
+         pending, the translation regime changed (poison register), or the
+         run loop's cycle/block budget is exhausted; otherwise fall through *)
+
+(* Host scratch register holding the region-poison flag.  Zeroed by the
+   engine on every dispatch; set non-zero by helpers whose side effects
+   invalidate the assumptions a translated region was formed under
+   (exception entry/return, MMU regime changes, TLB flushes, SMC page
+   invalidation).  Checked by [Poll]. *)
+let region_poison_preg = 13
 
 let string_of_operand = function
   | Vreg v -> Printf.sprintf "%%v%d" v
@@ -124,6 +135,7 @@ let to_string (i : instr) =
   | Jmp l -> Printf.sprintf "jmp L%d" l
   | Br (c, t, f) -> Printf.sprintf "br %s, L%d, L%d" (o c) t f
   | Exit slot -> Printf.sprintf "exit (chain slot %d)" slot
+  | Poll slot -> Printf.sprintf "poll (chain slot %d)" slot
 
 (* Operand accessors used by the register allocator. *)
 let sources = function
@@ -145,7 +157,7 @@ let sources = function
   | Mem_st (_, a, v) -> [ a; v ]
   | Call (_, args, _) -> Array.to_list args
   | Br (c, _, _) -> [ c ]
-  | Ldrf _ | Load_pc _ | Inc_pc _ | Label _ | Jmp _ | Exit _ -> []
+  | Ldrf _ | Load_pc _ | Inc_pc _ | Label _ | Jmp _ | Exit _ | Poll _ -> []
 
 let dest = function
   | Mov (d, _)
@@ -169,7 +181,7 @@ let dest = function
   | Mem_ld (_, d, _) ->
     Some d
   | Call (_, _, ret) -> ret
-  | Strf _ | Store_pc _ | Inc_pc _ | Mem_st _ | Label _ | Jmp _ | Br _ | Exit _ -> None
+  | Strf _ | Store_pc _ | Inc_pc _ | Mem_st _ | Label _ | Jmp _ | Br _ | Exit _ | Poll _ -> None
 
 (* Instructions with no side effect beyond their destination: removable when
    the destination is never used. *)
@@ -178,7 +190,7 @@ let pure = function
   | Bit2 _ | Fp2 _ | Fp1 _ | Fcmp_flags _ | Flags_add _ | Flags_logic _ | Ldrf _ | Load_pc _ ->
     true
   | Strf _ | Store_pc _ | Inc_pc _ | Mem_ld _ | Mem_st _ | Call _ | Label _ | Jmp _ | Br _
-  | Exit _ ->
+  | Exit _ | Poll _ ->
     false
 
 let map_operands f (i : instr) : instr =
@@ -211,3 +223,4 @@ let map_operands f (i : instr) : instr =
   | Jmp l -> Jmp l
   | Br (c, t, fl) -> Br (f c, t, fl)
   | Exit s -> Exit s
+  | Poll s -> Poll s

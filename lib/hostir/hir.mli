@@ -76,6 +76,15 @@ type instr =
   | Jmp of int
   | Br of operand * int * int  (** condition value, then-label, else-label *)
   | Exit of int  (** exit via chain slot n *)
+  | Poll of int
+      (** region safepoint: exit via chain slot n when an interrupt is
+          pending, the translation regime changed (poison register), or
+          the run loop's cycle/block budget is exhausted *)
+
+(** Host scratch register holding the region-poison flag; zeroed by the
+    engine on dispatch, set by regime-changing helpers, tested by
+    [Poll]. *)
+val region_poison_preg : int
 
 val string_of_operand : operand -> string
 val string_of_alu : aluop -> string

@@ -1,0 +1,383 @@
+(* Region-level optimisation passes for tier-1 (hot region) translations.
+
+   A region is translated as one Dag: the head member's body occupies the
+   entry chunk and every other member sits behind a pre-created label, with
+   a per-member PC-compare dispatch chunk at each member's end.  The passes
+   below run over the flattened instruction stream before register
+   allocation, in this order:
+
+   - [straighten] rewrites jumps into a dispatch chunk with a direct jump
+     to the member entry whenever the guest PC at the jump is statically
+     known (the Dag's Fig. 9(d) [Inc_pc] collapse of direct branches makes
+     this common), so intra-region direct branches cost a single host jump
+     with no dispatch at all;
+
+   - [elide_jumps] removes jumps to the immediately following label, making
+     each member's hand-off to its own dispatch chunk fall through;
+
+   - [prune_unreachable] drops dispatch chunks orphaned by [straighten];
+
+   - [coalesce_inc_pc] defers guest-PC increments to the next observation
+     point, eliminating the per-instruction PC sync inside a member;
+
+   - [forward_store_pc] deletes the PC reload on the member/dispatch seam,
+     comparing the just-computed branch target directly;
+
+   - [eliminate_dead_stores] removes register-file stores ([Strf]) that are
+     overwritten before any possible read — cross-block dead flag and
+     register writes that block-at-a-time translation cannot see.
+
+   All passes are pure functions of the instruction stream, so regions
+   stay deterministic and observation-free for the sanitizer's guard. *)
+
+open Hir
+module Iset = Set.Make (Int)
+
+(* ------------------------------------------------------------------ *)
+(* Static guest-PC dataflow.                                           *)
+
+type pcval = Bot | Known of int64 | Top
+
+let join a b =
+  match (a, b) with
+  | Bot, x | x, Bot -> x
+  | Known x, Known y when Int64.equal x y -> Known x
+  | _ -> Top
+
+let addk a k = match a with Known v -> Known (Int64.add v (Int64.of_int k)) | x -> x
+
+(* [straighten ~dispatch_labels ~member_entry instrs] rewrites
+   [Jmp l] -> [Jmp member_label] when [l] is (or trivially forwards to) a
+   dispatch chunk and the guest PC at the jump is statically known to be a
+   member entry VA.  Sound because a dispatch chunk only compares the PC
+   against member VAs and otherwise exits to the engine dispatcher, which
+   would re-enter the region at that same member; member entries begin
+   with a [Poll], so safepoints are preserved. *)
+let straighten ~(dispatch_labels : Iset.t) ~(member_entry : (int64 * int) list)
+    (instrs : instr array) : instr array =
+  let n = Array.length instrs in
+  let label_idx = Hashtbl.create 16 in
+  Array.iteri
+    (fun i ins -> match ins with Label l -> Hashtbl.replace label_idx l i | _ -> ())
+    instrs;
+  let rec leads_to_dispatch seen l =
+    if Iset.mem l seen then false
+    else if Iset.mem l dispatch_labels then true
+    else
+      match Hashtbl.find_opt label_idx l with
+      | Some i when i + 1 < n -> (
+        match instrs.(i + 1) with
+        | Jmp l' -> leads_to_dispatch (Iset.add l seen) l'
+        | _ -> false)
+      | _ -> false
+  in
+  let entry_of_va = Hashtbl.create 8 in
+  List.iter (fun (va, l) -> Hashtbl.replace entry_of_va va l) member_entry;
+  (* PC known to be the member VA at every member entry label: all inbound
+     edges (fall-in from the region prologue, dispatch hits, straightened
+     direct jumps) establish it. *)
+  let in_label : (int, pcval) Hashtbl.t = Hashtbl.create 16 in
+  List.iter (fun (va, l) -> Hashtbl.replace in_label l (Known va)) member_entry;
+  let get_in l = Option.value (Hashtbl.find_opt in_label l) ~default:Bot in
+  let before = Array.make n Bot in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let flow_to l v =
+      let j = join (get_in l) v in
+      if j <> get_in l then (
+        Hashtbl.replace in_label l j;
+        changed := true)
+    in
+    let cur = ref Bot in
+    for i = 0 to n - 1 do
+      before.(i) <- !cur;
+      match instrs.(i) with
+      | Label l -> cur := join !cur (get_in l)
+      | Inc_pc k -> cur := addk !cur k
+      | Store_pc _ | Call _ -> cur := Top
+      | Jmp l ->
+        flow_to l !cur;
+        cur := Bot
+      | Br (_, t, f) ->
+        flow_to t !cur;
+        flow_to f !cur;
+        cur := Bot
+      | Exit _ -> cur := Bot
+      | _ -> ()
+    done
+  done;
+  let out = Array.copy instrs in
+  for i = 0 to n - 1 do
+    match (instrs.(i), before.(i)) with
+    | Jmp l, Known va when leads_to_dispatch Iset.empty l -> (
+      match Hashtbl.find_opt entry_of_va va with
+      | Some lj -> out.(i) <- Jmp lj
+      | None -> ())
+    | _ -> ()
+  done;
+  out
+
+(* ------------------------------------------------------------------ *)
+(* Straight-line peepholes.                                            *)
+
+let label_refs (instrs : instr array) =
+  let refs = Hashtbl.create 16 in
+  let bump l = Hashtbl.replace refs l (1 + Option.value (Hashtbl.find_opt refs l) ~default:0) in
+  Array.iter (function Jmp l -> bump l | Br (_, t, f) -> bump t; bump f | _ -> ()) instrs;
+  refs
+
+(* Remove [Jmp l] when the next instruction is [Label l]: control falls
+   through.  Turns each member's hand-off into its own dispatch chunk
+   into straight-line code (the label stays as a placeholder; if the
+   jump was its only reference it becomes an unreferenced marker). *)
+let elide_jumps (instrs : instr array) : instr array =
+  let n = Array.length instrs in
+  let keep = ref [] in
+  Array.iteri
+    (fun i ins ->
+      match ins with
+      | Jmp l when i + 1 < n && instrs.(i + 1) = Label l -> ()
+      | _ -> keep := ins :: !keep)
+    instrs;
+  Array.of_list (List.rev !keep)
+
+(* Drop label-delimited chunks that are unreachable from the region
+   entry — typically a member's PC-compare dispatch chunk after
+   [straighten] redirected its only inbound jump straight to a member
+   entry.  Dead chunks cost nothing at run time but inflate the
+   translation charge and the code-cache footprint. *)
+let prune_unreachable (instrs : instr array) : instr array =
+  let n = Array.length instrs in
+  if n = 0 then instrs
+  else begin
+    let label_idx = Hashtbl.create 16 in
+    Array.iteri
+      (fun i ins -> match ins with Label l -> Hashtbl.replace label_idx l i | _ -> ())
+      instrs;
+    let reachable = Array.make n false in
+    let work = Queue.create () in
+    Queue.add 0 work;
+    while not (Queue.is_empty work) do
+      let i = Queue.pop work in
+      if i < n && not reachable.(i) then begin
+        reachable.(i) <- true;
+        let target l =
+          match Hashtbl.find_opt label_idx l with
+          | Some j -> Queue.add j work
+          | None -> ()
+        in
+        match instrs.(i) with
+        | Jmp l -> target l
+        | Br (_, t, f) ->
+          target t;
+          target f;
+          Queue.add (i + 1) work
+        | Exit _ -> ()
+        | _ -> Queue.add (i + 1) work
+      end
+    done;
+    if Array.for_all Fun.id reachable then instrs
+    else
+      Array.of_list
+        (List.filteri (fun i _ -> reachable.(i)) (Array.to_list instrs))
+  end
+
+(* Defer guest-PC increments to the points that observe the PC: a run of
+   [Inc_pc] collapses into one write before anything that can read or
+   publish it — a [Load_pc], a helper call, a (possibly faulting) memory
+   access, a control transfer, or a label (so every join sees a synced
+   PC).  A [Store_pc] overwrites the PC wholesale, discarding whatever
+   increment is still pending.  The PC is a guest register like any
+   other, so this is dead-write elimination for the one register the
+   block-at-a-time translator must keep synced after every instruction. *)
+let coalesce_inc_pc (instrs : instr array) : instr array =
+  let out = ref [] in
+  let pending = ref 0 in
+  let flush () =
+    if !pending <> 0 then begin
+      out := Inc_pc !pending :: !out;
+      pending := 0
+    end
+  in
+  Array.iter
+    (fun ins ->
+      match ins with
+      | Inc_pc k -> pending := !pending + k
+      | Store_pc _ ->
+        pending := 0;
+        out := ins :: !out
+      | Load_pc _ | Call _ | Mem_ld _ | Mem_st _ | Exit _ | Poll _ | Br _ | Jmp _ | Label _ ->
+        flush ();
+        out := ins :: !out
+      | _ -> out := ins :: !out)
+    instrs;
+  flush ();
+  Array.of_list (List.rev !out)
+
+(* Forward a [Store_pc v] into an adjacent [Load_pc d]: the load is
+   deleted and [d] renamed to [v] everywhere.  Fires on the seam the
+   region emitter creates between a member body (which ends by storing
+   the branch target to the PC) and its dispatch chunk (which reloads
+   the PC to compare it against member VAs) once [elide_jumps] has made
+   the seam straight-line.  The rename is only applied when both vregs
+   are single-assignment and [v] is not redefined, so it is a pure SSA
+   rename; adjacency may span unreferenced labels but nothing that can
+   change the PC. *)
+let forward_store_pc (instrs : instr array) : instr array =
+  let n = Array.length instrs in
+  let refs = label_refs instrs in
+  let def_count = Hashtbl.create 32 in
+  Array.iter
+    (fun ins ->
+      match dest ins with
+      | Some (Vreg v) ->
+        Hashtbl.replace def_count v (1 + Option.value (Hashtbl.find_opt def_count v) ~default:0)
+      | _ -> ())
+    instrs;
+  let single v = Hashtbl.find_opt def_count v = Some 1 in
+  let rename : (int, operand) Hashtbl.t = Hashtbl.create 8 in
+  let deleted = Array.make n false in
+  let avail = ref None in
+  Array.iteri
+    (fun i ins ->
+      match ins with
+      | Store_pc src ->
+        avail :=
+          (match src with
+          | Imm _ -> Some src
+          | Vreg v when single v -> Some src
+          | _ -> None)
+      | Load_pc (Vreg d) when single d -> (
+        match !avail with
+        | Some src ->
+          deleted.(i) <- true;
+          Hashtbl.replace rename d src
+        | None -> ())
+      | Label l when Hashtbl.mem refs l -> avail := None
+      | Label _ -> () (* unreferenced marker: straight-line *)
+      | Call _ | Mem_ld _ | Mem_st _ | Inc_pc _ | Load_pc _ | Exit _ | Poll _ | Jmp _ | Br _ ->
+        avail := None
+      | _ -> ())
+    instrs;
+  if Hashtbl.length rename = 0 then instrs
+  else begin
+    let rec resolve op =
+      match op with
+      | Vreg v -> (
+        match Hashtbl.find_opt rename v with Some op' -> resolve op' | None -> op)
+      | _ -> op
+    in
+    Array.of_list
+      (List.filteri (fun i _ -> not deleted.(i)) (Array.to_list instrs))
+    |> Array.map (map_operands resolve)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Cross-block dead register-file store elimination.                   *)
+
+type live = All | Offs of Iset.t
+
+let l_union a b =
+  match (a, b) with All, _ | _, All -> All | Offs x, Offs y -> Offs (Iset.union x y)
+
+let l_mem off = function All -> true | Offs s -> Iset.mem off s
+
+let l_equal a b =
+  match (a, b) with
+  | All, All -> true
+  | Offs x, Offs y -> Iset.equal x y
+  | _ -> false
+let l_add off = function All -> All | Offs s -> Offs (Iset.add off s)
+
+(* Removing from [All] stays [All]: conservative (keeps the store). *)
+let l_rem off = function All -> All | Offs s -> Offs (Iset.remove off s)
+
+let is_terminator = function Jmp _ | Br _ | Exit _ -> true | _ -> false
+
+(* Backward liveness of register-file byte offsets over the region CFG.
+   Anything that can leave the region or observe the register file from
+   outside the instruction stream — helper calls, memory accesses (whose
+   fault handlers read and write guest state), polls and exits — makes
+   every offset live. *)
+let eliminate_dead_stores (instrs : instr array) : instr array =
+  let n = Array.length instrs in
+  if n = 0 then instrs
+  else begin
+    let label_idx = Hashtbl.create 16 in
+    Array.iteri
+      (fun i ins -> match ins with Label l -> Hashtbl.replace label_idx l i | _ -> ())
+      instrs;
+    (* Block boundaries: at every label and after every terminator. *)
+    let start_set = ref (Iset.singleton 0) in
+    Array.iteri
+      (fun i ins ->
+        (match ins with Label _ -> start_set := Iset.add i !start_set | _ -> ());
+        if is_terminator ins && i + 1 < n then start_set := Iset.add (i + 1) !start_set)
+      instrs;
+    let starts = Array.of_list (Iset.elements !start_set) in
+    let nb = Array.length starts in
+    let block_of_idx i =
+      (* greatest start <= i *)
+      let lo = ref 0 and hi = ref (nb - 1) in
+      while !lo < !hi do
+        let mid = (!lo + !hi + 1) / 2 in
+        if starts.(mid) <= i then lo := mid else hi := mid - 1
+      done;
+      !lo
+    in
+    let block_end b = if b + 1 < nb then starts.(b + 1) else n in
+    let block_of_label l = block_of_idx (Hashtbl.find label_idx l) in
+    let succs b =
+      let e = block_end b in
+      match instrs.(e - 1) with
+      | Jmp l -> [ block_of_label l ]
+      | Br (_, t, f) -> [ block_of_label t; block_of_label f ]
+      | Exit _ -> []
+      | _ -> if b + 1 < nb then [ b + 1 ] else []
+    in
+    (* Backward transfer of one instruction; [mark] is [Some dead] on the
+       final marking pass. *)
+    let step ?mark i live =
+      match instrs.(i) with
+      | Strf (off, _) ->
+        if l_mem off live then l_rem off live
+        else (
+          (match mark with Some dead -> dead.(i) <- true | None -> ());
+          live)
+      | Ldrf (_, off) -> l_add off live
+      | Call _ | Exit _ | Poll _ | Mem_ld _ | Mem_st _ -> All
+      | _ -> live
+    in
+    let live_in = Array.make nb (Offs Iset.empty) in
+    let transfer ?mark b out =
+      let live = ref out in
+      for i = block_end b - 1 downto starts.(b) do
+        live := step ?mark i !live
+      done;
+      !live
+    in
+    let out_of b =
+      match succs b with
+      | [] -> All (* the engine reads the register file after an exit *)
+      | ss -> List.fold_left (fun acc s -> l_union acc live_in.(s)) (Offs Iset.empty) ss
+    in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      for b = nb - 1 downto 0 do
+        let inew = transfer b (out_of b) in
+        if not (l_equal inew live_in.(b)) then (
+          live_in.(b) <- inew;
+          changed := true)
+      done
+    done;
+    let dead = Array.make n false in
+    for b = 0 to nb - 1 do
+      ignore (transfer ~mark:dead b (out_of b))
+    done;
+    if Array.exists Fun.id dead then
+      Array.of_list
+        (List.filteri (fun i _ -> not dead.(i)) (Array.to_list instrs))
+    else instrs
+  end

@@ -447,7 +447,9 @@ let set_entry (e : t) entry = e.guest.Ops.reset (sys e) ~entry
 let uart_output (e : t) = Hvm.Device.Uart.output e.uart
 let cycles (e : t) = e.machine.Machine.cycles
 
+(* Same tuple shape as Captive.Engine.block_stats; the QEMU-style engine
+   has no tiering, so every translation reports tier 0. *)
 let block_stats (e : t) =
   Hashtbl.fold
-    (fun (va, _, _) tr acc -> (va, tr.t_n_guest, tr.t_n_host, tr.t_exec_count, tr.t_cycles) :: acc)
+    (fun (va, _, _) tr acc -> (va, tr.t_n_guest, tr.t_n_host, tr.t_exec_count, tr.t_cycles, 0) :: acc)
     e.cache []

@@ -11,6 +11,7 @@ let () =
       Test_hostir.suite;
       Test_arm.suite;
       Test_engine.suite;
+      Test_tiered.suite;
       Test_workloads.suite;
       Test_sanitize.suite;
     ]
