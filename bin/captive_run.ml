@@ -541,6 +541,8 @@ type bench_row = {
   br_gain_pct : float; (* (untiered - tiered) / untiered * 100 *)
   br_hinstrs : int; (* host instrs interpreted, tiered *)
   br_hinstrs_u : int; (* host instrs interpreted, tier-0 only *)
+  br_rf_loads : int; (* dynamic register-file loads, tiered *)
+  br_rf_stores : int; (* dynamic register-file stores (incl. writebacks) *)
   br_stats : Captive.Engine.phase_stats;
 }
 
@@ -580,18 +582,22 @@ let bench_run_one ~scale name : bench_row =
     br_gain_pct = 100. *. float_of_int (cy_u - cy_t) /. float_of_int (max 1 cy_u);
     br_hinstrs = e_t.Captive.Engine.ctx.Hostir.Exec.instrs_executed;
     br_hinstrs_u = e_u.Captive.Engine.ctx.Hostir.Exec.instrs_executed;
+    br_rf_loads = e_t.Captive.Engine.ctx.Hostir.Exec.rf_loads;
+    br_rf_stores = e_t.Captive.Engine.ctx.Hostir.Exec.rf_stores;
     br_stats = e_t.Captive.Engine.stats;
   }
 
 let bench_row_json r =
   let s = r.br_stats in
   Printf.sprintf
-    "{\"kind\":\"workload\",\"name\":%s,\"exit_ok\":%b,\"captive_cycles\":%d,\"captive_untiered_cycles\":%d,\"qemu_cycles\":%d,\"speedup\":%.4f,\"tiered_gain_pct\":%.2f,\"host_instrs\":%d,\"host_instrs_untiered\":%d,\"promotions\":%d,\"regions\":%d,\"region_blocks\":%d,\"region_entries\":%d,\"region_block_execs\":%d,\"region_dead_stores\":%d}"
+    "{\"kind\":\"workload\",\"name\":%s,\"exit_ok\":%b,\"captive_cycles\":%d,\"captive_untiered_cycles\":%d,\"qemu_cycles\":%d,\"speedup\":%.4f,\"tiered_gain_pct\":%.2f,\"host_instrs\":%d,\"host_instrs_untiered\":%d,\"promotions\":%d,\"regions\":%d,\"region_blocks\":%d,\"region_entries\":%d,\"region_block_execs\":%d,\"region_dead_stores\":%d,\"rf_loads\":%d,\"rf_stores\":%d,\"rf_promoted\":%d,\"region_wb_entries\":%d,\"mem_loads_elided\":%d,\"stores_forwarded\":%d}"
     (Dbt_util.Stats.json_string r.br_name)
     r.br_exit_ok r.br_tiered r.br_untiered r.br_qemu r.br_speedup r.br_gain_pct r.br_hinstrs
     r.br_hinstrs_u s.Captive.Engine.promotions s.Captive.Engine.regions_formed
     s.Captive.Engine.region_blocks s.Captive.Engine.region_entries
-    s.Captive.Engine.region_block_execs s.Captive.Engine.region_dead_stores
+    s.Captive.Engine.region_block_execs s.Captive.Engine.region_dead_stores r.br_rf_loads
+    r.br_rf_stores s.Captive.Engine.rf_promoted s.Captive.Engine.region_wb_entries
+    s.Captive.Engine.mem_loads_elided s.Captive.Engine.stores_forwarded
 
 (* Parse a committed baseline: one flat JSON object per line, keyed by
    "name"; only "captive_cycles" and "speedup" gate. *)

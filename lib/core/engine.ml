@@ -35,6 +35,8 @@ type config = {
   tiering : bool; (* tiered translation: profile tier-0 blocks, form hot regions *)
   hot_threshold : int; (* executions of a tier-0 block before promotion *)
   region_max_blocks : int; (* maximum members in one region (all on one page) *)
+  promote : bool; (* region-scoped register promotion + memory redundancy elim *)
+  promote_max_regs : int; (* register-file offsets cached per region *)
 }
 
 let default_config =
@@ -50,6 +52,8 @@ let default_config =
     tiering = true;
     hot_threshold = 64;
     region_max_blocks = 8;
+    promote = true;
+    promote_max_regs = 4;
   }
 
 type phase_stats = {
@@ -74,6 +78,11 @@ type phase_stats = {
   mutable region_entries : int; (* dispatches that entered a region unit *)
   mutable region_block_execs : int; (* member blocks executed inside regions *)
   mutable region_dead_stores : int; (* cross-block dead register-file stores removed *)
+  (* register promotion / memory redundancy elimination (Promote) *)
+  mutable rf_promoted : int; (* register-file offsets promoted across regions *)
+  mutable region_wb_entries : int; (* writeback-map entries across regions *)
+  mutable mem_loads_elided : int; (* Mem_lds satisfied by a previous load *)
+  mutable stores_forwarded : int; (* Mem_lds satisfied by a previous store *)
 }
 
 let new_phase_stats () =
@@ -98,6 +107,10 @@ let new_phase_stats () =
     region_entries = 0;
     region_block_execs = 0;
     region_dead_stores = 0;
+    rf_promoted = 0;
+    region_wb_entries = 0;
+    mem_loads_elided = 0;
+    stores_forwarded = 0;
   }
 
 type translation = {
@@ -795,7 +808,38 @@ let translate_region (e : t) (head : translation) : unit =
     s.region_dead_stores <- s.region_dead_stores + (n0 - Array.length instrs);
     s.t_translate <- s.t_translate +. (now () -. t1);
     let t2 = now () in
-    let ra = Regalloc.run instrs in
+    let instrs, ra =
+      if not e.config.promote then (instrs, Regalloc.run instrs)
+      else begin
+        (* Promotion widens live ranges across the whole region, and a
+           promoted access through a spill slot costs more than the
+           [Ldrf] it replaced — so promotion is only accepted when
+           allocation stays spill-free relative to the unpromoted
+           stream, narrowing the candidate set until it does.  Width 0
+           still runs copy propagation and memory redundancy
+           elimination. *)
+        let ra0 = Regalloc.run instrs in
+        let rec attempt k =
+          let instrs', promoted, ps = Hostir.Promote.run ~max_regs:k instrs in
+          let ra' = Regalloc.run instrs' in
+          if ra'.Regalloc.n_spilled <= ra0.Regalloc.n_spilled then begin
+            (* Always-on safety net: a region whose safepoint, exit or
+               faulting access is reachable with an uncovered dirty
+               promoted register would silently corrupt guest state. *)
+            Hostir.Verify.check_wb_exn ~promoted instrs';
+            s.rf_promoted <- s.rf_promoted + ps.Hostir.Promote.promoted;
+            s.region_wb_entries <- s.region_wb_entries + ps.Hostir.Promote.wb_entries;
+            s.mem_loads_elided <- s.mem_loads_elided + ps.Hostir.Promote.loads_elided;
+            s.stores_forwarded <- s.stores_forwarded + ps.Hostir.Promote.stores_forwarded;
+            (instrs', ra')
+          end
+          else if k = 0 then (instrs, ra0)
+          else attempt (k - 1)
+        in
+        attempt e.config.promote_max_regs
+      end
+    in
+    s.spills <- s.spills + ra.Regalloc.n_spilled;
     s.t_regalloc <- s.t_regalloc +. (now () -. t2);
     let t3 = now () in
     let code = Encode.encode ra in

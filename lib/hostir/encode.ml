@@ -43,6 +43,7 @@ let opcode = function
   | Br _ -> 0x1A
   | Exit _ -> 0x1B
   | Poll _ -> 0x1C
+  | Wbmap _ -> 0x1D
   | Label _ -> 0x00 (* never encoded *)
 
 let alu_code = function
@@ -227,6 +228,13 @@ let encode_instr e (i : instr) =
       target e f
     | Exit slot -> u16 e slot
     | Poll slot -> u16 e slot
+    | Wbmap m ->
+      u16 e (Array.length m);
+      Array.iter
+        (fun (o, off) ->
+          operand e o;
+          i32 e off)
+        m
     | Label _ -> assert false)
 
 (* Encode an allocated instruction stream; dead instructions are skipped.
@@ -250,6 +258,10 @@ type program = {
   code : instr array; (* Jmp/Br targets rewritten to instruction indices *)
   byte_size : int;
   n_slots : int;
+  wb_map : (operand * int) array;
+  (* the translation's precise-state writeback map ([Wbmap]), hoisted out
+     of the stream at decode time so the executor installs it once per
+     entry instead of scanning; [||] for translations without promotion *)
 }
 
 let decode_program ?(n_slots = 0) (code : bytes) : program =
@@ -384,6 +396,13 @@ let decode_program ?(n_slots = 0) (code : bytes) : program =
         Br (c, t, i32 ())
       | 0x1B -> Exit (u16 ())
       | 0x1C -> Poll (u16 ())
+      | 0x1D ->
+        let n = u16 () in
+        Wbmap
+          (Array.init n (fun _ ->
+               let o = operand () in
+               let off = i32 () in
+               (o, off)))
       | _ -> raise (Encode_error (Printf.sprintf "bad opcode %#x at %d" op start))
     in
     instrs := i :: !instrs;
@@ -409,4 +428,7 @@ let decode_program ?(n_slots = 0) (code : bytes) : program =
         | i -> i)
       instrs
   in
-  { code; byte_size = len; n_slots }
+  let wb_map =
+    Array.fold_left (fun acc i -> match i with Wbmap m -> m | _ -> acc) [||] code
+  in
+  { code; byte_size = len; n_slots; wb_map }

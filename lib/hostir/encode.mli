@@ -18,6 +18,10 @@ type program = {
   code : Hir.instr array;  (** jump targets rewritten to indices *)
   byte_size : int;
   n_slots : int;
+  wb_map : (Hir.operand * int) array;
+      (** the translation's precise-state writeback map ([Hir.Wbmap]),
+          hoisted out of the stream at decode time; [[||]] when the
+          translation has no promoted registers *)
 }
 
 val decode_program : ?n_slots:int -> bytes -> program

@@ -29,8 +29,16 @@ type ctx = {
      tier-1 region translation; [Poll] exits when either is exhausted *)
   mutable poll_deadline : int; (* machine-cycle ceiling (run's max_cycles) *)
   mutable poll_budget : int; (* remaining block executions (run's max_blocks) *)
+  (* Precise-state writeback map of the running translation ([Hir.Wbmap],
+     installed from [Encode.program.wb_map] on entry): dirty promoted
+     guest registers flushed to the register file before anything outside
+     the translation can observe it — fault delivery, a [Poll] exit, an
+     [Exit].  [||] for translations without promotion. *)
+  mutable wb_map : (operand * int) array;
   (* statistics *)
   mutable instrs_executed : int;
+  mutable rf_loads : int; (* dynamic register-file reads ([Ldrf]) *)
+  mutable rf_stores : int; (* dynamic register-file writes ([Strf] + writebacks) *)
 }
 
 and helper = {
@@ -49,7 +57,10 @@ let create ~machine ~helpers ~fault_handler =
     slots = [||];
     poll_deadline = max_int;
     poll_budget = max_int;
+    wb_map = [||];
     instrs_executed = 0;
+    rf_loads = 0;
+    rf_stores = 0;
   }
 
 let rf_read ctx off = Bytes.get_int64_le ctx.regfile off
@@ -161,15 +172,32 @@ let instr_cost = function
   | Jmp _ -> Cost.branch
   | Br _ -> Cost.branch
   | Exit _ -> 0
+  (* never executed in sequence; each applied entry charges like a Strf *)
+  | Wbmap _ -> 0
   (* free, like the run loop's own irq_pending check at block boundaries:
      a single host flag test folded into the dispatch branch *)
   | Poll _ -> 0
   | Label _ -> 0
 
+(* Flush dirty promoted guest registers to the register file: the
+   precise-state step before the world outside the translation (fault
+   handler, engine dispatcher) reads it.  Each entry costs one cycle,
+   like the [Strf] it stands in for (spilled entries charge their slot
+   read on top, via [rd]). *)
+let apply_wb ctx =
+  let map = ctx.wb_map in
+  for i = 0 to Array.length map - 1 do
+    let o, off = map.(i) in
+    Machine.charge ctx.machine 1;
+    ctx.rf_stores <- ctx.rf_stores + 1;
+    rf_write ctx off (rd ctx o)
+  done
+
 (* Run a decoded program; returns the chain-slot id of the exit taken. *)
 let run (ctx : ctx) (p : Encode.program) : int =
   let m = ctx.machine in
   if Array.length ctx.slots < p.Encode.n_slots then ctx.slots <- Array.make p.Encode.n_slots 0L;
+  ctx.wb_map <- p.Encode.wb_map;
   let code = p.Encode.code in
   let n = Array.length code in
   let idx = ref 0 in
@@ -254,8 +282,12 @@ let run (ctx : ctx) (p : Encode.program) : int =
        | Flags_logic (w, d, s) ->
          let r = rd ctx s in
          wr ctx d (flags_nzcv ~width:w r false false)
-       | Ldrf (d, off) -> wr ctx d (rf_read ctx off)
-       | Strf (off, s) -> rf_write ctx off (rd ctx s)
+       | Ldrf (d, off) ->
+         ctx.rf_loads <- ctx.rf_loads + 1;
+         wr ctx d (rf_read ctx off)
+       | Strf (off, s) ->
+         ctx.rf_stores <- ctx.rf_stores + 1;
+         rf_write ctx off (rd ctx s)
        | Load_pc d -> wr ctx d ctx.pc
        | Store_pc s -> ctx.pc <- rd ctx s
        | Inc_pc n -> ctx.pc <- Int64.add ctx.pc (Int64.of_int n)
@@ -269,19 +301,29 @@ let run (ctx : ctx) (p : Encode.program) : int =
          (match ret with Some dst -> wr ctx dst r | None -> ())
        | Jmp t -> next := t
        | Br (c, t, f) -> next := (if rd ctx c <> 0L then t else f)
-       | Exit slot -> result := slot
+       | Exit slot ->
+         apply_wb ctx;
+         result := slot
        | Poll slot ->
          if
            ctx.regs.(region_poison_preg) <> 0L
            || ctx.poll_budget <= 0
            || m.Machine.cycles >= ctx.poll_deadline
            || Machine.irq_pending m
-         then result := slot
-         else ctx.poll_budget <- ctx.poll_budget - 1);
+         then begin
+           apply_wb ctx;
+           result := slot
+         end
+         else ctx.poll_budget <- ctx.poll_budget - 1
+       | Wbmap _ -> () (* unreachable by construction: placed after the last exit *));
        idx := !next
      with Machine.Host_fault { va; access } -> (
        m.Machine.faults <- m.Machine.faults + 1;
        Machine.charge m Cost.fault_roundtrip;
+       (* Precise state: the fault handler (and, through it, the guest's
+          own abort handlers) reads the register file — flush dirty
+          promoted registers before it looks. *)
+       apply_wb ctx;
        let bits, value =
          match i with
          | Mem_ld (w, _, _) -> (w, None)

@@ -78,6 +78,14 @@ type instr =
       (* region safepoint: exit via chain slot n when an interrupt is
          pending, the translation regime changed (poison register), or the
          run loop's cycle/block budget is exhausted; otherwise fall through *)
+  | Wbmap of (operand * int) array
+      (* precise-state writeback map of a promoted region: (host operand,
+         register-file byte offset) pairs the executor applies before any
+         point that observes the register file mid-region — fault
+         delivery, a [Poll] exit, an [Exit].  Placed after the last exit
+         so it is never executed in sequence, but its operands keep the
+         promoted registers live (and allocated) across the whole
+         translation, which is exactly the range a fault can occur in. *)
 
 (* Host scratch register holding the region-poison flag.  Zeroed by the
    engine on every dispatch; set non-zero by helpers whose side effects
@@ -136,6 +144,10 @@ let to_string (i : instr) =
   | Br (c, t, f) -> Printf.sprintf "br %s, L%d, L%d" (o c) t f
   | Exit slot -> Printf.sprintf "exit (chain slot %d)" slot
   | Poll slot -> Printf.sprintf "poll (chain slot %d)" slot
+  | Wbmap m ->
+    Printf.sprintf "wbmap {%s}"
+      (String.concat ", "
+         (Array.to_list (Array.map (fun (op, off) -> Printf.sprintf "%s -> 0x%x" (o op) off) m)))
 
 (* Operand accessors used by the register allocator. *)
 let sources = function
@@ -157,6 +169,7 @@ let sources = function
   | Mem_st (_, a, v) -> [ a; v ]
   | Call (_, args, _) -> Array.to_list args
   | Br (c, _, _) -> [ c ]
+  | Wbmap m -> Array.to_list (Array.map fst m)
   | Ldrf _ | Load_pc _ | Inc_pc _ | Label _ | Jmp _ | Exit _ | Poll _ -> []
 
 let dest = function
@@ -181,7 +194,9 @@ let dest = function
   | Mem_ld (_, d, _) ->
     Some d
   | Call (_, _, ret) -> ret
-  | Strf _ | Store_pc _ | Inc_pc _ | Mem_st _ | Label _ | Jmp _ | Br _ | Exit _ | Poll _ -> None
+  | Strf _ | Store_pc _ | Inc_pc _ | Mem_st _ | Label _ | Jmp _ | Br _ | Exit _ | Poll _
+  | Wbmap _ ->
+    None
 
 (* Instructions with no side effect beyond their destination: removable when
    the destination is never used. *)
@@ -190,7 +205,7 @@ let pure = function
   | Bit2 _ | Fp2 _ | Fp1 _ | Fcmp_flags _ | Flags_add _ | Flags_logic _ | Ldrf _ | Load_pc _ ->
     true
   | Strf _ | Store_pc _ | Inc_pc _ | Mem_ld _ | Mem_st _ | Call _ | Label _ | Jmp _ | Br _
-  | Exit _ | Poll _ ->
+  | Exit _ | Poll _ | Wbmap _ ->
     false
 
 let map_operands f (i : instr) : instr =
@@ -224,3 +239,33 @@ let map_operands f (i : instr) : instr =
   | Br (c, t, fl) -> Br (f c, t, fl)
   | Exit s -> Exit s
   | Poll s -> Poll s
+  | Wbmap m -> Wbmap (Array.map (fun (op, off) -> (f op, off)) m)
+
+(* Like [map_operands] but leaving the destination (and the writeback
+   map, whose operands must stay the authoritative promoted registers)
+   untouched: the substitution primitive for copy propagation. *)
+let map_sources f (i : instr) : instr =
+  match i with
+  | Mov (d, s) -> Mov (d, f s)
+  | Alu (op, d, a, b) -> Alu (op, d, f a, f b)
+  | Mulhi (s, d, a, b) -> Mulhi (s, d, f a, f b)
+  | Divrem (s, r, d, a, b) -> Divrem (s, r, d, f a, f b)
+  | Setcc (c, d, a, b) -> Setcc (c, d, f a, f b)
+  | Cmov (d, c, a, b) -> Cmov (d, f c, f a, f b)
+  | Ext (s, w, d, src) -> Ext (s, w, d, f src)
+  | Neg (d, s) -> Neg (d, f s)
+  | Not (d, s) -> Not (d, f s)
+  | Bit1 (op, d, s) -> Bit1 (op, d, f s)
+  | Bit2 (op, d, a, b) -> Bit2 (op, d, f a, f b)
+  | Fp2 (op, d, a, b) -> Fp2 (op, d, f a, f b)
+  | Fp1 (op, d, s) -> Fp1 (op, d, f s)
+  | Fcmp_flags (w, d, a, b) -> Fcmp_flags (w, d, f a, f b)
+  | Flags_add (w, d, a, b, c) -> Flags_add (w, d, f a, f b, f c)
+  | Flags_logic (w, d, s) -> Flags_logic (w, d, f s)
+  | Strf (off, s) -> Strf (off, f s)
+  | Store_pc s -> Store_pc (f s)
+  | Mem_ld (w, d, a) -> Mem_ld (w, d, f a)
+  | Mem_st (w, a, v) -> Mem_st (w, f a, f v)
+  | Call (h, args, ret) -> Call (h, Array.map f args, ret)
+  | Br (c, t, fl) -> Br (f c, t, fl)
+  | Ldrf _ | Load_pc _ | Inc_pc _ | Label _ | Jmp _ | Exit _ | Poll _ | Wbmap _ -> i

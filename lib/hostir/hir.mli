@@ -80,6 +80,13 @@ type instr =
       (** region safepoint: exit via chain slot n when an interrupt is
           pending, the translation regime changed (poison register), or
           the run loop's cycle/block budget is exhausted *)
+  | Wbmap of (operand * int) array
+      (** precise-state writeback map of a promoted region: (host
+          operand, register-file byte offset) pairs applied by the
+          executor before fault delivery, a [Poll] exit, or an [Exit].
+          Emitted after the last exit, so never executed in sequence; its
+          operands keep the promoted registers live across the whole
+          translation. *)
 
 (** Host scratch register holding the region-poison flag; zeroed by the
     engine on dispatch, set by regime-changing helpers, tested by
@@ -105,3 +112,9 @@ val pure : instr -> bool
 (** Apply [f] to every operand (sources and destination alike),
     rebuilding the instruction. *)
 val map_operands : (operand -> operand) -> instr -> instr
+
+(** Apply [f] to source operands only, leaving the destination (and a
+    [Wbmap]'s operands, which must stay the authoritative promoted
+    registers) untouched: the substitution primitive for copy
+    propagation. *)
+val map_sources : (operand -> operand) -> instr -> instr

@@ -295,6 +295,57 @@ let l_rem off = function All -> All | Offs s -> Offs (Iset.remove off s)
 
 let is_terminator = function Jmp _ | Br _ | Exit _ -> true | _ -> false
 
+(* ------------------------------------------------------------------ *)
+(* Region CFG over label-delimited blocks: shared by the dataflow
+   passes here, the promotion layer ([Promote]) and the writeback-map
+   checker ([Verify.check_wb]). *)
+
+type cfg = {
+  c_starts : int array; (* block start indices, ascending; c_starts.(0) = 0 *)
+  c_nb : int; (* number of blocks *)
+  c_block_of_idx : int -> int; (* enclosing block of an instruction index *)
+  c_block_end : int -> int; (* one past a block's last instruction *)
+  c_succs : int -> int list; (* successor blocks *)
+}
+
+let build_cfg (instrs : instr array) : cfg =
+  let n = Array.length instrs in
+  let label_idx = Hashtbl.create 16 in
+  Array.iteri
+    (fun i ins -> match ins with Label l -> Hashtbl.replace label_idx l i | _ -> ())
+    instrs;
+  (* Block boundaries: at every label and after every terminator. *)
+  let start_set = ref (Iset.singleton 0) in
+  Array.iteri
+    (fun i ins ->
+      (match ins with Label _ -> start_set := Iset.add i !start_set | _ -> ());
+      if is_terminator ins && i + 1 < n then start_set := Iset.add (i + 1) !start_set)
+    instrs;
+  let starts = Array.of_list (Iset.elements !start_set) in
+  let nb = Array.length starts in
+  let block_of_idx i =
+    (* greatest start <= i *)
+    let lo = ref 0 and hi = ref (nb - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi + 1) / 2 in
+      if starts.(mid) <= i then lo := mid else hi := mid - 1
+    done;
+    !lo
+  in
+  let block_end b = if b + 1 < nb then starts.(b + 1) else n in
+  let block_of_label l = block_of_idx (Hashtbl.find label_idx l) in
+  let succs b =
+    let e = block_end b in
+    if e = 0 then []
+    else
+      match instrs.(e - 1) with
+      | Jmp l -> [ block_of_label l ]
+      | Br (_, t, f) -> [ block_of_label t; block_of_label f ]
+      | Exit _ -> []
+      | _ -> if b + 1 < nb then [ b + 1 ] else []
+  in
+  { c_starts = starts; c_nb = nb; c_block_of_idx = block_of_idx; c_block_end = block_end; c_succs = succs }
+
 (* Backward liveness of register-file byte offsets over the region CFG.
    Anything that can leave the region or observe the register file from
    outside the instruction stream — helper calls, memory accesses (whose
@@ -304,38 +355,9 @@ let eliminate_dead_stores (instrs : instr array) : instr array =
   let n = Array.length instrs in
   if n = 0 then instrs
   else begin
-    let label_idx = Hashtbl.create 16 in
-    Array.iteri
-      (fun i ins -> match ins with Label l -> Hashtbl.replace label_idx l i | _ -> ())
-      instrs;
-    (* Block boundaries: at every label and after every terminator. *)
-    let start_set = ref (Iset.singleton 0) in
-    Array.iteri
-      (fun i ins ->
-        (match ins with Label _ -> start_set := Iset.add i !start_set | _ -> ());
-        if is_terminator ins && i + 1 < n then start_set := Iset.add (i + 1) !start_set)
-      instrs;
-    let starts = Array.of_list (Iset.elements !start_set) in
-    let nb = Array.length starts in
-    let block_of_idx i =
-      (* greatest start <= i *)
-      let lo = ref 0 and hi = ref (nb - 1) in
-      while !lo < !hi do
-        let mid = (!lo + !hi + 1) / 2 in
-        if starts.(mid) <= i then lo := mid else hi := mid - 1
-      done;
-      !lo
-    in
-    let block_end b = if b + 1 < nb then starts.(b + 1) else n in
-    let block_of_label l = block_of_idx (Hashtbl.find label_idx l) in
-    let succs b =
-      let e = block_end b in
-      match instrs.(e - 1) with
-      | Jmp l -> [ block_of_label l ]
-      | Br (_, t, f) -> [ block_of_label t; block_of_label f ]
-      | Exit _ -> []
-      | _ -> if b + 1 < nb then [ b + 1 ] else []
-    in
+    let cfg = build_cfg instrs in
+    let starts = cfg.c_starts and nb = cfg.c_nb in
+    let block_end = cfg.c_block_end and succs = cfg.c_succs in
     (* Backward transfer of one instruction; [mark] is [Some dead] on the
        final marking pass. *)
     let step ?mark i live =

@@ -25,3 +25,20 @@ val check : ?original:Hir.instr array -> Regalloc.result -> violation list
 
 (** @raise Invalid (labelled [what]) if {!check} is non-empty. *)
 val check_exn : ?what:string -> ?original:Hir.instr array -> Regalloc.result -> unit
+
+(** Precise-state writeback-map checking for promoted regions, on the
+    pre-allocation stream.  [promoted] is the [(vreg, register-file
+    byte offset)] promotion list.  Rejects streams where a faulting
+    memory access, safepoint or exit is reachable while a dirty
+    promoted vreg has no matching {!Hir.Wbmap} entry; a helper call is
+    reachable with any dirty promoted vreg (calls need explicit
+    flushes); a stale promoted vreg (possibly overtaken by a helper's
+    register-file write) is used, written back, or covered by the map
+    at an escape point; a promoted offset is accessed around its cache
+    register; or the map itself names a non-promoted vreg or the wrong
+    offset. *)
+val check_wb : promoted:(int * int) list -> Hir.instr array -> violation list
+
+(** @raise Invalid (labelled [what], default ["region"]) if
+    {!check_wb} is non-empty. *)
+val check_wb_exn : ?what:string -> promoted:(int * int) list -> Hir.instr array -> unit

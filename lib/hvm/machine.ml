@@ -13,6 +13,11 @@ type t = {
   tlb : Tlb.t;
   palloc : Palloc.t;
   devices : Device.t list;
+  (* MMIO routing, fixed at creation: device [base, limit) ranges sorted by
+     base for binary search, and the lowest MMIO base so the overwhelmingly
+     common plain-RAM access skips the search entirely. *)
+  dev_ranges : (int64 * int64 * Device.t) array;
+  dev_floor : int64;
   intc : Device.Intc.state;
   mutable cr3 : int64; (* current page-table root *)
   mutable pcid : int;
@@ -42,11 +47,24 @@ let create ?(mem_size = 256 * 1024 * 1024) ?(devices = []) ?(intc = Device.Intc.
      is reserved for hypervisor structures (page tables). *)
   let pt_reserve = min (32 * 1024 * 1024) (mem_size / 4) in
   let pt_base = Int64.of_int (mem_size - pt_reserve) in
+  let dev_ranges =
+    devices
+    |> List.map (fun d ->
+           (d.Device.base, Int64.add d.Device.base (Int64.of_int d.Device.size), d))
+    |> List.sort (fun (a, _, _) (b, _, _) -> Int64.unsigned_compare a b)
+    |> Array.of_list
+  in
+  let dev_floor =
+    if Array.length dev_ranges = 0 then -1L
+    else (fun (b, _, _) -> b) dev_ranges.(0)
+  in
   {
     mem;
     tlb = Tlb.create ();
     palloc = Palloc.create mem ~base:pt_base ~limit:(Int64.of_int mem_size);
     devices;
+    dev_ranges;
+    dev_floor;
     intc;
     cr3 = 0L;
     pcid = 0;
@@ -58,12 +76,26 @@ let create ?(mem_size = 256 * 1024 * 1024) ?(devices = []) ?(intc = Device.Intc.
     devs_ticked_at = 0;
   }
 
+(* RAM sits below the MMIO window, so nearly every access resolves with a
+   single compare against [dev_floor]; the rare MMIO hit binary-searches the
+   sorted range array for the greatest base <= pa. *)
 let find_device t pa =
-  List.find_opt
-    (fun d ->
-      Int64.unsigned_compare pa d.Device.base >= 0
-      && Int64.unsigned_compare pa (Int64.add d.Device.base (Int64.of_int d.Device.size)) < 0)
-    t.devices
+  if Int64.unsigned_compare pa t.dev_floor < 0 then None
+  else begin
+    let a = t.dev_ranges in
+    let lo = ref 0 and hi = ref (Array.length a - 1) in
+    let found = ref None in
+    while !lo <= !hi do
+      let mid = (!lo + !hi) / 2 in
+      let base, limit, d = a.(mid) in
+      if Int64.unsigned_compare pa base < 0 then hi := mid - 1
+      else begin
+        if Int64.unsigned_compare pa limit < 0 then found := Some d;
+        lo := mid + 1
+      end
+    done;
+    !found
+  end
 
 (* Translate a virtual address through the host MMU model: TLB lookup, then
    hardware page walk on miss; permission checks against the current ring.

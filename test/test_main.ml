@@ -12,6 +12,7 @@ let () =
       Test_arm.suite;
       Test_engine.suite;
       Test_tiered.suite;
+      Test_promote.suite;
       Test_workloads.suite;
       Test_sanitize.suite;
     ]
