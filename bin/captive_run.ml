@@ -7,6 +7,8 @@
      captive_run ssa add_sub_imm --level 4
      captive_run lint
      captive_run mmucheck --json --guard
+     captive_run bench --quick --json
+     captive_run validate --json
 
    `spec` runs a SPEC CPU2006 proxy under the mini guest OS, `simbench`
    one SimBench category on both engines, `boot` a demo user program on
@@ -14,9 +16,13 @@
    instruction's optimized SSA (the offline artifact of Fig. 6), `lint`
    statically verifies the whole offline pipeline (decode tables, SSA
    after every pass at O1-O4, and post-regalloc HostIR) for every guest
-   model, and `mmucheck` runs MMU-stress workloads on both guests with
-   the online shadow-oracle sanitizer (page tables, TLB, frame
-   accounting, code-cache W^X, ring transitions) enabled. *)
+   model, `mmucheck` runs MMU-stress workloads on both guests with the
+   online shadow-oracle sanitizer (page tables, TLB, frame accounting,
+   code-cache W^X, ring transitions) enabled, `bench` is the CI
+   perf-regression gate against bench/baseline.json, and `validate`
+   symbolically checks every translation formed while booting the ARM
+   and RISC-V workloads at O1-O4 against an unoptimized reference
+   emission (Hostir.Equiv). *)
 
 open Cmdliner
 
@@ -138,23 +144,21 @@ let simbench_cmd =
 
 (* --- boot ----------------------------------------------------------------------- *)
 
+let demo_user () =
+  let a = Guest_arm.Arm_asm.create ~base:Workloads.Kernel.user_va () in
+  String.iter
+    (fun ch ->
+      Guest_arm.Arm_asm.movz a Guest_arm.Arm_asm.x0 (Char.code ch);
+      Guest_arm.Arm_asm.movz a Guest_arm.Arm_asm.x8 1;
+      Guest_arm.Arm_asm.svc a 0)
+    "captive mini-OS: up at EL0 with paging, syscalls and a timer\n";
+  Guest_arm.Arm_asm.movz a Guest_arm.Arm_asm.x0 0;
+  Guest_arm.Arm_asm.movz a Guest_arm.Arm_asm.x8 0;
+  Guest_arm.Arm_asm.svc a 0;
+  Guest_arm.Arm_asm.assemble a
+
 let boot_cmd =
-  let run engine =
-    let user =
-      let a = Guest_arm.Arm_asm.create ~base:Workloads.Kernel.user_va () in
-      String.iter
-        (fun ch ->
-          Guest_arm.Arm_asm.movz a Guest_arm.Arm_asm.x0 (Char.code ch);
-          Guest_arm.Arm_asm.movz a Guest_arm.Arm_asm.x8 1;
-          Guest_arm.Arm_asm.svc a 0)
-        "captive mini-OS: up at EL0 with paging, syscalls and a timer\n";
-      Guest_arm.Arm_asm.movz a Guest_arm.Arm_asm.x0 0;
-      Guest_arm.Arm_asm.movz a Guest_arm.Arm_asm.x8 0;
-      Guest_arm.Arm_asm.svc a 0;
-      Guest_arm.Arm_asm.assemble a
-    in
-    run_user ~engine ~user
-  in
+  let run engine = run_user ~engine ~user:(demo_user ()) in
   Cmd.v (Cmd.info "boot" ~doc:"Boot the mini guest OS with a demo user program.")
     Term.(const run $ engine_arg)
 
@@ -719,9 +723,171 @@ let bench_cmd =
        ~doc:"Run the perf benchmark set on all engines and gate against bench/baseline.json.")
     Term.(ret (const run $ json $ quick $ baseline $ scale_arg))
 
+(* --- validate ------------------------------------------------------------------------ *)
+
+(* End-to-end symbolic translation validation (Hostir.Equiv): boot the
+   ARM mini-OS demo, the ARM MMU-stress workload and the RISC-V
+   bare-metal MMU-stress image with `validate_translations` enabled, at
+   every offline optimization level O1-O4.  Every tier-0 block (and, when
+   tiering kicks in, every region) formed by the engine is symbolically
+   executed alongside an unoptimized per-instruction reference emission
+   from the same decode, and the exit states — PC, register file
+   (promoted offsets equated through the writeback map), ordered store
+   trace and helper-call arguments — are compared term-by-term.  Exit
+   status is non-zero on any divergence finding or wrong guest exit
+   code.  With --json, stdout carries one counter object per
+   workload/level pair plus a summary line for the CI artifact;
+   findings (with both term trees) go to stderr. *)
+
+let validate_cmd =
+  let json =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Emit one counter object per workload/level pair plus a summary line as \
+                 JSON on stdout; divergence findings go to stderr.")
+  in
+  let every =
+    Arg.(value & opt int 1 & info [ "every" ] ~docv:"N"
+           ~doc:"Validate every Nth translated tier-0 block (regions are always \
+                 validated).  1 validates everything.")
+  in
+  let workload =
+    Arg.(value & opt string "all" & info [ "w"; "workload" ] ~docv:"NAME"
+           ~doc:"Restrict to one workload (armv8-a-boot, armv8-a-mmu, rv64im-mmu or all).")
+  in
+  let level =
+    Arg.(value & opt int 0 & info [ "l"; "level" ] ~docv:"N"
+           ~doc:"Restrict to one offline optimization level (1-4; 0 sweeps all).")
+  in
+  let run json every workload level =
+    if every < 1 then `Error (true, "--every must be >= 1")
+    else begin
+      let failures = ref 0 in
+      let summary = Counters.create () in
+      let say fmt = if json then Printf.ifprintf stdout fmt else Printf.printf fmt in
+      let shout line = if json then prerr_endline line else print_endline line in
+      let config =
+        { Captive.Engine.default_config with
+          Captive.Engine.validate_translations = true;
+          validate_every = every;
+        }
+      in
+      let exit_of = function
+        | Captive.Engine.Poweroff c -> c
+        | Captive.Engine.Cycle_limit -> -2
+        | Captive.Engine.Block_limit -> -3
+      in
+      let boot_user = demo_user () in
+      let spec name = (Workloads.Spec.find name).Workloads.Spec.build ~scale:1 in
+      let workloads =
+        List.filter
+          (fun (n, _, _) -> workload = "all" || workload = n)
+          [ ("armv8-a-boot", `Arm_user boot_user, 0);
+            ("armv8-a-mmu", `Arm_user (Workloads.Mmu_stress.arm_user ()), Workloads.Mmu_stress.arm_expected_exit);
+            ("armv8-a-libquantum", `Arm_user (spec "462.libquantum"), 8);
+            ("armv8-a-mcf", `Arm_user (spec "429.mcf"), 0);
+            ("armv8-a-perlbench", `Arm_user (spec "400.perlbench"), 212);
+            ("armv8-a-sjeng", `Arm_user (spec "458.sjeng"), 35);
+            ("armv8-a-gobmk", `Arm_user (spec "445.gobmk"), 64);
+            ("armv8-a-omnetpp", `Arm_user (spec "471.omnetpp"), 220);
+            ("armv8-a-xalancbmk", `Arm_user (spec "483.xalancbmk"), 0);
+            ("rv64im-mmu", `Riscv_image, Workloads.Mmu_stress.riscv_expected_exit);
+          ]
+      in
+      let levels =
+        List.filter (fun l -> level = 0 || level = l) [ 1; 2; 3; 4 ]
+      in
+      say "validate: %d workload(s) x %d level(s) with symbolic translation validation\n%!"
+        (List.length workloads) (List.length levels);
+      List.iter
+        (fun level ->
+          List.iter
+            (fun (name, kind, expected) ->
+              let e, code =
+                match kind with
+                | `Arm_user user ->
+                  let e =
+                    Captive.Engine.create ~config (Guest_arm.Arm.ops ~opt_level:level ())
+                  in
+                  Workloads.Kernel.install (Workloads.Kernel.captive_target e) ~user;
+                  (e, exit_of (Captive.Engine.run ~max_cycles:2_000_000_000 e))
+                | `Riscv_image ->
+                  let e =
+                    Captive.Engine.create ~config (Guest_riscv.Riscv.ops ~opt_level:level ())
+                  in
+                  Captive.Engine.load_image e ~addr:Workloads.Mmu_stress.riscv_entry
+                    (Workloads.Mmu_stress.riscv_image ());
+                  Captive.Engine.set_entry e Workloads.Mmu_stress.riscv_entry;
+                  (e, exit_of (Captive.Engine.run ~max_cycles:2_000_000_000 e))
+              in
+              let s = e.Captive.Engine.stats in
+              let nb = s.Captive.Engine.blocks_validated in
+              let nr = s.Captive.Engine.regions_validated in
+              let nf = s.Captive.Engine.validation_findings in
+              let nbd = s.Captive.Engine.validations_bounded in
+              Counters.bump summary "programs validated" ~by:(nb + nr);
+              Counters.bump summary "blocks validated" ~by:nb;
+              Counters.bump summary "regions validated" ~by:nr;
+              Counters.bump summary "divergence findings" ~by:nf;
+              Counters.bump summary "bounded checks" ~by:nbd;
+              if nf > 0 then begin
+                failures := !failures + nf;
+                List.iter
+                  (fun (what, detail) ->
+                    shout (Printf.sprintf "  %s O%d %s\n    %s" name level what detail))
+                  (List.rev e.Captive.Engine.validation_log)
+              end;
+              if code <> expected then begin
+                incr failures;
+                shout (Printf.sprintf "  %s O%d: exit code %d, expected %d" name level code expected)
+              end;
+              let ms = 1000. *. s.Captive.Engine.t_validate in
+              let per = ms /. float_of_int (max 1 (nb + nr)) in
+              if json then
+                Printf.printf
+                  "{\"kind\":\"workload\",\"name\":%s,\"opt_level\":%d,\"exit\":%d,\"expected\":%d,\"blocks_validated\":%d,\"regions_validated\":%d,\"findings\":%d,\"bounded\":%d,\"validate_ms\":%.1f,\"ms_per_program\":%.3f}\n"
+                  (Dbt_util.Stats.json_string name)
+                  level code expected nb nr nf nbd ms per
+              else
+                say
+                  "%-14s O%d: exit %d (expected %d), %4d blocks + %2d regions validated, %d finding(s), %d bounded, %6.1fms (%.2fms/program)\n%!"
+                  name level code expected nb nr nf nbd ms per)
+            workloads)
+        levels;
+      if json then
+        Printf.printf "{\"kind\":\"summary\",\"workloads\":%d,\"failures\":%d,\"counters\":%s}\n"
+          (List.length workloads * List.length levels)
+          !failures (Counters.to_json summary)
+      else say "\nvalidate counters:\n%s" (Counters.report summary);
+      if !failures = 0 then begin
+        if not json then print_endline "validate: no findings";
+        `Ok ()
+      end
+      else `Error (false, Printf.sprintf "validate: %d finding(s)" !failures)
+    end
+  in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:"Symbolically validate every translation formed while running the ARM and \
+             RISC-V workloads at O1-O4 against an unoptimized reference emission.")
+    Term.(ret (const run $ json $ every $ workload $ level))
+
 let () =
   let doc = "Retargetable system-level DBT hypervisor (Captive reproduction)" in
+  let man =
+    [ `S Manpage.s_synopsis;
+      `P "$(mname) $(b,spec) $(i,BENCHMARK) [$(b,--engine) $(i,ENGINE)] [$(b,--scale) $(i,N)]";
+      `Noblank; `P "$(mname) $(b,simbench) [$(i,CATEGORY)]";
+      `Noblank; `P "$(mname) $(b,boot) [$(b,--engine) $(i,ENGINE)]";
+      `Noblank; `P "$(mname) $(b,info)";
+      `Noblank; `P "$(mname) $(b,ssa) $(i,INSTRUCTION) [$(b,--level) $(i,N)] [$(b,--guest) $(i,GUEST)] [$(b,--classify)]";
+      `Noblank; `P "$(mname) $(b,lint) [$(b,--guest) $(i,GUEST)] [$(b,--json)]";
+      `Noblank; `P "$(mname) $(b,mmucheck) [$(b,--json)] [$(b,--guard)] [$(b,--every) $(i,N)]";
+      `Noblank; `P "$(mname) $(b,bench) [$(b,--quick)] [$(b,--json)] [$(b,--baseline) $(i,FILE)]";
+      `Noblank; `P "$(mname) $(b,validate) [$(b,--json)] [$(b,--every) $(i,N)]";
+    ]
+  in
   exit
     (Cmd.eval
-       (Cmd.group (Cmd.info "captive_run" ~doc)
-          [ spec_cmd; simbench_cmd; boot_cmd; info_cmd; ssa_cmd; lint_cmd; mmucheck_cmd; bench_cmd ]))
+       (Cmd.group (Cmd.info "captive_run" ~doc ~man)
+          [ spec_cmd; simbench_cmd; boot_cmd; info_cmd; ssa_cmd; lint_cmd; mmucheck_cmd;
+            bench_cmd; validate_cmd ]))

@@ -85,3 +85,17 @@ let nargs_of_intrinsic name =
   match Adl.Builtins.find name with
   | Some sg -> List.length sg.Adl.Builtins.bi_params
   | None -> invalid_arg name
+
+(* How each helper affects symbolic state, for the translation validator
+   (Hostir.Symexec): softfloat helpers are pure intrinsic evaluation;
+   coproc_read reads environment only; the address-space switch writes
+   the AS tag preg; halt/wfi/barrier and softmmu fills are externally
+   visible events that leave guest rf/pc alone; everything else
+   (coproc_write, exceptions, eret, TLB flushes) may rewrite both. *)
+let helper_kind h : Hostir.Symexec.helper_kind =
+  if h = h_coproc_read then Hostir.Symexec.C_read
+  else if h = h_as_switch then Hostir.Symexec.C_as_switch
+  else if h >= first_softfloat then Hostir.Symexec.C_pure
+  else if h = h_halt || h = h_wfi || h = h_barrier || h = h_softmmu_fill_read
+          || h = h_softmmu_fill_write then Hostir.Symexec.C_event
+  else Hostir.Symexec.C_clobber

@@ -37,6 +37,11 @@ type config = {
   region_max_blocks : int; (* maximum members in one region (all on one page) *)
   promote : bool; (* region-scoped register promotion + memory redundancy elim *)
   promote_max_regs : int; (* register-file offsets cached per region *)
+  (* symbolic translation validation (Hostir.Equiv): every accepted
+     translation is re-derived as an unoptimized reference emission and
+     checked for exit-point equivalence; any finding is a miscompile *)
+  validate_translations : bool;
+  validate_every : int; (* validate every Nth tier-0 block (regions: always) *)
 }
 
 let default_config =
@@ -54,6 +59,8 @@ let default_config =
     region_max_blocks = 8;
     promote = true;
     promote_max_regs = 4;
+    validate_translations = false;
+    validate_every = 1;
   }
 
 type phase_stats = {
@@ -83,6 +90,12 @@ type phase_stats = {
   mutable region_wb_entries : int; (* writeback-map entries across regions *)
   mutable mem_loads_elided : int; (* Mem_lds satisfied by a previous load *)
   mutable stores_forwarded : int; (* Mem_lds satisfied by a previous store *)
+  (* symbolic translation validation (Hostir.Equiv) *)
+  mutable t_validate : float;
+  mutable blocks_validated : int; (* tier-0 blocks checked against the oracle *)
+  mutable regions_validated : int; (* tier-1 regions checked against the oracle *)
+  mutable validation_findings : int; (* equivalence divergences (miscompiles) *)
+  mutable validations_bounded : int; (* checks that hit a path/step bound *)
 }
 
 let new_phase_stats () =
@@ -111,6 +124,11 @@ let new_phase_stats () =
     region_wb_entries = 0;
     mem_loads_elided = 0;
     stores_forwarded = 0;
+    t_validate = 0.;
+    blocks_validated = 0;
+    regions_validated = 0;
+    validation_findings = 0;
+    validations_bounded = 0;
   }
 
 type translation = {
@@ -158,6 +176,9 @@ type t = {
      later in the same process. *)
   tracing : bool;
   mutable trace_events : int;
+  (* symbolic translation validation *)
+  mutable validate_tick : int; (* tier-0 sampling counter (validate_every) *)
+  mutable validation_log : (string * string) list; (* (context, detail), capped *)
 }
 
 let now () = Unix.gettimeofday ()
@@ -314,6 +335,8 @@ let rec create ?(config = default_config) (guest : Ops.ops) : t =
       syscon;
       tracing = Sys.getenv_opt "CAPTIVE_TRACE" <> None;
       trace_events = 0;
+      validate_tick = 0;
+      validation_log = [];
     }
   in
   engine_ref := Some e;
@@ -552,6 +575,35 @@ let dag_config_of (e : t) ~mmu_on =
     as_switch_helper = Common.h_as_switch;
   }
 
+(* Account one Equiv outcome: counters, plus a capped per-engine log of
+   findings (full detail, for the validate subcommand's JSON report). *)
+let record_validation (e : t) ~what ~region (r : Hostir.Equiv.outcome) =
+  let s = e.stats in
+  if region then s.regions_validated <- s.regions_validated + 1
+  else s.blocks_validated <- s.blocks_validated + 1;
+  if not r.Hostir.Equiv.complete then s.validations_bounded <- s.validations_bounded + 1;
+  if r.Hostir.Equiv.findings <> [] then begin
+    s.validation_findings <- s.validation_findings + List.length r.Hostir.Equiv.findings;
+    List.iter
+      (fun (f : Hostir.Equiv.finding) ->
+        if List.length e.validation_log < 64 then
+          e.validation_log <-
+            e.validation_log
+            @ [ (Printf.sprintf "%s: %s" what f.Hostir.Equiv.f_name, f.Hostir.Equiv.f_detail) ])
+      r.Hostir.Equiv.findings
+  end
+
+let equiv_items (e : t) ~el decoded : Hostir.Equiv.item list =
+  let model = e.guest.Ops.model in
+  List.map
+    (fun d ->
+      {
+        Hostir.Equiv.it_action = Ssa.Offline.action model d.Adl.Decode.name;
+        it_field = field_of ~el d;
+        it_inc_pc = (if d.Adl.Decode.ends_block then None else Some e.guest.Ops.insn_size);
+      })
+    decoded
+
 let translate_block (e : t) sys ~va ~pa ~el ~mmu_on : translation =
   let s = e.stats in
   ignore sys;
@@ -581,6 +633,26 @@ let translate_block (e : t) sys ~va ~pa ~el ~mmu_on : translation =
   Dag.raw dag (Hir.Exit 0);
   let instrs = Dag.finish dag in
   s.t_translate <- s.t_translate +. (now () -. t1);
+  (* Symbolic translation validation (off the hot path unless enabled):
+     check the optimized stream against a per-instruction reference
+     emission from the same decode, sampled every [validate_every]th
+     block. *)
+  (if e.config.validate_translations && (not !undefined_stub) && decoded <> [] then begin
+     e.validate_tick <- e.validate_tick + 1;
+     if e.config.validate_every <= 1 || e.validate_tick mod e.config.validate_every = 0 then begin
+       let tv = now () in
+       trace e "validate: block pa=0x%Lx va=0x%Lx (%d host instrs)\n%!" pa va
+         (Array.length instrs);
+       let outcome =
+         Hostir.Equiv.check_block ~classify:Common.helper_kind ~config:(dag_config_of e ~mmu_on)
+           ~init_pc:(Hostir.Symexec.Const va) ~opt:instrs (equiv_items e ~el decoded)
+       in
+       record_validation e
+         ~what:(Printf.sprintf "block pa=0x%Lx va=0x%Lx el=%d mmu=%b" pa va el mmu_on)
+         ~region:false outcome;
+       s.t_validate <- s.t_validate +. (now () -. tv)
+     end
+   end);
   (* Phase 3: register allocation. *)
   let t2 = now () in
   let ra = Regalloc.run instrs in
@@ -747,16 +819,23 @@ let translate_region (e : t) (head : translation) : unit =
     in
     let dispatch_labels = ref Hostir.Region.Iset.empty in
     let n_guest = ref 0 in
+    (* Per-member decode record, kept only when validation is on: enough
+       for Hostir.Equiv to re-create the member/dispatch skeleton. *)
+    let member_refs = ref [] in
+    let keep_ref mr = if e.config.validate_translations then member_refs := mr :: !member_refs in
     List.iteri
       (fun mi (m, l) ->
         em.Ssa.Emitter.set_block l;
         Dag.raw dag (Hir.Poll 0);
         let pa_m = Int64.logor pa_page (Int64.logand m.t_va 0xFFFL) in
         let decoded, undef = decode_block e ~va:m.t_va ~pa:pa_m in
-        if undef || decoded = [] then
+        if undef || decoded = [] then begin
           (* cannot happen for an already-translated member; bail to the
              dispatcher rather than mistranslate *)
+          keep_ref
+            { Hostir.Equiv.mb_va = m.t_va; mb_items = []; mb_undef = true; mb_targets = [] };
           Dag.raw dag (Hir.Exit 0)
+        end
         else begin
           n_guest := !n_guest + List.length decoded;
           List.iter
@@ -780,6 +859,13 @@ let translate_region (e : t) (head : translation) : unit =
               (fun va -> Option.map (fun lt -> (va, lt)) (entry_label va))
               (succs_by_heat m ~el)
           in
+          keep_ref
+            {
+              Hostir.Equiv.mb_va = m.t_va;
+              mb_items = equiv_items e ~el decoded;
+              mb_undef = false;
+              mb_targets = List.map fst targets;
+            };
           let pc = Dag.fresh_vreg dag in
           if targets <> [] then Dag.raw dag (Hir.Load_pc pc);
           List.iter
@@ -800,10 +886,7 @@ let translate_region (e : t) (head : translation) : unit =
     let member_entry = List.map (fun (m, l) -> (m.t_va, l)) entries in
     let n0 = Array.length instrs in
     let instrs =
-      Hostir.Region.straighten ~dispatch_labels:!dispatch_labels ~member_entry instrs
-      |> Hostir.Region.elide_jumps |> Hostir.Region.prune_unreachable
-      |> Hostir.Region.coalesce_inc_pc |> Hostir.Region.forward_store_pc
-      |> Hostir.Region.eliminate_dead_stores
+      Hostir.Region.optimize ~dispatch_labels:!dispatch_labels ~member_entry instrs
     in
     s.region_dead_stores <- s.region_dead_stores + (n0 - Array.length instrs);
     s.t_translate <- s.t_translate +. (now () -. t1);
@@ -826,7 +909,11 @@ let translate_region (e : t) (head : translation) : unit =
             (* Always-on safety net: a region whose safepoint, exit or
                faulting access is reachable with an uncovered dirty
                promoted register would silently corrupt guest state. *)
-            Hostir.Verify.check_wb_exn ~promoted instrs';
+            Hostir.Verify.check_wb_exn
+              ~what:
+                (Printf.sprintf "region pa=0x%Lx va=0x%Lx members=%d pass=promote" pa_head
+                   head.t_va (List.length members))
+              ~promoted instrs';
             s.rf_promoted <- s.rf_promoted + ps.Hostir.Promote.promoted;
             s.region_wb_entries <- s.region_wb_entries + ps.Hostir.Promote.wb_entries;
             s.mem_loads_elided <- s.mem_loads_elided + ps.Hostir.Promote.loads_elided;
@@ -841,6 +928,26 @@ let translate_region (e : t) (head : translation) : unit =
     in
     s.spills <- s.spills + ra.Regalloc.n_spilled;
     s.t_regalloc <- s.t_regalloc +. (now () -. t2);
+    (* Symbolic translation validation of the final pre-regalloc stream
+       (region passes, promotion and Wbmap included).  Regions are few
+       and load-bearing, so they are always validated when enabled, with
+       no [validate_every] sampling. *)
+    (if e.config.validate_translations then begin
+       let tv = now () in
+       trace e "validate: region pa=0x%Lx va=0x%Lx members=%d (%d host instrs)\n%!" pa_head
+         head.t_va (List.length members) (Array.length instrs);
+       let outcome =
+         Hostir.Equiv.check_region ~classify:Common.helper_kind
+           ~config:(dag_config_of e ~mmu_on) ~init_pc:(Hostir.Symexec.Const head.t_va)
+           ~opt:instrs (List.rev !member_refs)
+       in
+       record_validation e
+         ~what:
+           (Printf.sprintf "region pa=0x%Lx va=0x%Lx members=%d" pa_head head.t_va
+              (List.length members))
+         ~region:true outcome;
+       s.t_validate <- s.t_validate +. (now () -. tv)
+     end);
     let t3 = now () in
     let code = Encode.encode ra in
     let program = Encode.decode_program ~n_slots:ra.Regalloc.n_slots code in

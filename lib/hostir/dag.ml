@@ -570,3 +570,4 @@ let finish t : instr array =
 
 let vreg_count t = t.next_vreg
 let instr_count t = t.n_instrs
+let label_count t = t.next_label

@@ -71,3 +71,6 @@ val vreg_count : t -> int
 
 (** Number of instructions emitted so far. *)
 val instr_count : t -> int
+
+(** Number of labels allocated so far (for relocating streams). *)
+val label_count : t -> int

@@ -269,3 +269,12 @@ let map_sources f (i : instr) : instr =
   | Call (h, args, ret) -> Call (h, Array.map f args, ret)
   | Br (c, t, fl) -> Br (f c, t, fl)
   | Ldrf _ | Load_pc _ | Inc_pc _ | Label _ | Jmp _ | Exit _ | Poll _ | Wbmap _ -> i
+
+(* Apply [f] to every label id (definitions and branch targets), for
+   relocating concatenated instruction streams. *)
+let map_labels f (i : instr) : instr =
+  match i with
+  | Label l -> Label (f l)
+  | Jmp l -> Jmp (f l)
+  | Br (c, t, fl) -> Br (c, f t, f fl)
+  | _ -> i

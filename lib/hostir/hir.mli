@@ -118,3 +118,7 @@ val map_operands : (operand -> operand) -> instr -> instr
     registers) untouched: the substitution primitive for copy
     propagation. *)
 val map_sources : (operand -> operand) -> instr -> instr
+
+(** Apply [f] to every label id (definitions and branch targets), for
+    relocating concatenated instruction streams. *)
+val map_labels : (int -> int) -> instr -> instr

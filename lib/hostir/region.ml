@@ -403,3 +403,13 @@ let eliminate_dead_stores (instrs : instr array) : instr array =
         (List.filteri (fun i _ -> not dead.(i)) (Array.to_list instrs))
     else instrs
   end
+
+
+(* The full region pipeline in canonical order, as run by the engine for
+   every tier-1 translation (promotion, which needs the member list and
+   acceptance policy, stays in the engine).  Exposed as one entry point
+   so the translation validator checks exactly what the engine runs. *)
+let optimize ~dispatch_labels ~member_entry (instrs : instr array) : instr array =
+  straighten ~dispatch_labels ~member_entry instrs
+  |> elide_jumps |> prune_unreachable |> coalesce_inc_pc |> forward_store_pc
+  |> eliminate_dead_stores

@@ -1,0 +1,50 @@
+(* Region-level optimisation passes for tier-1 (hot region) translations.
+
+   A region is translated as one Dag: the head member's body occupies the
+   entry chunk and every other member sits behind a pre-created label,
+   with a per-member PC-compare dispatch chunk at each member's end.  The
+   passes below run over the flattened instruction stream before register
+   allocation; [optimize] chains them in the canonical order.  All passes
+   are pure functions of the instruction stream. *)
+
+module Iset : Set.S with type elt = int
+
+(* Rewrite jumps into a dispatch chunk with a direct jump to the member
+   entry whenever the guest PC at the jump is statically known.
+   [dispatch_labels] are the labels of the PC-compare dispatch chunks;
+   [member_entry] maps each member's guest VA to its entry label. *)
+val straighten :
+  dispatch_labels:Iset.t -> member_entry:(int64 * int) list -> Hir.instr array -> Hir.instr array
+
+(* Remove jumps to the immediately following label. *)
+val elide_jumps : Hir.instr array -> Hir.instr array
+
+(* Drop instructions unreachable from the region entry (index 0). *)
+val prune_unreachable : Hir.instr array -> Hir.instr array
+
+(* Defer guest-PC increments to the next observation point. *)
+val coalesce_inc_pc : Hir.instr array -> Hir.instr array
+
+(* Delete the PC reload on the member/dispatch seam, comparing the
+   just-computed branch target directly. *)
+val forward_store_pc : Hir.instr array -> Hir.instr array
+
+(* Remove register-file stores overwritten before any possible read. *)
+val eliminate_dead_stores : Hir.instr array -> Hir.instr array
+
+(* The full pipeline: straighten -> elide_jumps -> prune_unreachable ->
+   coalesce_inc_pc -> forward_store_pc -> eliminate_dead_stores. *)
+val optimize :
+  dispatch_labels:Iset.t -> member_entry:(int64 * int) list -> Hir.instr array -> Hir.instr array
+
+(* A lightweight CFG over the flattened stream, shared by the dead-store
+   pass, register promotion (Promote), and the structural verifier. *)
+type cfg = {
+  c_starts : int array; (* block start indices, ascending; c_starts.(0) = 0 *)
+  c_nb : int; (* number of blocks *)
+  c_block_of_idx : int -> int; (* enclosing block of an instruction index *)
+  c_block_end : int -> int; (* one past a block's last instruction *)
+  c_succs : int -> int list; (* successor blocks *)
+}
+
+val build_cfg : Hir.instr array -> cfg

@@ -25,6 +25,14 @@ let report ~what violations =
   Printf.sprintf "HostIR verification failed for %s:\n%s" what
     (String.concat "\n" (List.map (fun v -> "  " ^ string_of_violation v) violations))
 
+(* Self-locating CI logs (like Mem.Bus_error): an escaped [Invalid]
+   prints the full report — the [what] string carries guest PA, region
+   id, and pass name as formatted by the raising site. *)
+let () =
+  Printexc.register_printer (function
+    | Invalid (what, violations) -> Some (report ~what violations)
+    | _ -> None)
+
 (* The simulated host has 16 GPRs; allocation hands out
    [0, Regalloc.num_allocatable); the registers above that are reserved
    (spill scratch, address-space tag, register-file base, guest PC) and

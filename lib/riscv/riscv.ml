@@ -9,14 +9,18 @@
 open Guest.Ops
 
 let model = lazy (Ssa.Offline.build ~opt_level:4 Riscv_descr.source)
+let model_at_level level = Ssa.Offline.build ~opt_level:level Riscv_descr.source
 
 let flat_perms = { pr = true; pw = true; px = true; puser = true }
 
-let ops () : ops =
+let ops ?opt_level () : ops =
+  let model =
+    match opt_level with None -> Lazy.force model | Some l -> model_at_level l
+  in
   {
     name = "rv64im";
     description = "64-bit RISC-V (RV64IM) guest, user-level";
-    model = Lazy.force model;
+    model;
     insn_size = 4;
     regfile_size = 512;
     bank_offset = (fun ~bank:_ ~index -> 8 * (index land 31));

@@ -260,3 +260,15 @@ let translate (em : 'v Emitter.t) (action : Ir.action) ~field ~inc_pc =
   if has_fixed_control_flow action ~field then run_fixed em action ~field
   else run_general em action ~field;
   match inc_pc with Some n -> em.Emitter.inc_pc n | None -> ()
+
+(* Translate each decoded instruction into its own freshly created backend
+   (the translation validator's reference oracle: one unoptimized emission
+   per instruction, no cross-instruction DAG memoization or collapse).
+   [fresh] supplies a new emitter and a finalizer returning the segment. *)
+let translate_isolated ~fresh items =
+  List.map
+    (fun (action, field, inc_pc) ->
+      let em, finish = fresh () in
+      translate em action ~field ~inc_pc;
+      finish ())
+    items

@@ -25,3 +25,13 @@ val has_fixed_control_flow : Ir.action -> field:(string -> int64) -> bool
     the block, in which case a PC increment is appended (paper Fig. 7:
     [if (!insn.end_of_block) emitter.inc_pc(4)]). *)
 val translate : 'v Emitter.t -> Ir.action -> field:(string -> int64) -> inc_pc:int option -> unit
+
+(** Translate each decoded instruction into its own freshly created
+    backend — the reference oracle for translation validation: one
+    unoptimized emission per instruction, with no cross-instruction
+    memoization.  [fresh] supplies a new emitter plus a finalizer that
+    extracts whatever the backend produced. *)
+val translate_isolated :
+  fresh:(unit -> 'v Emitter.t * (unit -> 'seg)) ->
+  (Ir.action * (string -> int64) * int option) list ->
+  'seg list

@@ -13,6 +13,7 @@ let () =
       Test_engine.suite;
       Test_tiered.suite;
       Test_promote.suite;
+      Test_symexec.suite;
       Test_workloads.suite;
       Test_sanitize.suite;
     ]
