@@ -593,8 +593,13 @@ let bench_run_one ~scale name : bench_row =
 
 let bench_row_json r =
   let s = r.br_stats in
+  (* Per-phase translate-time breakdown (milliseconds): lets the CI perf
+     gate's artifact show where translate time went, so a regression in
+     e.g. the analysis phase is attributable from the JSON alone.  The
+     baseline gate itself still reads only captive_cycles and speedup. *)
+  let ms t = 1000. *. t in
   Printf.sprintf
-    "{\"kind\":\"workload\",\"name\":%s,\"exit_ok\":%b,\"captive_cycles\":%d,\"captive_untiered_cycles\":%d,\"qemu_cycles\":%d,\"speedup\":%.4f,\"tiered_gain_pct\":%.2f,\"host_instrs\":%d,\"host_instrs_untiered\":%d,\"promotions\":%d,\"regions\":%d,\"region_blocks\":%d,\"region_entries\":%d,\"region_block_execs\":%d,\"region_dead_stores\":%d,\"rf_loads\":%d,\"rf_stores\":%d,\"rf_promoted\":%d,\"region_wb_entries\":%d,\"mem_loads_elided\":%d,\"stores_forwarded\":%d}"
+    "{\"kind\":\"workload\",\"name\":%s,\"exit_ok\":%b,\"captive_cycles\":%d,\"captive_untiered_cycles\":%d,\"qemu_cycles\":%d,\"speedup\":%.4f,\"tiered_gain_pct\":%.2f,\"host_instrs\":%d,\"host_instrs_untiered\":%d,\"promotions\":%d,\"regions\":%d,\"region_blocks\":%d,\"region_entries\":%d,\"region_block_execs\":%d,\"region_dead_stores\":%d,\"rf_loads\":%d,\"rf_stores\":%d,\"rf_promoted\":%d,\"region_wb_entries\":%d,\"mem_loads_elided\":%d,\"stores_forwarded\":%d,\"absint_branches_folded\":%d,\"absint_consts_folded\":%d,\"absint_masks_dropped\":%d,\"absint_divs_reduced\":%d,\"absint_dead_deleted\":%d,\"t_decode_ms\":%.2f,\"t_translate_ms\":%.2f,\"t_regalloc_ms\":%.2f,\"t_encode_ms\":%.2f,\"t_validate_ms\":%.2f,\"t_analyze_ms\":%.2f}"
     (Dbt_util.Stats.json_string r.br_name)
     r.br_exit_ok r.br_tiered r.br_untiered r.br_qemu r.br_speedup r.br_gain_pct r.br_hinstrs
     r.br_hinstrs_u s.Captive.Engine.promotions s.Captive.Engine.regions_formed
@@ -602,6 +607,12 @@ let bench_row_json r =
     s.Captive.Engine.region_block_execs s.Captive.Engine.region_dead_stores r.br_rf_loads
     r.br_rf_stores s.Captive.Engine.rf_promoted s.Captive.Engine.region_wb_entries
     s.Captive.Engine.mem_loads_elided s.Captive.Engine.stores_forwarded
+    s.Captive.Engine.absint_branches_folded s.Captive.Engine.absint_consts_folded
+    s.Captive.Engine.absint_masks_dropped s.Captive.Engine.absint_divs_reduced
+    s.Captive.Engine.absint_dead_deleted (ms s.Captive.Engine.t_decode)
+    (ms s.Captive.Engine.t_translate) (ms s.Captive.Engine.t_regalloc)
+    (ms s.Captive.Engine.t_encode) (ms s.Captive.Engine.t_validate)
+    (ms s.Captive.Engine.t_analyze)
 
 (* Parse a committed baseline: one flat JSON object per line, keyed by
    "name"; only "captive_cycles" and "speedup" gate. *)
@@ -871,6 +882,145 @@ let validate_cmd =
              RISC-V workloads at O1-O4 against an unoptimized reference emission.")
     Term.(ret (const run $ json $ every $ workload $ level))
 
+(* --- analyze ------------------------------------------------------------------------- *)
+
+(* Translate-time abstract interpretation sweep (Hostir.Absint): the same
+   workload matrix as `validate`, run with `analyze_translations`
+   enabled.  Every tier-0 block and every flattened region the engine
+   forms is pushed through the dataflow analyzer and checked against the
+   static obligations — register-file accesses in bounds and aligned,
+   spill-slot accesses inside the allocated frame, the promoted
+   writeback discipline (dirty coverage, call barriers, staleness) — at
+   every offline optimization level O1-O4.  Exit status is non-zero on
+   any obligation finding or wrong guest exit code; with --json, stdout
+   carries one counter object per workload/level pair plus a summary
+   line for the CI artifact, and findings go to stderr. *)
+
+let analyze_cmd =
+  let json =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Emit one counter object per workload/level pair plus a summary line as \
+                 JSON on stdout; obligation findings go to stderr.")
+  in
+  let workload =
+    Arg.(value & opt string "all" & info [ "w"; "workload" ] ~docv:"NAME"
+           ~doc:"Restrict to one workload (armv8-a-boot, armv8-a-mmu, rv64im-mmu or all).")
+  in
+  let level =
+    Arg.(value & opt int 0 & info [ "l"; "level" ] ~docv:"N"
+           ~doc:"Restrict to one offline optimization level (1-4; 0 sweeps all).")
+  in
+  let run json workload level =
+    let failures = ref 0 in
+    let summary = Counters.create () in
+    let say fmt = if json then Printf.ifprintf stdout fmt else Printf.printf fmt in
+    let shout line = if json then prerr_endline line else print_endline line in
+    let config =
+      { Captive.Engine.default_config with Captive.Engine.analyze_translations = true }
+    in
+    let exit_of = function
+      | Captive.Engine.Poweroff c -> c
+      | Captive.Engine.Cycle_limit -> -2
+      | Captive.Engine.Block_limit -> -3
+    in
+    let boot_user = demo_user () in
+    let spec name = (Workloads.Spec.find name).Workloads.Spec.build ~scale:1 in
+    let workloads =
+      List.filter
+        (fun (n, _, _) -> workload = "all" || workload = n)
+        [ ("armv8-a-boot", `Arm_user boot_user, 0);
+          ("armv8-a-mmu", `Arm_user (Workloads.Mmu_stress.arm_user ()), Workloads.Mmu_stress.arm_expected_exit);
+          ("armv8-a-libquantum", `Arm_user (spec "462.libquantum"), 8);
+          ("armv8-a-mcf", `Arm_user (spec "429.mcf"), 0);
+          ("armv8-a-perlbench", `Arm_user (spec "400.perlbench"), 212);
+          ("armv8-a-sjeng", `Arm_user (spec "458.sjeng"), 35);
+          ("armv8-a-gobmk", `Arm_user (spec "445.gobmk"), 64);
+          ("armv8-a-omnetpp", `Arm_user (spec "471.omnetpp"), 220);
+          ("armv8-a-xalancbmk", `Arm_user (spec "483.xalancbmk"), 0);
+          ("rv64im-mmu", `Riscv_image, Workloads.Mmu_stress.riscv_expected_exit);
+        ]
+    in
+    let levels = List.filter (fun l -> level = 0 || level = l) [ 1; 2; 3; 4 ] in
+    say "analyze: %d workload(s) x %d level(s) with translate-time obligation checking\n%!"
+      (List.length workloads) (List.length levels);
+    List.iter
+      (fun level ->
+        List.iter
+          (fun (name, kind, expected) ->
+            let e, code =
+              match kind with
+              | `Arm_user user ->
+                let e =
+                  Captive.Engine.create ~config (Guest_arm.Arm.ops ~opt_level:level ())
+                in
+                Workloads.Kernel.install (Workloads.Kernel.captive_target e) ~user;
+                (e, exit_of (Captive.Engine.run ~max_cycles:2_000_000_000 e))
+              | `Riscv_image ->
+                let e =
+                  Captive.Engine.create ~config (Guest_riscv.Riscv.ops ~opt_level:level ())
+                in
+                Captive.Engine.load_image e ~addr:Workloads.Mmu_stress.riscv_entry
+                  (Workloads.Mmu_stress.riscv_image ());
+                Captive.Engine.set_entry e Workloads.Mmu_stress.riscv_entry;
+                (e, exit_of (Captive.Engine.run ~max_cycles:2_000_000_000 e))
+            in
+            let s = e.Captive.Engine.stats in
+            let nb = s.Captive.Engine.blocks_analyzed in
+            let nr = s.Captive.Engine.regions_analyzed in
+            let nf = s.Captive.Engine.obligation_findings in
+            Counters.bump summary "programs analyzed" ~by:(nb + nr);
+            Counters.bump summary "blocks analyzed" ~by:nb;
+            Counters.bump summary "regions analyzed" ~by:nr;
+            Counters.bump summary "obligation findings" ~by:nf;
+            Counters.bump summary "absint branches folded" ~by:s.Captive.Engine.absint_branches_folded;
+            Counters.bump summary "absint consts folded" ~by:s.Captive.Engine.absint_consts_folded;
+            Counters.bump summary "absint masks dropped" ~by:s.Captive.Engine.absint_masks_dropped;
+            Counters.bump summary "absint divs reduced" ~by:s.Captive.Engine.absint_divs_reduced;
+            Counters.bump summary "absint dead deleted" ~by:s.Captive.Engine.absint_dead_deleted;
+            if nf > 0 then begin
+              failures := !failures + nf;
+              List.iter
+                (fun (what, detail) ->
+                  shout (Printf.sprintf "  %s O%d %s\n    %s" name level what detail))
+                (List.rev e.Captive.Engine.analysis_log)
+            end;
+            if code <> expected then begin
+              incr failures;
+              shout (Printf.sprintf "  %s O%d: exit code %d, expected %d" name level code expected)
+            end;
+            let ms = 1000. *. s.Captive.Engine.t_analyze in
+            let per = ms /. float_of_int (max 1 (nb + nr)) in
+            if json then
+              Printf.printf
+                "{\"kind\":\"workload\",\"name\":%s,\"opt_level\":%d,\"exit\":%d,\"expected\":%d,\"blocks_analyzed\":%d,\"regions_analyzed\":%d,\"findings\":%d,\"branches_folded\":%d,\"consts_folded\":%d,\"masks_dropped\":%d,\"divs_reduced\":%d,\"dead_deleted\":%d,\"analyze_ms\":%.1f,\"ms_per_program\":%.3f}\n"
+                (Dbt_util.Stats.json_string name)
+                level code expected nb nr nf s.Captive.Engine.absint_branches_folded
+                s.Captive.Engine.absint_consts_folded s.Captive.Engine.absint_masks_dropped
+                s.Captive.Engine.absint_divs_reduced s.Captive.Engine.absint_dead_deleted ms per
+            else
+              say
+                "%-20s O%d: exit %d (expected %d), %5d blocks + %3d regions analyzed, %d finding(s), %6.1fms (%.3fms/program)\n%!"
+                name level code expected nb nr nf ms per)
+          workloads)
+      levels;
+    if json then
+      Printf.printf "{\"kind\":\"summary\",\"workloads\":%d,\"failures\":%d,\"counters\":%s}\n"
+        (List.length workloads * List.length levels)
+        !failures (Counters.to_json summary)
+    else say "\nanalyze counters:\n%s" (Counters.report summary);
+    if !failures = 0 then begin
+      if not json then print_endline "analyze: no findings";
+      `Ok ()
+    end
+    else `Error (false, Printf.sprintf "analyze: %d finding(s)" !failures)
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Check translate-time static obligations (register-file bounds, frame bounds, \
+             writeback discipline) on every translation formed while running the ARM and \
+             RISC-V workloads at O1-O4.")
+    Term.(ret (const run $ json $ workload $ level))
+
 let () =
   let doc = "Retargetable system-level DBT hypervisor (Captive reproduction)" in
   let man =
@@ -884,10 +1034,11 @@ let () =
       `Noblank; `P "$(mname) $(b,mmucheck) [$(b,--json)] [$(b,--guard)] [$(b,--every) $(i,N)]";
       `Noblank; `P "$(mname) $(b,bench) [$(b,--quick)] [$(b,--json)] [$(b,--baseline) $(i,FILE)]";
       `Noblank; `P "$(mname) $(b,validate) [$(b,--json)] [$(b,--every) $(i,N)]";
+      `Noblank; `P "$(mname) $(b,analyze) [$(b,--json)] [$(b,--workload) $(i,NAME)] [$(b,--level) $(i,N)]";
     ]
   in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "captive_run" ~doc ~man)
           [ spec_cmd; simbench_cmd; boot_cmd; info_cmd; ssa_cmd; lint_cmd; mmucheck_cmd;
-            bench_cmd; validate_cmd ]))
+            bench_cmd; validate_cmd; analyze_cmd ]))

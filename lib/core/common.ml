@@ -23,20 +23,23 @@ let access_of : Machine.access -> Ops.access = function
   | Machine.Exec -> Ops.Afetch
 
 (* Fixed helper indices shared by both engines; engine-specific helpers
-   (address-space switching, softmmu fills) use indices >= [first_free]. *)
-let h_coproc_read = 0
-let h_coproc_write = 1
-let h_take_exception = 2
-let h_eret = 3
-let h_tlb_flush = 4
-let h_tlb_flush_page = 5
-let h_halt = 6
-let h_wfi = 7
-let h_barrier = 8
-let h_as_switch = 9
-let h_softmmu_fill_read = 10
-let h_softmmu_fill_write = 11
-let first_softfloat = 12
+   (address-space switching, softmmu fills) use indices >= [first_free].
+   The layout is owned by Hostir.Effects so the analyzer, the symbolic
+   validator, and the engines all read one table; re-exported here for
+   the existing call sites. *)
+let h_coproc_read = Hostir.Effects.h_coproc_read
+let h_coproc_write = Hostir.Effects.h_coproc_write
+let h_take_exception = Hostir.Effects.h_take_exception
+let h_eret = Hostir.Effects.h_eret
+let h_tlb_flush = Hostir.Effects.h_tlb_flush
+let h_tlb_flush_page = Hostir.Effects.h_tlb_flush_page
+let h_halt = Hostir.Effects.h_halt
+let h_wfi = Hostir.Effects.h_wfi
+let h_barrier = Hostir.Effects.h_barrier
+let h_as_switch = Hostir.Effects.h_as_switch
+let h_softmmu_fill_read = Hostir.Effects.h_softmmu_fill_read
+let h_softmmu_fill_write = Hostir.Effects.h_softmmu_fill_write
+let first_softfloat = Hostir.Effects.first_softfloat
 
 let effect_helper_index = function
   | "take_exception" -> h_take_exception
@@ -87,15 +90,6 @@ let nargs_of_intrinsic name =
   | None -> invalid_arg name
 
 (* How each helper affects symbolic state, for the translation validator
-   (Hostir.Symexec): softfloat helpers are pure intrinsic evaluation;
-   coproc_read reads environment only; the address-space switch writes
-   the AS tag preg; halt/wfi/barrier and softmmu fills are externally
-   visible events that leave guest rf/pc alone; everything else
-   (coproc_write, exceptions, eret, TLB flushes) may rewrite both. *)
-let helper_kind h : Hostir.Symexec.helper_kind =
-  if h = h_coproc_read then Hostir.Symexec.C_read
-  else if h = h_as_switch then Hostir.Symexec.C_as_switch
-  else if h >= first_softfloat then Hostir.Symexec.C_pure
-  else if h = h_halt || h = h_wfi || h = h_barrier || h = h_softmmu_fill_read
-          || h = h_softmmu_fill_write then Hostir.Symexec.C_event
-  else Hostir.Symexec.C_clobber
+   (Hostir.Symexec) and the static analyzer (Hostir.Absint); the shared
+   classification lives in Hostir.Effects. *)
+let helper_kind h : Hostir.Symexec.helper_kind = Hostir.Effects.classify h

@@ -42,6 +42,16 @@ type config = {
      checked for exit-point equivalence; any finding is a miscompile *)
   validate_translations : bool;
   validate_every : int; (* validate every Nth tier-0 block (regions: always) *)
+  (* static obligation checking (Hostir.Absint): every translation the
+     engine produces is analyzed at translate time — register-file
+     offsets in-bounds and aligned, spill slots inside the frame,
+     promoted-register discipline and writeback coverage *)
+  analyze_translations : bool;
+  (* the O4 absint-simplify region pass: fold branches with known
+     conditions, delete cross-block dead definitions, drop redundant
+     masks, strength-reduce division — on facts that only materialize
+     after region flattening and promotion *)
+  absint_simplify : bool;
 }
 
 let default_config =
@@ -61,6 +71,8 @@ let default_config =
     promote_max_regs = 4;
     validate_translations = false;
     validate_every = 1;
+    analyze_translations = false;
+    absint_simplify = true;
   }
 
 type phase_stats = {
@@ -96,6 +108,16 @@ type phase_stats = {
   mutable regions_validated : int; (* tier-1 regions checked against the oracle *)
   mutable validation_findings : int; (* equivalence divergences (miscompiles) *)
   mutable validations_bounded : int; (* checks that hit a path/step bound *)
+  (* static obligation checking + absint-simplify (Hostir.Absint) *)
+  mutable t_analyze : float;
+  mutable blocks_analyzed : int; (* tier-0 blocks obligation-checked *)
+  mutable regions_analyzed : int; (* tier-1 regions obligation-checked *)
+  mutable obligation_findings : int; (* static obligation violations *)
+  mutable absint_branches_folded : int; (* Br with decided condition -> Jmp *)
+  mutable absint_consts_folded : int; (* pure results proved constant *)
+  mutable absint_masks_dropped : int; (* redundant masks/extensions elided *)
+  mutable absint_divs_reduced : int; (* unsigned div/rem by 2^k reduced *)
+  mutable absint_dead_deleted : int; (* cross-block dead definitions removed *)
 }
 
 let new_phase_stats () =
@@ -129,6 +151,15 @@ let new_phase_stats () =
     regions_validated = 0;
     validation_findings = 0;
     validations_bounded = 0;
+    t_analyze = 0.;
+    blocks_analyzed = 0;
+    regions_analyzed = 0;
+    obligation_findings = 0;
+    absint_branches_folded = 0;
+    absint_consts_folded = 0;
+    absint_masks_dropped = 0;
+    absint_divs_reduced = 0;
+    absint_dead_deleted = 0;
   }
 
 type translation = {
@@ -179,6 +210,8 @@ type t = {
   (* symbolic translation validation *)
   mutable validate_tick : int; (* tier-0 sampling counter (validate_every) *)
   mutable validation_log : (string * string) list; (* (context, detail), capped *)
+  (* static obligation checking *)
+  mutable analysis_log : (string * string) list; (* (context, finding), capped *)
 }
 
 let now () = Unix.gettimeofday ()
@@ -337,6 +370,7 @@ let rec create ?(config = default_config) (guest : Ops.ops) : t =
       trace_events = 0;
       validate_tick = 0;
       validation_log = [];
+      analysis_log = [];
     }
   in
   engine_ref := Some e;
@@ -407,6 +441,14 @@ and invalidate_page e phys_page =
     Hashtbl.remove e.by_page phys_page;
     e.stats.smc_invalidations <- e.stats.smc_invalidations + 1
   | None -> ());
+  (* Static-analysis staleness audit: unlike chain edges, there is no
+     per-translation analysis state to drop here.  Abstract facts and
+     obligation findings are consumed at translate time (counters plus
+     the capped [analysis_log]); helper effect summaries are pure
+     functions of the helper index ([Effects.summarize]); neither is
+     keyed by translation, so an invalidated page cannot leave a stale
+     fact behind.  A re-translation after SMC re-runs the analyzer from
+     scratch (regression-tested in test_engine). *)
   Hashtbl.remove e.protected phys_page;
   (match e.sanitizer with Some s -> Hvm.Sanitize.record_invalidate_page s ~pa_page:phys_page | None -> ());
   sanitize_check e ~reason:"invalidate"
@@ -593,6 +635,35 @@ let record_validation (e : t) ~what ~region (r : Hostir.Equiv.outcome) =
       r.Hostir.Equiv.findings
   end
 
+(* Account one static-analysis outcome: counters, plus a capped
+   per-engine log of findings (full detail, for the analyze
+   subcommand's JSON report). *)
+let record_analysis (e : t) ~what ~region (findings : Hostir.Absint.finding list) =
+  let s = e.stats in
+  if region then s.regions_analyzed <- s.regions_analyzed + 1
+  else s.blocks_analyzed <- s.blocks_analyzed + 1;
+  if findings <> [] then begin
+    s.obligation_findings <- s.obligation_findings + List.length findings;
+    List.iter
+      (fun (f : Hostir.Absint.finding) ->
+        if List.length e.analysis_log < 64 then
+          e.analysis_log <- e.analysis_log @ [ (what, Hostir.Absint.finding_to_string f) ])
+      findings
+  end
+
+(* Static obligation checking of one translation: the pre-allocation
+   stream carries the register-file and writeback-discipline
+   obligations, the allocated stream the spill-frame bounds. *)
+let analyze_translation (e : t) ~what ~region ?(promoted = []) ~(pre : Hir.instr array)
+    (ra : Regalloc.result) =
+  let ta = now () in
+  let findings =
+    Hostir.Absint.check_translation ~classify:Common.helper_kind ~promoted pre
+    @ Hostir.Absint.check_frame ~n_slots:ra.Regalloc.n_slots ra.Regalloc.instrs
+  in
+  record_analysis e ~what ~region findings;
+  e.stats.t_analyze <- e.stats.t_analyze +. (now () -. ta)
+
 let equiv_items (e : t) ~el decoded : Hostir.Equiv.item list =
   let model = e.guest.Ops.model in
   List.map
@@ -657,6 +728,13 @@ let translate_block (e : t) sys ~va ~pa ~el ~mmu_on : translation =
   let t2 = now () in
   let ra = Regalloc.run instrs in
   s.t_regalloc <- s.t_regalloc +. (now () -. t2);
+  (* Static obligation checking (off the hot path unless enabled): the
+     analyzer proves register-file bounds on the emitted stream and
+     frame bounds on the allocated one; any finding is a miscompile. *)
+  if e.config.analyze_translations then
+    analyze_translation e
+      ~what:(Printf.sprintf "block pa=0x%Lx va=0x%Lx el=%d mmu=%b" pa va el mmu_on)
+      ~region:false ~pre:instrs ra;
   (* Phase 4: encoding to host machine code + patching. *)
   let t3 = now () in
   let code = Encode.encode ra in
@@ -891,8 +969,9 @@ let translate_region (e : t) (head : translation) : unit =
     s.region_dead_stores <- s.region_dead_stores + (n0 - Array.length instrs);
     s.t_translate <- s.t_translate +. (now () -. t1);
     let t2 = now () in
-    let instrs, ra =
-      if not e.config.promote then (instrs, Regalloc.run instrs)
+    let t_simplify = ref 0. in
+    let instrs, ra, promoted =
+      if not e.config.promote then (instrs, Regalloc.run instrs, [])
       else begin
         (* Promotion widens live ranges across the whole region, and a
            promoted access through a spill slot costs more than the
@@ -903,31 +982,73 @@ let translate_region (e : t) (head : translation) : unit =
            elimination. *)
         let ra0 = Regalloc.run instrs in
         let rec attempt k =
-          let instrs', promoted, ps = Hostir.Promote.run ~max_regs:k instrs in
+          let promoted_instrs, promoted, ps =
+            Hostir.Promote.run ~max_regs:k ~classify:Common.helper_kind instrs
+          in
+          (* The O4 absint-simplify pass, on the flattened promoted
+             stream where its facts materialize: fold decided branches,
+             delete cross-block dead definitions, drop proved-redundant
+             masks, strength-reduce division.  The writeback discipline
+             is re-proved below on the simplified stream. *)
+          let instrs', ss =
+            if e.config.absint_simplify then begin
+              let ts = now () in
+              let r =
+                Hostir.Absint.simplify ~classify:Common.helper_kind promoted_instrs
+              in
+              t_simplify := !t_simplify +. (now () -. ts);
+              r
+            end
+            else (promoted_instrs, Hostir.Absint.empty_simplify_stats ())
+          in
           let ra' = Regalloc.run instrs' in
           if ra'.Regalloc.n_spilled <= ra0.Regalloc.n_spilled then begin
             (* Always-on safety net: a region whose safepoint, exit or
                faulting access is reachable with an uncovered dirty
-               promoted register would silently corrupt guest state. *)
-            Hostir.Verify.check_wb_exn
-              ~what:
-                (Printf.sprintf "region pa=0x%Lx va=0x%Lx members=%d pass=promote" pa_head
-                   head.t_va (List.length members))
-              ~promoted instrs';
+               promoted register would silently corrupt guest state.
+               Checked on the promoter's own output first — a promotion
+               bug must surface here, before simplify's dead-code pass
+               can delete the dirty definition that would incriminate
+               it — and again on the simplified stream the engine
+               actually runs. *)
+            let wb_what pass =
+              Printf.sprintf "region pa=0x%Lx va=0x%Lx members=%d pass=%s" pa_head
+                head.t_va (List.length members) pass
+            in
+            Hostir.Verify.check_wb_exn ~what:(wb_what "promote")
+              ~classify:Common.helper_kind ~promoted promoted_instrs;
+            if e.config.absint_simplify then
+              Hostir.Verify.check_wb_exn ~what:(wb_what "absint-simplify")
+                ~classify:Common.helper_kind ~promoted instrs';
             s.rf_promoted <- s.rf_promoted + ps.Hostir.Promote.promoted;
             s.region_wb_entries <- s.region_wb_entries + ps.Hostir.Promote.wb_entries;
             s.mem_loads_elided <- s.mem_loads_elided + ps.Hostir.Promote.loads_elided;
             s.stores_forwarded <- s.stores_forwarded + ps.Hostir.Promote.stores_forwarded;
-            (instrs', ra')
+            s.absint_branches_folded <-
+              s.absint_branches_folded + ss.Hostir.Absint.branches_folded;
+            s.absint_consts_folded <- s.absint_consts_folded + ss.Hostir.Absint.consts_folded;
+            s.absint_masks_dropped <- s.absint_masks_dropped + ss.Hostir.Absint.masks_dropped;
+            s.absint_divs_reduced <- s.absint_divs_reduced + ss.Hostir.Absint.divs_reduced;
+            s.absint_dead_deleted <- s.absint_dead_deleted + ss.Hostir.Absint.dead_deleted;
+            (instrs', ra', promoted)
           end
-          else if k = 0 then (instrs, ra0)
+          else if k = 0 then (instrs, ra0, [])
           else attempt (k - 1)
         in
         attempt e.config.promote_max_regs
       end
     in
     s.spills <- s.spills + ra.Regalloc.n_spilled;
-    s.t_regalloc <- s.t_regalloc +. (now () -. t2);
+    (* The simplify pass runs inside the allocation window; account it
+       to the analysis phase so the bench breakdown separates them. *)
+    s.t_regalloc <- s.t_regalloc +. (now () -. t2 -. !t_simplify);
+    s.t_analyze <- s.t_analyze +. !t_simplify;
+    if e.config.analyze_translations then
+      analyze_translation e
+        ~what:
+          (Printf.sprintf "region pa=0x%Lx va=0x%Lx members=%d" pa_head head.t_va
+             (List.length members))
+        ~region:true ~promoted ~pre:instrs ra;
     (* Symbolic translation validation of the final pre-regalloc stream
        (region passes, promotion and Wbmap included).  Regions are few
        and load-bearing, so they are always validated when enabled, with

@@ -1,0 +1,81 @@
+(* One source of truth for how helper calls affect guest state.
+
+   The helper table layout is fixed across both guest engines (lib/core
+   re-exports these indices), so the classification can live here where
+   all three consumers reach it: Symexec's call tracing, Promote's call
+   barriers, and Absint's transfer functions.  Engine-specific helpers
+   occupy indices >= [first_free]. *)
+
+type helper_kind =
+  | C_pure (* deterministic value of its arguments; not traced *)
+  | C_read (* reads environment, writes no guest state (coproc_read) *)
+  | C_as_switch (* address-space switch: writes the AS tag preg *)
+  | C_event (* externally visible event; rf/pc untouched *)
+  | C_clobber (* may rewrite rf and pc (exceptions, coproc writes) *)
+
+let kind_to_string = function
+  | C_pure -> "pure"
+  | C_read -> "read"
+  | C_as_switch -> "as-switch"
+  | C_event -> "event"
+  | C_clobber -> "clobber"
+
+(* Fixed helper indices shared by both engines. *)
+let h_coproc_read = 0
+let h_coproc_write = 1
+let h_take_exception = 2
+let h_eret = 3
+let h_tlb_flush = 4
+let h_tlb_flush_page = 5
+let h_halt = 6
+let h_wfi = 7
+let h_barrier = 8
+let h_as_switch = 9
+let h_softmmu_fill_read = 10
+let h_softmmu_fill_write = 11
+let first_softfloat = 12
+
+(* Softfloat helpers are pure intrinsic evaluation; coproc_read reads
+   environment only; the address-space switch writes the AS tag preg;
+   halt/wfi/barrier and softmmu fills are externally visible events that
+   leave guest rf/pc alone; everything else (coproc_write, exceptions,
+   eret, TLB flushes) may rewrite both. *)
+let classify h =
+  if h = h_coproc_read then C_read
+  else if h = h_as_switch then C_as_switch
+  else if h >= first_softfloat then C_pure
+  else if
+    h = h_halt || h = h_wfi || h = h_barrier || h = h_softmmu_fill_read
+    || h = h_softmmu_fill_write
+  then C_event
+  else C_clobber
+
+(* Effect summary consumed by the analyzer: what a call may touch beyond
+   its explicit operands.  [s_escapes] records helpers that can leave the
+   executor without running the ordinary exit path (h_halt raises
+   Powered_off out of Exec.run before any writeback flush), so promoted
+   state must be clean across them exactly as across clobbers. *)
+type summary = {
+  s_kind : helper_kind;
+  s_writes_rf : bool;
+  s_writes_pc : bool;
+  s_writes_as_tag : bool;
+  s_observes_rf : bool; (* environment may read the register file *)
+  s_escapes : bool;
+}
+
+let summarize h =
+  let k = classify h in
+  {
+    s_kind = k;
+    s_writes_rf = k = C_clobber;
+    s_writes_pc = k = C_clobber;
+    s_writes_as_tag = k = C_as_switch;
+    s_observes_rf = (match k with C_pure -> false | _ -> true);
+    s_escapes = (match k with C_pure -> false | _ -> true);
+  }
+
+(* A call is transparent to promoted-register discipline only when it can
+   neither observe the register file nor escape the translation: pure
+   softfloat helpers.  Everything else is a writeback barrier. *)
+let barrier h = (summarize h).s_observes_rf || (summarize h).s_escapes

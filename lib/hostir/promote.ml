@@ -143,7 +143,7 @@ let pick_candidates ~max_regs (instrs : instr array) : int list =
 (* Rewrite the stream against a set of promoted offsets.  Returns the
    new stream, the (vreg, offset) promotion list, the rewrite counts
    and the ever-dirty offset list (= the writeback map's domain). *)
-let promote_regs ~max_regs (instrs : instr array) =
+let promote_regs ~max_regs ~classify (instrs : instr array) =
   let cands = pick_candidates ~max_regs instrs in
   if cands = [] then (instrs, [], 0, 0, [])
   else begin
@@ -175,11 +175,13 @@ let promote_regs ~max_regs (instrs : instr array) =
         | Strf (off, s) when Hashtbl.mem pv_of off ->
           incr stores_rw;
           emit (Mov (pv off, s))
-        | Call _ ->
-          (* Full barrier: helpers read and write the register file
-             directly, so flush dirty values before and reload every
-             promoted offset after (the helper may have changed any of
-             them). *)
+        | Call (h, _, _) when classify h <> Effects.C_pure ->
+          (* Full barrier: traced helpers may read and write the
+             register file directly (or escape the translation without
+             the ordinary exit path), so flush dirty values before and
+             reload every promoted offset after (the helper may have
+             changed any of them).  Pure helpers — the softfloat table —
+             can do neither, so they fall through barrier-free. *)
           List.iter (fun off -> emit (Strf (off, pv off))) dirty;
           emit ins;
           List.iter (fun off -> emit (Ldrf (pv off, off))) cands
@@ -447,10 +449,10 @@ let mem_elim (instrs : instr array) =
 
 (* Run the full pipeline; returns the rewritten stream, the (vreg,
    register-file offset) promotion list and the pass statistics. *)
-let run ?(max_regs = 4) (instrs : instr array) :
+let run ?(max_regs = 4) ?(classify = fun _ -> Effects.C_clobber) (instrs : instr array) :
     instr array * (int * int) list * stats =
   let instrs, promoted, loads_rw, stores_rw, dirty =
-    promote_regs ~max_regs instrs
+    promote_regs ~max_regs ~classify instrs
   in
   let promoted_offs = Hashtbl.create 8 in
   List.iter (fun (_, off) -> Hashtbl.replace promoted_offs off ()) promoted;

@@ -29,10 +29,16 @@ type stats = {
 val empty_stats : stats
 val add_stats : stats -> stats -> stats
 
-(** [run ?max_regs instrs] rewrites a region stream; returns the new
-    stream, the promotion list as [(vreg, register-file byte offset)]
-    pairs, and the pass statistics.  [max_regs] (default 4) bounds the
-    number of promoted offsets so register pressure stays below the
-    host's allocatable set. *)
+(** [run ?max_regs ?classify instrs] rewrites a region stream; returns
+    the new stream, the promotion list as [(vreg, register-file byte
+    offset)] pairs, and the pass statistics.  [max_regs] (default 4)
+    bounds the number of promoted offsets so register pressure stays
+    below the host's allocatable set.  [classify] (default: every
+    helper is a clobber) lets calls to helpers that cannot observe the
+    register file ({!Effects.C_pure}) skip the write-back/reload
+    barrier. *)
 val run :
-  ?max_regs:int -> Hir.instr array -> Hir.instr array * (int * int) list * stats
+  ?max_regs:int ->
+  ?classify:(int -> Effects.helper_kind) ->
+  Hir.instr array ->
+  Hir.instr array * (int * int) list * stats

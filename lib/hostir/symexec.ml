@@ -44,9 +44,9 @@ type atom =
   | A_pc (* initial guest PC *)
   | A_slot of int (* initial translation-frame slot *)
 
-(* How a helper call affects symbolic state; assigned by a classifier
-   supplied by the caller (lib/core knows the helper table layout). *)
-type helper_kind =
+(* How a helper call affects symbolic state; the shared classification
+   lives in Effects (one source of truth with Promote and Absint). *)
+type helper_kind = Effects.helper_kind =
   | C_pure (* deterministic value of its arguments; not traced *)
   | C_read (* reads environment, writes nothing (coproc_read) *)
   | C_as_switch (* address-space switch: writes the AS tag preg *)

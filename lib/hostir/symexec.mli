@@ -13,9 +13,10 @@ type atom =
   | A_pc  (** initial guest PC *)
   | A_slot of int  (** initial translation-frame slot *)
 
-(** How a helper call affects symbolic state (classifier supplied by the
-    caller, who knows the helper table layout). *)
-type helper_kind =
+(** How a helper call affects symbolic state; the shared classification
+    table lives in {!Effects} (one source of truth with {!Promote} and
+    {!Absint}). *)
+type helper_kind = Effects.helper_kind =
   | C_pure  (** deterministic value of its arguments; not traced *)
   | C_read  (** reads environment, writes no guest state (coproc_read) *)
   | C_as_switch  (** address-space switch: writes the AS tag preg *)

@@ -128,179 +128,23 @@ let check_exn ?(what = "translation") ?original (r : Regalloc.result) =
    observes the register file at helper calls, faults ([Mem_ld]/
    [Mem_st]), [Poll] exits and [Exit]s.  Helper calls must be preceded
    by explicit flushes; the other points are covered by the stream's
-   [Wbmap], which the executor applies before the state escapes.  This
-   checker runs a forward may-analysis over the region CFG tracking two
-   facts per promoted vreg:
+   [Wbmap], which the executor applies before the state escapes.
 
-   - dirty: the vreg holds a newer value than its register-file slot
-     (set by any definition, cleared by a write-back or a reload);
-   - stale: the slot may hold a newer value than the vreg (set by a
-     helper call, cleared by a reload or a redefinition).
+   The forward may-analysis over the region CFG (dirty / stale facts
+   per promoted vreg) lives in the shared dataflow framework
+   ([Absint.check_wb]); this is the thin violation-shaped front door.
+   [classify] makes helpers that cannot observe the register file
+   (pure softfloat) transparent to the discipline; by default every
+   helper is a barrier, which is what the promoter emits unless told
+   otherwise. *)
 
-   and rejects streams where a fault point, safepoint or exit is
-   reachable with a dirty vreg missing its writeback entry, a helper
-   call is reachable with any dirty vreg, a stale vreg is used or
-   written back, or the [Wbmap] itself names a non-promoted vreg or the
-   wrong offset. *)
-
-module Is = Set.Make (Int)
-
-let check_wb ~(promoted : (int * int) list) (instrs : instr array) :
+let check_wb ?classify ~(promoted : (int * int) list) (instrs : instr array) :
     violation list =
-  let violations = ref [] in
-  let add ?index fmt =
-    Printf.ksprintf (fun msg -> violations := { v_index = index; v_msg = msg } :: !violations) fmt
-  in
-  let off_of_pv = Hashtbl.create 8 and pv_of_off = Hashtbl.create 8 in
-  List.iter
-    (fun (pv, off) ->
-      Hashtbl.replace off_of_pv pv off;
-      Hashtbl.replace pv_of_off off pv)
-    promoted;
-  let all_pvs = List.fold_left (fun s (pv, _) -> Is.add pv s) Is.empty promoted in
-  (* The stream's writeback map, checked for well-formedness. *)
-  let wb_covered = Hashtbl.create 8 in
-  let n_maps = ref 0 in
-  Array.iteri
-    (fun idx ins ->
-      match ins with
-      | Wbmap m ->
-        incr n_maps;
-        if !n_maps > 1 then add ~index:idx "multiple writeback maps in one stream";
-        Array.iter
-          (fun (op, off) ->
-            match op with
-            | Vreg pv when Hashtbl.find_opt off_of_pv pv = Some off ->
-              Hashtbl.replace wb_covered pv ()
-            | Vreg pv ->
-              add ~index:idx
-                "stale writeback entry: %%v%d -> 0x%x does not match a promoted register"
-                pv off
-            | _ ->
-              add ~index:idx "writeback entry for non-virtual operand %s"
-                (string_of_operand op))
-          m
-      | _ -> ())
-    instrs;
-  let covered pv = Hashtbl.mem wb_covered pv in
-  if promoted = [] then List.rev !violations
-  else begin
-    let cfg = Region.build_cfg instrs in
-    let nb = cfg.Region.c_nb in
-    let in_dirty = Array.make nb Is.empty and in_stale = Array.make nb Is.empty in
-    (* Transfer over one block; [report] enables violation emission on
-       the final sweep (the fixpoint iterations stay silent). *)
-    let flow ~report b (dirty0, stale0) =
-      let dirty = ref dirty0 and stale = ref stale0 in
-      let add ?index fmt =
-        if report then add ?index fmt
-        else Printf.ksprintf (fun _ -> ()) fmt
-      in
-      let check_escape idx what =
-        Is.iter
-          (fun pv ->
-            if not (covered pv) then
-              add ~index:idx
-                "%s reachable while %%v%d (rf 0x%x) is dirty with no writeback entry"
-                what pv (Hashtbl.find off_of_pv pv))
-          !dirty;
-        Is.iter
-          (fun pv ->
-            if covered pv then
-              add ~index:idx
-                "%s reachable while %%v%d (rf 0x%x) is stale: its writeback entry would clobber newer state"
-                what pv (Hashtbl.find off_of_pv pv))
-          !stale
-      in
-      for idx = cfg.Region.c_starts.(b) to cfg.Region.c_block_end b - 1 do
-        let ins = instrs.(idx) in
-        (* A use of a stale vreg reads a value the register file has
-           since overtaken. *)
-        List.iter
-          (fun o ->
-            match o with
-            | Vreg v when Is.mem v !stale ->
-              add ~index:idx "use of stale promoted register %%v%d" v
-            | _ -> ())
-          (match ins with Wbmap _ -> [] | _ -> sources ins);
-        (match ins with
-         | Ldrf (d, off) when Hashtbl.mem pv_of_off off ->
-           let pv = Hashtbl.find pv_of_off off in
-           (match d with
-            | Vreg v when v = pv ->
-              dirty := Is.remove pv !dirty;
-              stale := Is.remove pv !stale
-            | _ ->
-              if Is.mem pv !dirty then
-                add ~index:idx
-                  "read of promoted rf offset 0x%x bypasses dirty cache register %%v%d"
-                  off pv)
-         | Strf (off, s) when Hashtbl.mem pv_of_off off ->
-           let pv = Hashtbl.find pv_of_off off in
-           (match s with
-            | Vreg v when v = pv -> dirty := Is.remove pv !dirty
-            | _ ->
-              add ~index:idx
-                "write to promoted rf offset 0x%x bypasses cache register %%v%d"
-                off pv)
-         | Call _ ->
-           Is.iter
-             (fun pv ->
-               add ~index:idx
-                 "helper call reachable while %%v%d (rf 0x%x) is dirty"
-                 pv (Hashtbl.find off_of_pv pv))
-             !dirty;
-           (* Helpers may rewrite the register file: every cached value
-              is stale until reloaded. *)
-           dirty := Is.empty;
-           stale := all_pvs
-         | Mem_ld _ | Mem_st _ -> check_escape idx "faulting memory access"
-         | Poll _ -> check_escape idx "safepoint"
-         | Exit _ -> check_escape idx "region exit"
-         | _ -> ());
-        (match ins with
-         | Ldrf (Vreg v, off)
-           when Hashtbl.find_opt off_of_pv v = Some off -> ()
-         | _ ->
-           (match dest ins with
-            | Some (Vreg d) when Is.mem d all_pvs ->
-              (* A redefinition makes the vreg the authoritative (dirty)
-                 value for its slot. *)
-              dirty := Is.add d !dirty;
-              stale := Is.remove d !stale
-            | _ -> ()))
-      done;
-      (!dirty, !stale)
-    in
-    (* Worklist fixpoint with union join (may-dirty, may-stale). *)
-    let work = Queue.create () in
-    Queue.add 0 work;
-    let queued = Array.make nb false in
-    queued.(0) <- true;
-    while not (Queue.is_empty work) do
-      let b = Queue.pop work in
-      queued.(b) <- false;
-      let out_d, out_s = flow ~report:false b (in_dirty.(b), in_stale.(b)) in
-      List.iter
-        (fun s ->
-          let d' = Is.union in_dirty.(s) out_d and s' = Is.union in_stale.(s) out_s in
-          if not (Is.equal d' in_dirty.(s) && Is.equal s' in_stale.(s)) then begin
-            in_dirty.(s) <- d';
-            in_stale.(s) <- s';
-            if not queued.(s) then begin
-              queued.(s) <- true;
-              Queue.add s work
-            end
-          end)
-        (cfg.Region.c_succs b)
-    done;
-    for b = 0 to nb - 1 do
-      ignore (flow ~report:true b (in_dirty.(b), in_stale.(b)))
-    done;
-    List.rev !violations
-  end
+  List.map
+    (fun f -> { v_index = f.Absint.f_index; v_msg = f.Absint.f_msg })
+    (Absint.check_wb ?classify ~promoted instrs)
 
-let check_wb_exn ?(what = "region") ~promoted instrs =
-  match check_wb ~promoted instrs with
+let check_wb_exn ?(what = "region") ?classify ~promoted instrs =
+  match check_wb ?classify ~promoted instrs with
   | [] -> ()
   | violations -> raise (Invalid (what, violations))

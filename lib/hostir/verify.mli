@@ -36,9 +36,23 @@ val check_exn : ?what:string -> ?original:Hir.instr array -> Regalloc.result -> 
     register-file write) is used, written back, or covered by the map
     at an escape point; a promoted offset is accessed around its cache
     register; or the map itself names a non-promoted vreg or the wrong
-    offset. *)
-val check_wb : promoted:(int * int) list -> Hir.instr array -> violation list
+    offset.
+
+    The dirty/stale may-analysis is {!Absint.check_wb}; [classify]
+    makes helpers that cannot observe the register file ([C_pure])
+    transparent to the discipline, and defaults to treating every
+    helper as a barrier. *)
+val check_wb :
+  ?classify:(int -> Effects.helper_kind) ->
+  promoted:(int * int) list ->
+  Hir.instr array ->
+  violation list
 
 (** @raise Invalid (labelled [what], default ["region"]) if
     {!check_wb} is non-empty. *)
-val check_wb_exn : ?what:string -> promoted:(int * int) list -> Hir.instr array -> unit
+val check_wb_exn :
+  ?what:string ->
+  ?classify:(int -> Effects.helper_kind) ->
+  promoted:(int * int) list ->
+  Hir.instr array ->
+  unit

@@ -14,6 +14,7 @@ let () =
       Test_tiered.suite;
       Test_promote.suite;
       Test_symexec.suite;
+      Test_hostir_absint.suite;
       Test_workloads.suite;
       Test_sanitize.suite;
     ]

@@ -56,12 +56,11 @@ let test_promotion_exactly_once () =
     "region executed member blocks" true
     (e.CE.stats.CE.region_block_execs >= 1000)
 
-let test_smc_invalidates_region () =
-  (* Make a call-snippet hot enough to sit inside a region, patch it in
-     place, and run it hot again: the write must demote the region (SMC
-     invalidation) and the re-formed region must execute the new code. *)
-  let image =
-    bare_metal (fun a ->
+(* A call-snippet made hot enough to sit inside a region, patched in
+   place, then run hot again: the write must demote the region (SMC
+   invalidation) and the re-formed region must execute the new code. *)
+let smc_image () =
+  bare_metal (fun a ->
         A.movz a A.x20 0;
         A.adr a A.x21 "snippet";
         A.movz a A.x19 8;
@@ -86,7 +85,9 @@ let test_smc_invalidates_region () =
         A.movz a A.x0 1;
         A.ret a;
         A.label a "done")
-  in
+
+let test_smc_invalidates_region () =
+  let image = smc_image () in
   let config = { CE.default_config with hot_threshold = 2 } in
   let code, e = run ~config image in
   Alcotest.(check int) "patched snippet observed hot (8*1 + 8*2)" 24 code;
@@ -96,6 +97,24 @@ let test_smc_invalidates_region () =
     (e.CE.stats.CE.promotions >= 2);
   let code_u, _ = run ~config:untiered image in
   Alcotest.(check int) "untiered agrees" code_u code
+
+let test_smc_reanalysis () =
+  (* Staleness audit for the analysis layer: abstract facts are consumed
+     at translate time and never cached per-translation, so an SMC
+     invalidation has nothing to drop — the demoted code's re-formed
+     region must be re-analyzed from scratch (the region counter keeps
+     growing past the first formation) and every obligation must still
+     prove. *)
+  let config =
+    { CE.default_config with hot_threshold = 2; analyze_translations = true }
+  in
+  let code, e = run ~config (smc_image ()) in
+  Alcotest.(check int) "exit unchanged under analysis" 24 code;
+  Alcotest.(check bool) "SMC invalidation fired" true (e.CE.stats.CE.smc_invalidations > 0);
+  Alcotest.(check bool) "re-formed region re-analyzed" true (e.CE.stats.CE.regions_analyzed >= 2);
+  Alcotest.(check bool) "tier-0 blocks analyzed" true (e.CE.stats.CE.blocks_analyzed > 0);
+  Alcotest.(check int) "no obligation findings across demote/re-form" 0
+    e.CE.stats.CE.obligation_findings
 
 let test_tier0_cycle_identity () =
   (* With the threshold unreachable, the tiering machinery must be free:
@@ -189,6 +208,8 @@ let suite =
     [
       Alcotest.test_case "promotion exactly once" `Quick test_promotion_exactly_once;
       Alcotest.test_case "SMC demotes and re-forms regions" `Quick test_smc_invalidates_region;
+      Alcotest.test_case "SMC re-translation re-analyzes, no stale facts" `Quick
+        test_smc_reanalysis;
       Alcotest.test_case "tier-0-only cycle identity" `Quick test_tier0_cycle_identity;
       QCheck_alcotest.to_alcotest prop_region_vs_block;
     ] )
