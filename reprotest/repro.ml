@@ -1,0 +1,30 @@
+module Hir = Hostir.Hir
+module A = Hostir.Absint
+module Ef = Hostir.Effects
+
+let v n = Hir.Vreg n
+
+let () =
+  let stream =
+    [|
+      Hir.Label 0;
+      Hir.Mov (v 0, Hir.Imm 5L);        (* promoted vreg gets a constant -> dirty *)
+      Hir.Strf (8, v 0);                (* promoter's flush before the call *)
+      Hir.Call (Ef.h_coproc_read, [||], Some (v 5)); (* C_read barrier *)
+      Hir.Ldrf (v 0, 8);                (* promoter's reload *)
+      Hir.Call (Ef.h_coproc_read, [||], Some (v 6)); (* second barrier; v0 clean, no flush *)
+      Hir.Ldrf (v 0, 8);
+      Hir.Exit 0;
+      Hir.Label 1;
+      Hir.Wbmap [| (v 0, 8) |];
+    |]
+  in
+  let promoted = [ (0, 8) ] in
+  let fs0 = A.check_wb ~classify:Ef.classify ~promoted stream in
+  Printf.printf "original findings: %d\n" (List.length fs0);
+  List.iter (fun f -> print_endline ("  " ^ A.finding_to_string f)) fs0;
+  let out, ss = A.simplify ~classify:Ef.classify stream in
+  Printf.printf "consts folded: %d\n" ss.A.consts_folded;
+  let fs1 = A.check_wb ~classify:Ef.classify ~promoted out in
+  Printf.printf "simplified findings: %d\n" (List.length fs1);
+  List.iter (fun f -> print_endline ("  " ^ A.finding_to_string f)) fs1
