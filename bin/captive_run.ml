@@ -9,6 +9,8 @@
      captive_run mmucheck --json --guard
      captive_run bench --quick --json
      captive_run validate --json
+     captive_run relocheck --json
+     captive_run aot --json
 
    `spec` runs a SPEC CPU2006 proxy under the mini guest OS, `simbench`
    one SimBench category on both engines, `boot` a demo user program on
@@ -19,10 +21,16 @@
    model, `mmucheck` runs MMU-stress workloads on both guests with the
    online shadow-oracle sanitizer (page tables, TLB, frame accounting,
    code-cache W^X, ring transitions) enabled, `bench` is the CI
-   perf-regression gate against bench/baseline.json, and `validate`
+   perf-regression gate against bench/baseline.json, `validate`
    symbolically checks every translation formed while booting the ARM
    and RISC-V workloads at O1-O4 against an unoptimized reference
-   emission (Hostir.Equiv). *)
+   emission (Hostir.Equiv), `relocheck` certifies every translation
+   relocation-clean (Hostir.Reloc: no absolute host addresses, numbered
+   exits only, environment references in bounds, deterministic
+   encoding), and `aot` is the persistent-cache warm-boot gate: each
+   quick-bench workload runs cold then warm against the same on-disk
+   AOT cache, and the warm boot must spend <= 10% of the cold boot's
+   translate cycles with bit-identical guest-visible execution. *)
 
 open Cmdliner
 
@@ -598,8 +606,15 @@ let bench_row_json r =
      e.g. the analysis phase is attributable from the JSON alone.  The
      baseline gate itself still reads only captive_cycles and speedup. *)
   let ms t = 1000. *. t in
+  (* translate_cpgi: simulated translate cycles per guest instruction
+     translated — the ROADMAP's translation-cost metric, and what the
+     AOT warm-boot gate drives toward zero. *)
+  let cpgi =
+    float_of_int s.Captive.Engine.translate_cycles
+    /. float_of_int (max 1 s.Captive.Engine.guest_instrs_translated)
+  in
   Printf.sprintf
-    "{\"kind\":\"workload\",\"name\":%s,\"exit_ok\":%b,\"captive_cycles\":%d,\"captive_untiered_cycles\":%d,\"qemu_cycles\":%d,\"speedup\":%.4f,\"tiered_gain_pct\":%.2f,\"host_instrs\":%d,\"host_instrs_untiered\":%d,\"promotions\":%d,\"regions\":%d,\"region_blocks\":%d,\"region_entries\":%d,\"region_block_execs\":%d,\"region_dead_stores\":%d,\"rf_loads\":%d,\"rf_stores\":%d,\"rf_promoted\":%d,\"region_wb_entries\":%d,\"mem_loads_elided\":%d,\"stores_forwarded\":%d,\"absint_branches_folded\":%d,\"absint_consts_folded\":%d,\"absint_masks_dropped\":%d,\"absint_divs_reduced\":%d,\"absint_dead_deleted\":%d,\"t_decode_ms\":%.2f,\"t_translate_ms\":%.2f,\"t_regalloc_ms\":%.2f,\"t_encode_ms\":%.2f,\"t_validate_ms\":%.2f,\"t_analyze_ms\":%.2f}"
+    "{\"kind\":\"workload\",\"name\":%s,\"exit_ok\":%b,\"captive_cycles\":%d,\"captive_untiered_cycles\":%d,\"qemu_cycles\":%d,\"speedup\":%.4f,\"tiered_gain_pct\":%.2f,\"host_instrs\":%d,\"host_instrs_untiered\":%d,\"promotions\":%d,\"regions\":%d,\"region_blocks\":%d,\"region_entries\":%d,\"region_block_execs\":%d,\"region_dead_stores\":%d,\"rf_loads\":%d,\"rf_stores\":%d,\"rf_promoted\":%d,\"region_wb_entries\":%d,\"mem_loads_elided\":%d,\"stores_forwarded\":%d,\"absint_branches_folded\":%d,\"absint_consts_folded\":%d,\"absint_masks_dropped\":%d,\"absint_divs_reduced\":%d,\"absint_dead_deleted\":%d,\"translate_cycles\":%d,\"translate_cpgi\":%.2f,\"t_decode_ms\":%.2f,\"t_translate_ms\":%.2f,\"t_regalloc_ms\":%.2f,\"t_encode_ms\":%.2f,\"t_validate_ms\":%.2f,\"t_analyze_ms\":%.2f}"
     (Dbt_util.Stats.json_string r.br_name)
     r.br_exit_ok r.br_tiered r.br_untiered r.br_qemu r.br_speedup r.br_gain_pct r.br_hinstrs
     r.br_hinstrs_u s.Captive.Engine.promotions s.Captive.Engine.regions_formed
@@ -609,7 +624,8 @@ let bench_row_json r =
     s.Captive.Engine.mem_loads_elided s.Captive.Engine.stores_forwarded
     s.Captive.Engine.absint_branches_folded s.Captive.Engine.absint_consts_folded
     s.Captive.Engine.absint_masks_dropped s.Captive.Engine.absint_divs_reduced
-    s.Captive.Engine.absint_dead_deleted (ms s.Captive.Engine.t_decode)
+    s.Captive.Engine.absint_dead_deleted s.Captive.Engine.translate_cycles cpgi
+    (ms s.Captive.Engine.t_decode)
     (ms s.Captive.Engine.t_translate) (ms s.Captive.Engine.t_regalloc)
     (ms s.Captive.Engine.t_encode) (ms s.Captive.Engine.t_validate)
     (ms s.Captive.Engine.t_analyze)
@@ -1021,6 +1037,296 @@ let analyze_cmd =
              RISC-V workloads at O1-O4.")
     Term.(ret (const run $ json $ workload $ level))
 
+(* --- relocheck ----------------------------------------------------------------------- *)
+
+(* Relocation-cleanliness sweep (Hostir.Reloc): the same workload matrix
+   as `validate`/`analyze`, run with `reloc_check` enabled.  Every tier-0
+   block and every region unit the engine forms is decoded back from its
+   encoded bytes and classified operand by operand — no absolute host
+   addresses in immediates (abs-host-addr), control leaves only through
+   numbered chain/exit sites (unnumbered-exit), environment-relative
+   references in bounds (env-immediate), helper references by stable
+   symbol id (helper-by-addr) — and audited for encoding determinism:
+   decode -> re-encode must reproduce the byte stream, and re-encoding
+   the allocated instruction stream must too (nondet-encoding).  Clean
+   programs receive the certificate the persistent AOT cache consumes;
+   a single finding at any level is a hard failure, because a flagged
+   translation must never be persisted. *)
+
+let relocheck_cmd =
+  let json =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Emit one counter object per workload/level pair plus a summary line as \
+                 JSON on stdout; relocation findings go to stderr.")
+  in
+  let workload =
+    Arg.(value & opt string "all" & info [ "w"; "workload" ] ~docv:"NAME"
+           ~doc:"Restrict to one workload (armv8-a-boot, armv8-a-mmu, rv64im-mmu or all).")
+  in
+  let level =
+    Arg.(value & opt int 0 & info [ "l"; "level" ] ~docv:"N"
+           ~doc:"Restrict to one offline optimization level (1-4; 0 sweeps all).")
+  in
+  let run json workload level =
+    let failures = ref 0 in
+    let summary = Counters.create () in
+    let say fmt = if json then Printf.ifprintf stdout fmt else Printf.printf fmt in
+    let shout line = if json then prerr_endline line else print_endline line in
+    let config =
+      { Captive.Engine.default_config with Captive.Engine.reloc_check = true }
+    in
+    let exit_of = function
+      | Captive.Engine.Poweroff c -> c
+      | Captive.Engine.Cycle_limit -> -2
+      | Captive.Engine.Block_limit -> -3
+    in
+    let boot_user = demo_user () in
+    let spec name = (Workloads.Spec.find name).Workloads.Spec.build ~scale:1 in
+    let workloads =
+      List.filter
+        (fun (n, _, _) -> workload = "all" || workload = n)
+        [ ("armv8-a-boot", `Arm_user boot_user, 0);
+          ("armv8-a-mmu", `Arm_user (Workloads.Mmu_stress.arm_user ()), Workloads.Mmu_stress.arm_expected_exit);
+          ("armv8-a-libquantum", `Arm_user (spec "462.libquantum"), 8);
+          ("armv8-a-mcf", `Arm_user (spec "429.mcf"), 0);
+          ("armv8-a-perlbench", `Arm_user (spec "400.perlbench"), 212);
+          ("armv8-a-sjeng", `Arm_user (spec "458.sjeng"), 35);
+          ("armv8-a-gobmk", `Arm_user (spec "445.gobmk"), 64);
+          ("armv8-a-omnetpp", `Arm_user (spec "471.omnetpp"), 220);
+          ("armv8-a-xalancbmk", `Arm_user (spec "483.xalancbmk"), 0);
+          ("rv64im-mmu", `Riscv_image, Workloads.Mmu_stress.riscv_expected_exit);
+        ]
+    in
+    let levels = List.filter (fun l -> level = 0 || level = l) [ 1; 2; 3; 4 ] in
+    say "relocheck: %d workload(s) x %d level(s) with relocation-cleanliness certification\n%!"
+      (List.length workloads) (List.length levels);
+    List.iter
+      (fun level ->
+        List.iter
+          (fun (name, kind, expected) ->
+            let e, code =
+              match kind with
+              | `Arm_user user ->
+                let e =
+                  Captive.Engine.create ~config (Guest_arm.Arm.ops ~opt_level:level ())
+                in
+                Workloads.Kernel.install (Workloads.Kernel.captive_target e) ~user;
+                (e, exit_of (Captive.Engine.run ~max_cycles:2_000_000_000 e))
+              | `Riscv_image ->
+                let e =
+                  Captive.Engine.create ~config (Guest_riscv.Riscv.ops ~opt_level:level ())
+                in
+                Captive.Engine.load_image e ~addr:Workloads.Mmu_stress.riscv_entry
+                  (Workloads.Mmu_stress.riscv_image ());
+                Captive.Engine.set_entry e Workloads.Mmu_stress.riscv_entry;
+                (e, exit_of (Captive.Engine.run ~max_cycles:2_000_000_000 e))
+            in
+            let s = e.Captive.Engine.stats in
+            let nb = s.Captive.Engine.blocks_certified in
+            let nr = s.Captive.Engine.regions_certified in
+            let nf = s.Captive.Engine.reloc_findings in
+            Counters.bump summary "programs certified" ~by:(nb + nr);
+            Counters.bump summary "blocks certified" ~by:nb;
+            Counters.bump summary "regions certified" ~by:nr;
+            Counters.bump summary "relocation findings" ~by:nf;
+            if nf > 0 then begin
+              failures := !failures + nf;
+              List.iter
+                (fun (what, detail) ->
+                  shout (Printf.sprintf "  %s O%d %s\n    %s" name level what detail))
+                (List.rev (Captive.Engine.reloc_log e))
+            end;
+            if code <> expected then begin
+              incr failures;
+              shout (Printf.sprintf "  %s O%d: exit code %d, expected %d" name level code expected)
+            end;
+            let ms = 1000. *. s.Captive.Engine.t_reloc in
+            let per = ms /. float_of_int (max 1 (nb + nr)) in
+            if json then
+              Printf.printf
+                "{\"kind\":\"workload\",\"name\":%s,\"opt_level\":%d,\"exit\":%d,\"expected\":%d,\"blocks_certified\":%d,\"regions_certified\":%d,\"findings\":%d,\"relocheck_ms\":%.1f,\"ms_per_program\":%.3f}\n"
+                (Dbt_util.Stats.json_string name)
+                level code expected nb nr nf ms per
+            else
+              say
+                "%-20s O%d: exit %d (expected %d), %5d blocks + %3d regions certified, %d finding(s), %6.1fms (%.3fms/program)\n%!"
+                name level code expected nb nr nf ms per)
+          workloads)
+      levels;
+    if json then
+      Printf.printf "{\"kind\":\"summary\",\"workloads\":%d,\"failures\":%d,\"counters\":%s}\n"
+        (List.length workloads * List.length levels)
+        !failures (Counters.to_json summary)
+    else say "\nrelocheck counters:\n%s" (Counters.report summary);
+    if !failures = 0 then begin
+      if not json then print_endline "relocheck: no findings";
+      `Ok ()
+    end
+    else `Error (false, Printf.sprintf "relocheck: %d finding(s)" !failures)
+  in
+  Cmd.v
+    (Cmd.info "relocheck"
+       ~doc:"Certify every translation formed while running the ARM and RISC-V workloads \
+             at O1-O4 relocation-clean (no absolute host addresses, numbered exits only, \
+             environment references in bounds, deterministic encoding).")
+    Term.(ret (const run $ json $ workload $ level))
+
+(* --- aot ----------------------------------------------------------------------------- *)
+
+(* Warm-boot gate for the persistent AOT translation cache.  Each
+   quick-bench workload runs twice against the same cache directory: a
+   cold boot that translates everything and persists each certified
+   translation, then a warm boot on a fresh engine that reinstalls the
+   persisted code (guest bytes verified, certificate re-checked) instead
+   of retranslating.  The gate: the warm boot must spend at most
+   --max-ratio (default 10) percent of the cold boot's simulated
+   translate cycles, guest-visible execution cycles (total minus
+   JIT-charged) must be bit-identical — translation is pure overhead, so
+   where the code came from must be invisible to the guest — exit codes
+   must match, and the warm boot must reject nothing it stored. *)
+
+let aot_cmd =
+  let json =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Emit one flat JSON object per workload plus a summary line on stdout; the \
+                 gate verdict goes to stderr.")
+  in
+  let dir =
+    Arg.(value & opt (some string) None & info [ "dir" ] ~docv:"DIR"
+           ~doc:"Cache directory root (default: _captive_aot, wiped per workload before \
+                 the cold run and removed afterwards unless --keep).")
+  in
+  let keep =
+    Arg.(value & flag & info [ "keep" ]
+           ~doc:"Keep the cache directory after the run instead of removing it.")
+  in
+  let max_ratio =
+    Arg.(value & opt float 10.0 & info [ "max-ratio" ] ~docv:"PCT"
+           ~doc:"Fail if warm-boot translate cycles exceed this percentage of cold.")
+  in
+  let run json dir keep max_ratio scale =
+    let scale =
+      if scale <> 1 then scale
+      else try int_of_string (Sys.getenv "BENCH_SCALE") with _ -> 1
+    in
+    let root = match dir with Some d -> d | None -> "_captive_aot" in
+    let say fmt = if json then Printf.ifprintf stdout fmt else Printf.printf fmt in
+    let shout line = if json then prerr_endline line else print_endline line in
+    let exit_of = function
+      | Captive.Engine.Poweroff c -> c
+      | Captive.Engine.Cycle_limit -> -2
+      | Captive.Engine.Block_limit -> -3
+    in
+    let wipe d =
+      if Sys.file_exists d && Sys.is_directory d then
+        Array.iter
+          (fun f -> if Filename.check_suffix f ".aot" then Sys.remove (Filename.concat d f))
+          (Sys.readdir d)
+    in
+    let rmdir_if_empty d =
+      if Sys.file_exists d && Sys.is_directory d && Array.length (Sys.readdir d) = 0 then
+        Sys.rmdir d
+    in
+    let failures = ref 0 in
+    say "aot: %d workloads at scale %d (cold boot stores, warm boot reloads; cache root %s)\n%!"
+      (List.length bench_quick_names) scale root;
+    let rows =
+      List.map
+        (fun name ->
+          let user = (Workloads.Spec.find name).Workloads.Spec.build ~scale in
+          let wdir = Filename.concat root name in
+          wipe wdir;
+          let boot () =
+            let config =
+              { Captive.Engine.default_config with Captive.Engine.aot_dir = Some wdir }
+            in
+            let e = Captive.Engine.create ~config (Guest_arm.Arm.ops ()) in
+            Workloads.Kernel.install (Workloads.Kernel.captive_target e) ~user;
+            let code = exit_of (Captive.Engine.run ~max_cycles:50_000_000_000 e) in
+            (e, code)
+          in
+          let e_c, code_c = boot () in
+          let e_w, code_w = boot () in
+          let sc = e_c.Captive.Engine.stats and sw = e_w.Captive.Engine.stats in
+          let tc = sc.Captive.Engine.translate_cycles in
+          let tw = sw.Captive.Engine.translate_cycles in
+          let xc = Captive.Engine.exec_cycles e_c in
+          let xw = Captive.Engine.exec_cycles e_w in
+          let ratio = 100. *. float_of_int tw /. float_of_int (max 1 tc) in
+          let ok =
+            code_c = code_w && code_c >= 0 && xc = xw && ratio <= max_ratio
+            && sw.Captive.Engine.aot_rejects = 0
+            && sw.Captive.Engine.reloc_findings = 0
+          in
+          if not ok then begin
+            incr failures;
+            if code_c <> code_w || code_c < 0 then
+              shout (Printf.sprintf "aot: %s: exit codes cold %d / warm %d" name code_c code_w);
+            if xc <> xw then
+              shout
+                (Printf.sprintf "aot: %s: guest execution cycles differ (cold %d, warm %d)"
+                   name xc xw);
+            if ratio > max_ratio then
+              shout
+                (Printf.sprintf
+                   "aot: %s: warm translate cycles %d are %.1f%% of cold %d (limit %.0f%%)"
+                   name tw ratio tc max_ratio);
+            if sw.Captive.Engine.aot_rejects > 0 then
+              shout
+                (Printf.sprintf "aot: %s: warm boot rejected %d cache entr(ies)" name
+                   sw.Captive.Engine.aot_rejects);
+            if sw.Captive.Engine.reloc_findings > 0 then begin
+              shout
+                (Printf.sprintf "aot: %s: %d relocation finding(s)" name
+                   sw.Captive.Engine.reloc_findings);
+              List.iter
+                (fun (what, detail) ->
+                  shout (Printf.sprintf "  %s %s\n    %s" name what detail))
+                (List.rev (Captive.Engine.reloc_log e_w))
+            end
+          end;
+          if json then
+            Printf.printf
+              "{\"kind\":\"workload\",\"name\":%s,\"ok\":%b,\"exit_cold\":%d,\"exit_warm\":%d,\"cold_translate_cycles\":%d,\"warm_translate_cycles\":%d,\"warm_ratio_pct\":%.2f,\"exec_cycles_cold\":%d,\"exec_cycles_warm\":%d,\"exec_identical\":%b,\"aot_stores\":%d,\"aot_hits\":%d,\"aot_misses\":%d,\"aot_rejects\":%d,\"cache_entries\":%d}\n"
+              (Dbt_util.Stats.json_string name)
+              ok code_c code_w tc tw ratio xc xw (xc = xw) sc.Captive.Engine.aot_stores
+              sw.Captive.Engine.aot_hits sw.Captive.Engine.aot_misses
+              sw.Captive.Engine.aot_rejects
+              (Captive.Engine.aot_entry_count e_w)
+          else
+            say
+              "%-16s cold translate %9d  warm %7d (%5.1f%%)  exec %11d %s  stored %3d, reloaded %3d%s\n"
+              name tc tw ratio xc
+              (if xc = xw then "==" else "!=")
+              sc.Captive.Engine.aot_stores sw.Captive.Engine.aot_hits
+              (if ok then "" else "  FAIL");
+          if not keep then begin
+            wipe wdir;
+            rmdir_if_empty wdir
+          end;
+          (name, ok))
+        bench_quick_names
+    in
+    if not keep then rmdir_if_empty root;
+    if json then
+      Printf.printf "{\"kind\":\"summary\",\"workloads\":%d,\"scale\":%d,\"failures\":%d,\"gate\":%s}\n"
+        (List.length rows) scale !failures
+        (Dbt_util.Stats.json_string (if !failures = 0 then "pass" else "fail"));
+    shout
+      (Printf.sprintf "aot: warm-boot gate (<= %.0f%% of cold translate cycles, \
+                       bit-identical execution): %s"
+         max_ratio
+         (if !failures = 0 then "PASS" else "FAIL"));
+    if !failures = 0 then `Ok ()
+    else `Error (false, Printf.sprintf "aot: %d gate failure(s)" !failures)
+  in
+  Cmd.v
+    (Cmd.info "aot"
+       ~doc:"Run each quick-bench workload cold then warm against the same persistent AOT \
+             cache and gate: warm translate cycles <= 10% of cold, guest execution cycles \
+             bit-identical, nothing rejected.")
+    Term.(ret (const run $ json $ dir $ keep $ max_ratio $ scale_arg))
+
 let () =
   let doc = "Retargetable system-level DBT hypervisor (Captive reproduction)" in
   let man =
@@ -1035,10 +1341,12 @@ let () =
       `Noblank; `P "$(mname) $(b,bench) [$(b,--quick)] [$(b,--json)] [$(b,--baseline) $(i,FILE)]";
       `Noblank; `P "$(mname) $(b,validate) [$(b,--json)] [$(b,--every) $(i,N)]";
       `Noblank; `P "$(mname) $(b,analyze) [$(b,--json)] [$(b,--workload) $(i,NAME)] [$(b,--level) $(i,N)]";
+      `Noblank; `P "$(mname) $(b,relocheck) [$(b,--json)] [$(b,--workload) $(i,NAME)] [$(b,--level) $(i,N)]";
+      `Noblank; `P "$(mname) $(b,aot) [$(b,--json)] [$(b,--dir) $(i,DIR)] [$(b,--keep)] [$(b,--max-ratio) $(i,PCT)]";
     ]
   in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "captive_run" ~doc ~man)
           [ spec_cmd; simbench_cmd; boot_cmd; info_cmd; ssa_cmd; lint_cmd; mmucheck_cmd;
-            bench_cmd; validate_cmd; analyze_cmd ]))
+            bench_cmd; validate_cmd; analyze_cmd; relocheck_cmd; aot_cmd ]))

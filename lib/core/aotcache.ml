@@ -1,0 +1,242 @@
+(* Disk-backed AOT translation cache: the payoff consumer of the
+   relocation-cleanliness certificates (Hostir.Reloc).
+
+   A translation that Reloc certified is position- and environment-
+   independent, so its encoded bytes can be persisted and reinstalled
+   into a different boot's code cache with only the numbered chain/exit
+   sites re-bound (the engine allocates a fresh [t_exits] array; the
+   byte stream itself needs no patching — that is exactly what the
+   certificate proves).  Entries are keyed by the certificate tuple:
+   guest content (verified byte-for-byte against guest memory at lookup
+   time), MMU regime (el + mmu-on), and the optimisation configuration
+   (a signature over every config field that can change generated code).
+
+   Trust model: the cache directory is data, not code.  Nothing is
+   installed from disk without (a) the guest source bytes matching the
+   bytes currently in guest memory, (b) the stored content hash matching
+   a re-hash of the stored host code, and (c) a full re-run of
+   [Reloc.certify] over the loaded bytes — a corrupted or hand-edited
+   entry is rejected and counted, never executed. *)
+
+let magic = "CAOT1\n"
+
+type entry = {
+  e_kind : int; (* 0 = tier-0 block, 1 = region unit *)
+  e_va : int64; (* head VA the code was translated from *)
+  e_pa : int64; (* head PA (content identity of the placement) *)
+  e_el : int;
+  e_mmu : bool;
+  e_cfg : int64; (* optimisation-config signature *)
+  e_members : (int64 * int) array; (* (member va, guest code bytes) *)
+  e_guest : bytes; (* member guest bytes, concatenated, for verification *)
+  e_n_slots : int;
+  e_n_exits : int; (* numbered chain/exit sites to re-bind on install *)
+  e_n_guest : int; (* guest instructions covered *)
+  e_n_host : int; (* host instructions in the stream *)
+  e_code : bytes; (* the certified encoded translation *)
+  e_hash : int64; (* Reloc.hash64 of [e_code] *)
+}
+
+type stats = {
+  mutable loaded : int; (* entries read from disk at open *)
+  mutable malformed : int; (* unreadable files skipped at open *)
+}
+
+type t = {
+  dir : string;
+  index : (int * int64 * int64 * int * bool * int64, entry list ref) Hashtbl.t;
+  stats : stats;
+}
+
+let key_of e = (e.e_kind, e.e_va, e.e_pa, e.e_el, e.e_mmu, e.e_cfg)
+
+(* --- serialization (explicit little-endian binary, no Marshal) ---------------- *)
+
+let write_entry (buf : Buffer.t) (e : entry) =
+  Buffer.add_string buf magic;
+  Buffer.add_uint8 buf e.e_kind;
+  Buffer.add_int64_le buf e.e_va;
+  Buffer.add_int64_le buf e.e_pa;
+  Buffer.add_uint8 buf e.e_el;
+  Buffer.add_uint8 buf (if e.e_mmu then 1 else 0);
+  Buffer.add_int64_le buf e.e_cfg;
+  Buffer.add_uint16_le buf (Array.length e.e_members);
+  Array.iter
+    (fun (va, len) ->
+      Buffer.add_int64_le buf va;
+      Buffer.add_int32_le buf (Int32.of_int len))
+    e.e_members;
+  Buffer.add_int32_le buf (Int32.of_int (Bytes.length e.e_guest));
+  Buffer.add_bytes buf e.e_guest;
+  Buffer.add_int32_le buf (Int32.of_int e.e_n_slots);
+  Buffer.add_int32_le buf (Int32.of_int e.e_n_exits);
+  Buffer.add_int32_le buf (Int32.of_int e.e_n_guest);
+  Buffer.add_int32_le buf (Int32.of_int e.e_n_host);
+  Buffer.add_int32_le buf (Int32.of_int (Bytes.length e.e_code));
+  Buffer.add_bytes buf e.e_code;
+  Buffer.add_int64_le buf e.e_hash
+
+exception Malformed of string
+
+let read_entry (b : bytes) : entry =
+  let pos = ref 0 in
+  let len = Bytes.length b in
+  let need n = if !pos + n > len then raise (Malformed "truncated entry") in
+  let u8 () =
+    need 1;
+    let v = Bytes.get_uint8 b !pos in
+    incr pos;
+    v
+  in
+  let u16 () =
+    need 2;
+    let v = Bytes.get_uint16_le b !pos in
+    pos := !pos + 2;
+    v
+  in
+  let i32 () =
+    need 4;
+    let v = Int32.to_int (Bytes.get_int32_le b !pos) in
+    pos := !pos + 4;
+    if v < 0 then raise (Malformed "negative length field");
+    v
+  in
+  let i64 () =
+    need 8;
+    let v = Bytes.get_int64_le b !pos in
+    pos := !pos + 8;
+    v
+  in
+  let blob n =
+    need n;
+    let v = Bytes.sub b !pos n in
+    pos := !pos + n;
+    v
+  in
+  let m = String.length magic in
+  need m;
+  if Bytes.sub_string b 0 m <> magic then raise (Malformed "bad magic");
+  pos := m;
+  let e_kind = u8 () in
+  if e_kind > 1 then raise (Malformed "bad kind");
+  let e_va = i64 () in
+  let e_pa = i64 () in
+  let e_el = u8 () in
+  let e_mmu = u8 () <> 0 in
+  let e_cfg = i64 () in
+  let n_members = u16 () in
+  let e_members =
+    Array.init n_members (fun _ ->
+        let va = i64 () in
+        let l = i32 () in
+        (va, l))
+  in
+  let e_guest = blob (i32 ()) in
+  if Bytes.length e_guest <> Array.fold_left (fun a (_, l) -> a + l) 0 e_members then
+    raise (Malformed "member lengths disagree with guest blob");
+  let e_n_slots = i32 () in
+  let e_n_exits = i32 () in
+  let e_n_guest = i32 () in
+  let e_n_host = i32 () in
+  let e_code = blob (i32 ()) in
+  let e_hash = i64 () in
+  if !pos <> len then raise (Malformed "trailing bytes");
+  if not (Int64.equal (Hostir.Reloc.hash64 e_code) e_hash) then
+    raise (Malformed "content hash mismatch");
+  {
+    e_kind;
+    e_va;
+    e_pa;
+    e_el;
+    e_mmu;
+    e_cfg;
+    e_members;
+    e_guest;
+    e_n_slots;
+    e_n_exits;
+    e_n_guest;
+    e_n_host;
+    e_code;
+    e_hash;
+  }
+
+(* One file per entry, named by key + content so distinct code for the
+   same site coexists; the hash covers everything identity-bearing. *)
+let filename_of (e : entry) =
+  let b = Buffer.create 64 in
+  Buffer.add_int64_le b e.e_va;
+  Buffer.add_int64_le b e.e_pa;
+  Buffer.add_uint8 b e.e_kind;
+  Buffer.add_uint8 b e.e_el;
+  Buffer.add_uint8 b (if e.e_mmu then 1 else 0);
+  Buffer.add_int64_le b e.e_cfg;
+  Buffer.add_int64_le b (Hostir.Reloc.hash64 e.e_guest);
+  Printf.sprintf "%016Lx-%016Lx.aot" (Hostir.Reloc.hash64 (Buffer.to_bytes b)) e.e_hash
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "/" && dir <> "." && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let add_index t e =
+  let k = key_of e in
+  match Hashtbl.find_opt t.index k with
+  | Some l -> if not (List.exists (fun e' -> Bytes.equal e'.e_code e.e_code) !l) then l := e :: !l
+  | None -> Hashtbl.replace t.index k (ref [ e ])
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      let b = Bytes.create n in
+      really_input ic b 0 n;
+      b)
+
+(* Open (creating if needed) a cache directory and load every entry into
+   the in-memory index.  Unreadable or corrupted files are counted and
+   skipped; they are re-verified again at install time anyway. *)
+let open_dir (dir : string) : t =
+  mkdir_p dir;
+  let t = { dir; index = Hashtbl.create 64; stats = { loaded = 0; malformed = 0 } } in
+  let files = try Sys.readdir dir with Sys_error _ -> [||] in
+  Array.sort compare files;
+  Array.iter
+    (fun f ->
+      if Filename.check_suffix f ".aot" then
+        match read_entry (read_file (Filename.concat dir f)) with
+        | e ->
+          add_index t e;
+          t.stats.loaded <- t.stats.loaded + 1
+        | exception (Malformed _ | Sys_error _ | End_of_file) ->
+          t.stats.malformed <- t.stats.malformed + 1)
+    files;
+  t
+
+(* Candidate entries for a translation site; the engine still verifies
+   guest bytes and re-certifies before installing any of them. *)
+let candidates (t : t) ~kind ~va ~pa ~el ~mmu ~cfg : entry list =
+  match Hashtbl.find_opt t.index (kind, va, pa, el, mmu, cfg) with
+  | Some l -> !l
+  | None -> []
+
+(* Persist a certified entry: atomic tmp + rename, idempotent (the name
+   is content-addressed, so an existing file is already this entry). *)
+let store (t : t) (e : entry) : unit =
+  add_index t e;
+  let name = filename_of e in
+  let path = Filename.concat t.dir name in
+  if not (Sys.file_exists path) then begin
+    let buf = Buffer.create (Bytes.length e.e_code + 256) in
+    write_entry buf e;
+    let tmp = Filename.concat t.dir ("." ^ name ^ ".tmp") in
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> Buffer.output_buffer oc buf);
+    Sys.rename tmp path
+  end
+
+let entry_count (t : t) = Hashtbl.fold (fun _ l acc -> acc + List.length !l) t.index 0

@@ -1,0 +1,55 @@
+(** Disk-backed AOT translation cache: persists translations certified
+    relocation-clean by {!Hostir.Reloc} and reinstalls them on later
+    boots with only the numbered chain/exit sites re-bound.
+
+    Entries are keyed by the certificate tuple — guest content (verified
+    byte-for-byte at lookup), MMU regime, optimisation-config signature.
+    Nothing from disk is installed without the stored hash re-checking
+    and a full re-run of [Reloc.certify]; corrupted or flagged entries
+    are rejected, never executed. *)
+
+type entry = {
+  e_kind : int;  (** 0 = tier-0 block, 1 = region unit *)
+  e_va : int64;  (** head VA the code was translated from *)
+  e_pa : int64;  (** head PA *)
+  e_el : int;
+  e_mmu : bool;
+  e_cfg : int64;  (** optimisation-config signature *)
+  e_members : (int64 * int) array;  (** (member va, guest code bytes) *)
+  e_guest : bytes;  (** member guest bytes, concatenated *)
+  e_n_slots : int;
+  e_n_exits : int;  (** numbered chain/exit sites to re-bind on install *)
+  e_n_guest : int;
+  e_n_host : int;
+  e_code : bytes;  (** the certified encoded translation *)
+  e_hash : int64;  (** [Reloc.hash64] of [e_code] *)
+}
+
+type stats = { mutable loaded : int; mutable malformed : int }
+
+type t = { dir : string;
+           index : (int * int64 * int64 * int * bool * int64, entry list ref) Hashtbl.t;
+           stats : stats }
+
+exception Malformed of string
+
+val open_dir : string -> t
+(** Open (creating if needed) a cache directory and load every [.aot]
+    entry; unreadable files are counted in [stats.malformed], skipped. *)
+
+val candidates :
+  t -> kind:int -> va:int64 -> pa:int64 -> el:int -> mmu:bool -> cfg:int64 -> entry list
+(** Entries matching a translation site; the caller still verifies guest
+    bytes and re-certifies before installing any of them. *)
+
+val store : t -> entry -> unit
+(** Persist a certified entry (atomic tmp + rename; content-addressed
+    name, so storing the same entry twice is a no-op). *)
+
+val entry_count : t -> int
+
+val read_entry : bytes -> entry
+(** Parse one serialized entry; raises {!Malformed}. *)
+
+val write_entry : Buffer.t -> entry -> unit
+val filename_of : entry -> string

@@ -52,6 +52,16 @@ type config = {
      masks, strength-reduce division — on facts that only materialize
      after region flattening and promotion *)
   absint_simplify : bool;
+  (* relocation-cleanliness certification (Hostir.Reloc): every encoded
+     translation is analyzed at translate time — operands and control
+     transfers classified relocatable or pinned, encoding determinism
+     audited; any finding means the translation can't be persisted *)
+  reloc_check : bool;
+  (* persistent AOT translation cache directory: certified translations
+     are stored here and reinstalled (guest bytes verified, certificate
+     re-checked, chain/exit sites re-bound) instead of re-translated.
+     Implies certification of every translation. *)
+  aot_dir : string option;
 }
 
 let default_config =
@@ -73,6 +83,8 @@ let default_config =
     validate_every = 1;
     analyze_translations = false;
     absint_simplify = true;
+    reloc_check = false;
+    aot_dir = None;
   }
 
 type phase_stats = {
@@ -118,6 +130,17 @@ type phase_stats = {
   mutable absint_masks_dropped : int; (* redundant masks/extensions elided *)
   mutable absint_divs_reduced : int; (* unsigned div/rem by 2^k reduced *)
   mutable absint_dead_deleted : int; (* cross-block dead definitions removed *)
+  (* relocation-cleanliness certification (Hostir.Reloc) *)
+  mutable t_reloc : float;
+  mutable translate_cycles : int; (* simulated cycles charged to translation/AOT *)
+  mutable blocks_certified : int; (* tier-0 blocks certified relocation-clean *)
+  mutable regions_certified : int; (* region units certified relocation-clean *)
+  mutable reloc_findings : int; (* relocation-cleanliness violations *)
+  (* persistent AOT translation cache (Aotcache) *)
+  mutable aot_hits : int; (* translations installed from the cache *)
+  mutable aot_misses : int; (* sites with no reusable entry *)
+  mutable aot_stores : int; (* certified translations persisted *)
+  mutable aot_rejects : int; (* disk entries refused (corrupt or flagged) *)
 }
 
 let new_phase_stats () =
@@ -160,6 +183,15 @@ let new_phase_stats () =
     absint_masks_dropped = 0;
     absint_divs_reduced = 0;
     absint_dead_deleted = 0;
+    t_reloc = 0.;
+    translate_cycles = 0;
+    blocks_certified = 0;
+    regions_certified = 0;
+    reloc_findings = 0;
+    aot_hits = 0;
+    aot_misses = 0;
+    aot_stores = 0;
+    aot_rejects = 0;
   }
 
 type translation = {
@@ -212,6 +244,9 @@ type t = {
   mutable validation_log : (string * string) list; (* (context, detail), capped *)
   (* static obligation checking *)
   mutable analysis_log : (string * string) list; (* (context, finding), capped *)
+  (* relocation-cleanliness certification + AOT cache *)
+  aot : Aotcache.t option;
+  mutable reloc_log : (string * string) list; (* (context, finding), capped *)
 }
 
 let now () = Unix.gettimeofday ()
@@ -371,6 +406,8 @@ let rec create ?(config = default_config) (guest : Ops.ops) : t =
       validate_tick = 0;
       validation_log = [];
       analysis_log = [];
+      aot = Option.map Aotcache.open_dir config.aot_dir;
+      reloc_log = [];
     }
   in
   engine_ref := Some e;
@@ -664,6 +701,162 @@ let analyze_translation (e : t) ~what ~region ?(promoted = []) ~(pre : Hir.instr
   record_analysis e ~what ~region findings;
   e.stats.t_analyze <- e.stats.t_analyze +. (now () -. ta)
 
+(* --- relocation-cleanliness certification + persistent AOT cache ----------------- *)
+
+(* Translation-side cycle charge: wall-clock cycles the guest pays for
+   JIT/AOT work, kept out of guest-visible device time (the Machine's
+   virtual-time split) so the guest's observable execution is identical
+   whether its code was translated cold or installed warm. *)
+let charge_translate (e : t) n =
+  Machine.charge_jit e.machine n;
+  e.stats.translate_cycles <- e.stats.translate_cycles + n
+
+let reloc_env (e : t) ~n_exits ~n_slots : Hostir.Reloc.env =
+  {
+    Hostir.Reloc.n_exits;
+    n_helpers = Array.length e.ctx.Exec.helpers;
+    n_slots;
+    rf_bytes = Bytes.length e.ctx.Exec.regfile;
+  }
+
+(* Signature over everything that changes generated code for the same
+   guest bytes: guest model identity (name, offline opt level, total SSA
+   size) plus every config field the translator consults.  Two boots may
+   exchange cache entries iff their signatures agree. *)
+let aot_cfg_sig (e : t) : int64 =
+  let c = e.config in
+  Hostir.Reloc.hash64
+    (Bytes.of_string
+       (Printf.sprintf "%s|%d|%d|%d|%b|%b|%b|%b|%d|%b|%d|%d|%b|%d|%b" e.guest.Ops.name
+          e.guest.Ops.model.Ssa.Offline.opt_level
+          (Ssa.Offline.total_size e.guest.Ops.model)
+          e.guest.Ops.insn_size c.hw_fp c.chaining c.pcid c.split_va_check c.max_block
+          c.tiering c.hot_threshold c.region_max_blocks c.promote c.promote_max_regs
+          c.absint_simplify))
+
+(* Account one certification outcome: counters, plus a capped per-engine
+   log of findings (full detail, for the relocheck subcommand). *)
+let record_reloc (e : t) ~what ~region (findings : Hostir.Reloc.finding list) =
+  let s = e.stats in
+  if findings = [] then
+    if region then s.regions_certified <- s.regions_certified + 1
+    else s.blocks_certified <- s.blocks_certified + 1
+  else begin
+    s.reloc_findings <- s.reloc_findings + List.length findings;
+    List.iter
+      (fun f ->
+        if List.length e.reloc_log < 64 then
+          e.reloc_log <- e.reloc_log @ [ (what, Hostir.Reloc.finding_to_string f) ])
+      findings
+  end
+
+(* Certify one encoded translation relocation-clean (operand/control
+   classification + encoding-determinism audit); [Some] carries the
+   certificate the AOT cache persists. *)
+let certify_translation (e : t) ~what ~region ~n_exits ~n_slots ?ra (code : bytes) :
+    Hostir.Reloc.certificate option =
+  let t0 = now () in
+  let r = Hostir.Reloc.certify ~env:(reloc_env e ~n_exits ~n_slots) ?ra code in
+  (match r with
+  | Ok _ -> record_reloc e ~what ~region []
+  | Error fs -> record_reloc e ~what ~region fs);
+  e.stats.t_reloc <- e.stats.t_reloc +. (now () -. t0);
+  match r with Ok c -> Some c | Error _ -> None
+
+(* Guest code bytes currently at [pa], for content verification of AOT
+   entries (both guests use 32-bit instruction words). *)
+let read_guest_bytes (e : t) ~pa ~len : bytes =
+  let b = Bytes.create len in
+  let words = len / 4 in
+  for i = 0 to words - 1 do
+    let w = Machine.phys_read e.machine ~bits:32 (Int64.add pa (Int64.of_int (4 * i))) in
+    Bytes.set_int32_le b (4 * i) (Int64.to_int32 w)
+  done;
+  for i = 4 * words to len - 1 do
+    Bytes.set_uint8 b i
+      (Int64.to_int (Machine.phys_read e.machine ~bits:8 (Int64.add pa (Int64.of_int i))))
+  done;
+  b
+
+(* Installing from the AOT cache still costs cycles (read, verify,
+   re-bind the numbered sites) — a small fraction of a fresh
+   translation's 1400/guest-instruction charge. *)
+let aot_load_cost ~n_host = 50 + (n_host / 4)
+
+(* Install a certified cache entry as a tier-0 block: identical cache /
+   page-protection / sanitizer bookkeeping to a cold translation, with
+   only the translation work replaced by the load cost. *)
+let install_aot_block (e : t) (entry : Aotcache.entry) ~va ~pa ~el ~mmu_on : translation =
+  let s = e.stats in
+  let program = Encode.decode_program ~n_slots:entry.Aotcache.e_n_slots entry.Aotcache.e_code in
+  charge_translate e (aot_load_cost ~n_host:entry.Aotcache.e_n_host);
+  s.aot_hits <- s.aot_hits + 1;
+  s.blocks_translated <- s.blocks_translated + 1;
+  s.guest_instrs_translated <- s.guest_instrs_translated + entry.Aotcache.e_n_guest;
+  s.host_instrs_emitted <- s.host_instrs_emitted + entry.Aotcache.e_n_host;
+  s.host_bytes_emitted <- s.host_bytes_emitted + Bytes.length entry.Aotcache.e_code;
+  let tr =
+    {
+      t_key = (pa, el, mmu_on);
+      t_va = va;
+      t_program = program;
+      t_n_guest = entry.Aotcache.e_n_guest;
+      t_n_host = entry.Aotcache.e_n_host;
+      t_bytes = Bytes.length entry.Aotcache.e_code;
+      t_chain = None;
+      t_exec_count = 0;
+      t_cycles = 0;
+      t_tier = 0;
+      t_members = 1;
+      t_succs = [];
+      t_exits = [||];
+    }
+  in
+  Hashtbl.replace e.cache tr.t_key tr;
+  let page = Bits.align_down pa 4096 in
+  (match Hashtbl.find_opt e.by_page page with
+  | Some l -> l := tr.t_key :: !l
+  | None -> Hashtbl.replace e.by_page page (ref [ tr.t_key ]));
+  protect_page e page;
+  (match e.sanitizer with
+  | Some sa ->
+    Hvm.Sanitize.record_translation sa ~mem:e.machine.Machine.mem ~pa ~el ~mmu:mmu_on
+      ~len:(e.guest.Ops.insn_size * entry.Aotcache.e_n_guest);
+    if e.config.sanitize_every > 0 && s.blocks_translated mod e.config.sanitize_every = 0 then
+      sanitize_check e ~reason:"periodic"
+  | None -> ());
+  tr
+
+(* Try to satisfy a block-translation request from the AOT cache: the
+   entry's guest bytes must match guest memory byte-for-byte, and the
+   stored code must re-certify.  A flagged or corrupted entry is
+   rejected and the request falls back to cold translation. *)
+let aot_try_block (e : t) ~va ~pa ~el ~mmu_on : translation option =
+  match e.aot with
+  | None -> None
+  | Some cache ->
+    let cfg = aot_cfg_sig e in
+    let result =
+      List.find_map
+        (fun (entry : Aotcache.entry) ->
+          let len = Bytes.length entry.Aotcache.e_guest in
+          if len = 0 || not (Bytes.equal entry.Aotcache.e_guest (read_guest_bytes e ~pa ~len))
+          then None
+          else
+            let what = Printf.sprintf "aot block pa=0x%Lx va=0x%Lx el=%d mmu=%b" pa va el mmu_on in
+            match
+              certify_translation e ~what ~region:false ~n_exits:0
+                ~n_slots:entry.Aotcache.e_n_slots entry.Aotcache.e_code
+            with
+            | Some _ -> Some (install_aot_block e entry ~va ~pa ~el ~mmu_on)
+            | None ->
+              e.stats.aot_rejects <- e.stats.aot_rejects + 1;
+              None)
+        (Aotcache.candidates cache ~kind:0 ~va ~pa ~el ~mmu:mmu_on ~cfg)
+    in
+    if Option.is_none result then e.stats.aot_misses <- e.stats.aot_misses + 1;
+    result
+
 let equiv_items (e : t) ~el decoded : Hostir.Equiv.item list =
   let model = e.guest.Ops.model in
   List.map
@@ -675,7 +868,7 @@ let equiv_items (e : t) ~el decoded : Hostir.Equiv.item list =
       })
     decoded
 
-let translate_block (e : t) sys ~va ~pa ~el ~mmu_on : translation =
+let translate_block_cold (e : t) sys ~va ~pa ~el ~mmu_on : translation =
   let s = e.stats in
   ignore sys;
   (* Phase 1: decode one guest basic block. *)
@@ -746,7 +939,7 @@ let translate_block (e : t) sys ~va ~pa ~el ~mmu_on : translation =
      resulting translation is ~2-3x more expensive than the QEMU-style
      engine's single direct pass (paper Sec. 3.4). *)
   let n_host = Array.length instrs in
-  Machine.charge e.machine ((1400 * !n) + (260 * n_host));
+  charge_translate e ((1400 * !n) + (260 * n_host));
   s.blocks_translated <- s.blocks_translated + 1;
   s.guest_instrs_translated <- s.guest_instrs_translated + !n;
   s.host_instrs_emitted <- s.host_instrs_emitted + n_host;
@@ -786,7 +979,47 @@ let translate_block (e : t) sys ~va ~pa ~el ~mmu_on : translation =
     if e.config.sanitize_every > 0 && s.blocks_translated mod e.config.sanitize_every = 0 then
       sanitize_check e ~reason:"periodic"
   | None -> ());
+  (* Relocation-cleanliness certification, and persistence of certified
+     translations.  Undefined-instruction stubs are certified like any
+     other code but cover no guest bytes, so they are translated fresh
+     on every boot and never persisted. *)
+  (if e.config.reloc_check || Option.is_some e.aot then begin
+     let what = Printf.sprintf "block pa=0x%Lx va=0x%Lx el=%d mmu=%b" pa va el mmu_on in
+     match
+       certify_translation e ~what ~region:false ~n_exits:0 ~n_slots:ra.Regalloc.n_slots ~ra
+         code
+     with
+     | Some cert when (not !undefined_stub) && !n > 0 -> (
+       match e.aot with
+       | Some cache ->
+         let len = e.guest.Ops.insn_size * !n in
+         Aotcache.store cache
+           {
+             Aotcache.e_kind = 0;
+             e_va = va;
+             e_pa = pa;
+             e_el = el;
+             e_mmu = mmu_on;
+             e_cfg = aot_cfg_sig e;
+             e_members = [| (va, len) |];
+             e_guest = read_guest_bytes e ~pa ~len;
+             e_n_slots = ra.Regalloc.n_slots;
+             e_n_exits = 0;
+             e_n_guest = !n;
+             e_n_host = n_host;
+             e_code = code;
+             e_hash = cert.Hostir.Reloc.c_hash;
+           };
+         s.aot_stores <- s.aot_stores + 1
+       | None -> ())
+     | Some _ | None -> ()
+   end);
   tr
+
+let translate_block (e : t) sys ~va ~pa ~el ~mmu_on : translation =
+  match aot_try_block e ~va ~pa ~el ~mmu_on with
+  | Some tr -> tr
+  | None -> translate_block_cold e sys ~va ~pa ~el ~mmu_on
 
 (* --- tiered translation: hot-region formation (tier 1) ---------------------------- *)
 
@@ -845,6 +1078,108 @@ let succs_by_heat (tr : translation) ~el =
    with a [Poll] safepoint, so interrupts, regime changes (the poison
    register) and the run loop's cycle/block budgets are honoured at
    block granularity exactly like the baseline dispatch loop. *)
+(* Try to satisfy a region-translation request from the AOT cache.  The
+   entry must cover exactly the members runtime profiling selected (same
+   VAs, same lengths — member selection is deterministic because guest
+   execution is), its guest bytes must match memory, and the stored code
+   must re-certify.  Installs with the same bookkeeping as a cold region
+   build: cache head replacement, member tier marks, chain-edge unlinks,
+   sanitizer records — only the translation work is replaced. *)
+let aot_try_region (e : t) ~(head : translation) ~(members : translation list) ~pa_page ~el
+    ~mmu_on : bool =
+  match e.aot with
+  | None -> false
+  | Some cache ->
+    let s = e.stats in
+    let pa_head, _, _ = head.t_key in
+    let want =
+      Array.of_list (List.map (fun m -> (m.t_va, e.guest.Ops.insn_size * m.t_n_guest)) members)
+    in
+    let matching (entry : Aotcache.entry) =
+      entry.Aotcache.e_members = want
+      &&
+      let guest = Buffer.create 256 in
+      Array.iter
+        (fun (va_m, len) ->
+          let pa_m = Int64.logor pa_page (Int64.logand va_m 0xFFFL) in
+          Buffer.add_bytes guest (read_guest_bytes e ~pa:pa_m ~len))
+        entry.Aotcache.e_members;
+      Bytes.equal entry.Aotcache.e_guest (Buffer.to_bytes guest)
+    in
+    let install (entry : Aotcache.entry) =
+      let what =
+        Printf.sprintf "aot region pa=0x%Lx va=0x%Lx members=%d" pa_head head.t_va
+          (Array.length entry.Aotcache.e_members)
+      in
+      match
+        certify_translation e ~what ~region:true ~n_exits:entry.Aotcache.e_n_exits
+          ~n_slots:entry.Aotcache.e_n_slots entry.Aotcache.e_code
+      with
+      | None ->
+        s.aot_rejects <- s.aot_rejects + 1;
+        false
+      | Some _ ->
+        let program =
+          Encode.decode_program ~n_slots:entry.Aotcache.e_n_slots entry.Aotcache.e_code
+        in
+        charge_translate e (aot_load_cost ~n_host:entry.Aotcache.e_n_host);
+        s.aot_hits <- s.aot_hits + 1;
+        s.regions_formed <- s.regions_formed + 1;
+        s.region_blocks <- s.region_blocks + List.length members;
+        s.region_host_instrs <- s.region_host_instrs + entry.Aotcache.e_n_host;
+        let region =
+          {
+            t_key = head.t_key;
+            t_va = head.t_va;
+            t_program = program;
+            t_n_guest = entry.Aotcache.e_n_guest;
+            t_n_host = entry.Aotcache.e_n_host;
+            t_bytes = Bytes.length entry.Aotcache.e_code;
+            t_chain = None;
+            t_exec_count = 0;
+            t_cycles = 0;
+            t_tier = 1;
+            t_members = List.length members;
+            t_succs = [];
+            t_exits = Array.make entry.Aotcache.e_n_exits None;
+          }
+        in
+        Hashtbl.replace e.cache region.t_key region;
+        List.iter (fun m -> m.t_tier <- 1) members;
+        head.t_chain <- None;
+        Hashtbl.iter
+          (fun _ tr ->
+            (match tr.t_chain with
+            | Some (_, _, tgt) when tgt == head -> tr.t_chain <- None
+            | _ -> ());
+            Array.iteri
+              (fun i edge ->
+                match edge with
+                | Some (_, _, tgt) when tgt == head -> tr.t_exits.(i) <- None
+                | _ -> ())
+              tr.t_exits)
+          e.cache;
+        (match e.sanitizer with
+        | Some sa ->
+          List.iter
+            (fun m ->
+              let pa_m = Int64.logor pa_page (Int64.logand m.t_va 0xFFFL) in
+              Hvm.Sanitize.record_translation sa ~mem:e.machine.Machine.mem ~pa:pa_m ~el
+                ~mmu:mmu_on ~len:(e.guest.Ops.insn_size * m.t_n_guest))
+            members
+        | None -> ());
+        true
+    in
+    let rec try_all = function
+      | [] ->
+        s.aot_misses <- s.aot_misses + 1;
+        false
+      | entry :: rest -> if matching entry && install entry then true else try_all rest
+    in
+    try_all
+      (Aotcache.candidates cache ~kind:1 ~va:head.t_va ~pa:pa_head ~el ~mmu:mmu_on
+         ~cfg:(aot_cfg_sig e))
+
 let translate_region (e : t) (head : translation) : unit =
   let s = e.stats in
   let pa_head, el, mmu_on = head.t_key in
@@ -884,7 +1219,10 @@ let translate_region (e : t) (head : translation) : unit =
   let self_loop =
     List.exists (fun va -> Int64.equal va head.t_va) (succs_by_heat head ~el)
   in
-  if List.length members > 1 || self_loop then begin
+  if
+    (List.length members > 1 || self_loop)
+    && not (aot_try_region e ~head ~members ~pa_page ~el ~mmu_on)
+  then begin
     s.regions_formed <- s.regions_formed + 1;
     s.region_blocks <- s.region_blocks + List.length members;
     let t1 = now () in
@@ -1074,7 +1412,7 @@ let translate_region (e : t) (head : translation) : unit =
     let program = Encode.decode_program ~n_slots:ra.Regalloc.n_slots code in
     s.t_encode <- s.t_encode +. (now () -. t3);
     let n_host = Array.length instrs in
-    Machine.charge e.machine ((1400 * !n_guest) + (260 * n_host));
+    charge_translate e ((1400 * !n_guest) + (260 * n_host));
     s.region_host_instrs <- s.region_host_instrs + n_host;
     let region =
       {
@@ -1116,7 +1454,7 @@ let translate_region (e : t) (head : translation) : unit =
             | _ -> ())
           tr.t_exits)
       e.cache;
-    match e.sanitizer with
+    (match e.sanitizer with
     | Some sa ->
       List.iter
         (fun m ->
@@ -1124,7 +1462,56 @@ let translate_region (e : t) (head : translation) : unit =
           Hvm.Sanitize.record_translation sa ~mem:e.machine.Machine.mem ~pa:pa_m ~el
             ~mmu:mmu_on ~len:(4 * m.t_n_guest))
         members
-    | None -> ()
+    | None -> ());
+    (* Relocation-cleanliness certification + persistence, with the
+       per-member VAs/lengths as part of the key: a warm boot reuses the
+       unit only when runtime profiling selects the identical member
+       set.  Regions whose members failed to re-decode (guest instr
+       counts disagree) are never persisted. *)
+    if e.config.reloc_check || Option.is_some e.aot then begin
+      let what =
+        Printf.sprintf "region pa=0x%Lx va=0x%Lx members=%d" pa_head head.t_va
+          (List.length members)
+      in
+      match
+        certify_translation e ~what ~region:true ~n_exits:(List.length members)
+          ~n_slots:ra.Regalloc.n_slots ~ra code
+      with
+      | Some cert
+        when !n_guest = List.fold_left (fun a m -> a + m.t_n_guest) 0 members
+             && List.for_all (fun m -> m.t_n_guest > 0) members -> (
+        match e.aot with
+        | Some cache ->
+          let mems =
+            List.map (fun m -> (m.t_va, e.guest.Ops.insn_size * m.t_n_guest)) members
+          in
+          let guest = Buffer.create 256 in
+          List.iter
+            (fun (va_m, len) ->
+              let pa_m = Int64.logor pa_page (Int64.logand va_m 0xFFFL) in
+              Buffer.add_bytes guest (read_guest_bytes e ~pa:pa_m ~len))
+            mems;
+          Aotcache.store cache
+            {
+              Aotcache.e_kind = 1;
+              e_va = head.t_va;
+              e_pa = pa_head;
+              e_el = el;
+              e_mmu = mmu_on;
+              e_cfg = aot_cfg_sig e;
+              e_members = Array.of_list mems;
+              e_guest = Buffer.to_bytes guest;
+              e_n_slots = ra.Regalloc.n_slots;
+              e_n_exits = List.length members;
+              e_n_guest = !n_guest;
+              e_n_host = n_host;
+              e_code = code;
+              e_hash = cert.Hostir.Reloc.c_hash;
+            };
+          s.aot_stores <- s.aot_stores + 1
+        | None -> ())
+      | Some _ | None -> ()
+    end
   end
 
 (* --- dispatch loop ------------------------------------------------------------------- *)
@@ -1305,6 +1692,15 @@ let set_entry (e : t) entry = e.guest.Ops.reset (sys e) ~entry
 
 let uart_output (e : t) = Hvm.Device.Uart.output e.uart
 let cycles (e : t) = e.machine.Machine.cycles
+
+(* The virtual-time split: [cycles] = wall clock; [jit_cycles] is the
+   translation-side share (JIT + AOT loads); [exec_cycles] the
+   guest-visible remainder that device time follows.  A warm boot must
+   reproduce [exec_cycles] bit-for-bit. *)
+let jit_cycles (e : t) = e.machine.Machine.jit_cycles
+let exec_cycles (e : t) = Machine.guest_cycles e.machine
+let reloc_log (e : t) = e.reloc_log
+let aot_entry_count (e : t) = match e.aot with Some c -> Aotcache.entry_count c | None -> 0
 
 (* Per-translation execution statistics, for the Fig. 21 code-quality
    analysis: (translation VA, guest instrs, host instrs, executions,

@@ -79,3 +79,24 @@ let summarize h =
    neither observe the register file nor escape the translation: pure
    softfloat helpers.  Everything else is a writeback barrier. *)
 let barrier h = (summarize h).s_observes_rf || (summarize h).s_escapes
+
+(* Stable symbol name for a helper index.  Encoded translations reference
+   helpers by table index; the names below are the stable identities those
+   indices stand for, so relocation certificates and findings can name a
+   helper without depending on any per-boot table address. *)
+let symbol_name h =
+  match h with
+  | _ when h = h_coproc_read -> "coproc_read"
+  | _ when h = h_coproc_write -> "coproc_write"
+  | _ when h = h_take_exception -> "take_exception"
+  | _ when h = h_eret -> "eret"
+  | _ when h = h_tlb_flush -> "tlb_flush"
+  | _ when h = h_tlb_flush_page -> "tlb_flush_page"
+  | _ when h = h_halt -> "halt"
+  | _ when h = h_wfi -> "wfi"
+  | _ when h = h_barrier -> "barrier"
+  | _ when h = h_as_switch -> "as_switch"
+  | _ when h = h_softmmu_fill_read -> "softmmu_fill_read"
+  | _ when h = h_softmmu_fill_write -> "softmmu_fill_write"
+  | _ when h >= first_softfloat -> Printf.sprintf "softfloat+%d" (h - first_softfloat)
+  | _ -> Printf.sprintf "helper#%d" h

@@ -53,3 +53,8 @@ val summarize : int -> summary
 val barrier : int -> bool
 (** [true] unless the helper is transparent to promoted-register
     discipline (pure helpers only). *)
+
+val symbol_name : int -> string
+(** Stable symbol name for a helper index — the identity a table index
+    stands for, independent of any per-boot table address.  Used by
+    {!Reloc} certificates and findings. *)

@@ -12,7 +12,16 @@
 
 open Hir
 
-exception Encode_error of string
+(* [index] is the instruction index (stream index when encoding, decoded
+   instruction count when decoding; -1 when no instruction is at fault) and
+   [offset] the byte offset into the encoded stream. *)
+exception Encode_error of { index : int; offset : int; msg : string }
+
+let () =
+  Printexc.register_printer (function
+    | Encode_error { index; offset; msg } ->
+      Some (Printf.sprintf "Hostir.Encode.Encode_error(instr %d, byte %d: %s)" index offset msg)
+    | _ -> None)
 
 let opcode = function
   | Mov _ -> 0x01
@@ -89,6 +98,7 @@ type encoder = {
   buf : Buffer.t;
   mutable patches : (int * int) list; (* buffer position, label *)
   labels : (int, int) Hashtbl.t; (* label -> byte offset *)
+  mutable cur : int; (* stream index of the instruction being emitted *)
 }
 
 let u8 e v = Buffer.add_uint8 e.buf (v land 0xFF)
@@ -112,7 +122,12 @@ let operand e = function
   | Slot s ->
     u8 e 4;
     u16 e s
-  | Vreg v -> raise (Encode_error (Printf.sprintf "unallocated vreg %%v%d reached the encoder" v))
+  | Vreg v ->
+    raise
+      (Encode_error
+         { index = e.cur;
+           offset = Buffer.length e.buf;
+           msg = Printf.sprintf "unallocated vreg %%v%d reached the encoder" v })
 
 let target e l =
   e.patches <- (Buffer.length e.buf, l) :: e.patches;
@@ -237,25 +252,50 @@ let encode_instr e (i : instr) =
         m
     | Label _ -> assert false)
 
-(* Encode an allocated instruction stream; dead instructions are skipped.
-   Returns the machine-code bytes. *)
-let encode (ra : Regalloc.result) : bytes =
-  let e = { buf = Buffer.create 256; patches = []; labels = Hashtbl.create 8 } in
-  Array.iteri (fun idx i -> if not ra.Regalloc.dead.(idx) then encode_instr e i) ra.Regalloc.instrs;
+let patch_and_finish e =
   let code = Buffer.to_bytes e.buf in
   (* Patch pass: fill in jump targets. *)
   List.iter
     (fun (pos, l) ->
       match Hashtbl.find_opt e.labels l with
       | Some off -> Bytes.set_int32_le code pos (Int32.of_int off)
-      | None -> raise (Encode_error (Printf.sprintf "undefined label L%d" l)))
+      | None ->
+        raise
+          (Encode_error
+             { index = -1; offset = pos; msg = Printf.sprintf "undefined label L%d" l }))
     e.patches;
   code
+
+(* Encode an allocated instruction stream; dead instructions are skipped.
+   Returns the machine-code bytes. *)
+let encode (ra : Regalloc.result) : bytes =
+  let e = { buf = Buffer.create 256; patches = []; labels = Hashtbl.create 8; cur = -1 } in
+  Array.iteri
+    (fun idx i ->
+      if not ra.Regalloc.dead.(idx) then begin
+        e.cur <- idx;
+        encode_instr e i
+      end)
+    ra.Regalloc.instrs;
+  patch_and_finish e
+
+(* Encode a label-form stream as-is (no dead mask).  This is the same pure
+   lowering [encode] applies after dead-skipping; Reloc's determinism audit
+   uses it to re-encode a decoded program and check byte identity. *)
+let encode_stream (instrs : instr array) : bytes =
+  let e = { buf = Buffer.create 256; patches = []; labels = Hashtbl.create 8; cur = -1 } in
+  Array.iteri
+    (fun idx i ->
+      e.cur <- idx;
+      encode_instr e i)
+    instrs;
+  patch_and_finish e
 
 (* --- decoding (the executor's instruction fetch) -------------------------------- *)
 
 type program = {
   code : instr array; (* Jmp/Br targets rewritten to instruction indices *)
+  offsets : int array; (* byte offset of each instruction in the stream *)
   byte_size : int;
   n_slots : int;
   wb_map : (operand * int) array;
@@ -267,6 +307,8 @@ type program = {
 let decode_program ?(n_slots = 0) (code : bytes) : program =
   let pos = ref 0 in
   let len = Bytes.length code in
+  let n_decoded = ref 0 in
+  let err offset msg = raise (Encode_error { index = !n_decoded; offset; msg }) in
   let u8 () =
     let v = Bytes.get_uint8 code !pos in
     incr pos;
@@ -296,7 +338,7 @@ let decode_program ?(n_slots = 0) (code : bytes) : program =
     | 2 -> Imm (Int64.of_int (i32 ()))
     | 3 -> Imm (i64 ())
     | 4 -> Slot (u16 ())
-    | t -> raise (Encode_error (Printf.sprintf "bad operand tag %d" t))
+    | t -> err (!pos - 1) (Printf.sprintf "bad operand tag %d" t)
   in
   let instrs = ref [] in
   let offsets = ref [] in
@@ -403,10 +445,11 @@ let decode_program ?(n_slots = 0) (code : bytes) : program =
                let o = operand () in
                let off = i32 () in
                (o, off)))
-      | _ -> raise (Encode_error (Printf.sprintf "bad opcode %#x at %d" op start))
+      | _ -> err start (Printf.sprintf "bad opcode %#x" op)
     in
     instrs := i :: !instrs;
-    offsets := start :: !offsets
+    offsets := start :: !offsets;
+    incr n_decoded
   done;
   let instrs = Array.of_list (List.rev !instrs) in
   let offsets = Array.of_list (List.rev !offsets) in
@@ -418,7 +461,10 @@ let decode_program ?(n_slots = 0) (code : bytes) : program =
     else
       match Hashtbl.find_opt index_of_offset off with
       | Some idx -> idx
-      | None -> raise (Encode_error (Printf.sprintf "jump into the middle of an instruction (%d)" off))
+      | None ->
+        raise
+          (Encode_error
+             { index = -1; offset = off; msg = "jump into the middle of an instruction" })
   in
   let code =
     Array.map
@@ -431,4 +477,4 @@ let decode_program ?(n_slots = 0) (code : bytes) : program =
   let wb_map =
     Array.fold_left (fun acc i -> match i with Wbmap m -> m | _ -> acc) [||] code
   in
-  { code; byte_size = len; n_slots; wb_map }
+  { code; offsets; byte_size = len; n_slots; wb_map }

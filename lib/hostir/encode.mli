@@ -8,14 +8,26 @@
     the bytes back once per translation (the analogue of the host CPU's
     decoded-uop cache). *)
 
-exception Encode_error of string
+exception Encode_error of { index : int; offset : int; msg : string }
+(** [index] is the instruction index at fault (the stream index when
+    encoding, the decoded instruction count when decoding; [-1] when no
+    single instruction is at fault, e.g. a dangling jump target) and
+    [offset] the byte offset into the encoded stream.  A printer is
+    registered. *)
 
+val encode : Regalloc.result -> bytes
 (** Encode an allocated stream (dead instructions skipped) and patch
     jumps; returns the machine-code bytes. *)
-val encode : Regalloc.result -> bytes
+
+val encode_stream : Hir.instr array -> bytes
+(** Encode a label-form stream as-is, with no dead mask.  This is the
+    same pure lowering {!encode} applies after dead-skipping; Reloc's
+    determinism audit uses it to re-encode a decoded program and check
+    byte identity. *)
 
 type program = {
   code : Hir.instr array;  (** jump targets rewritten to indices *)
+  offsets : int array;  (** byte offset of each instruction in the stream *)
   byte_size : int;
   n_slots : int;
   wb_map : (Hir.operand * int) array;

@@ -1,0 +1,341 @@
+(* Relocation-cleanliness analysis: the static proof that an encoded
+   translation can be persisted and reused across boots and instances.
+
+   The ROADMAP's AOT-cache item is blocked on exactly this property: a
+   byte stream is relocatable iff nothing in it depends on where *this
+   boot* happened to place things.  Concretely, over the encoded program
+   (byte stream + decoded [Hir.instr] array) we require:
+
+   - all inter-translation control transfers go through numbered chain /
+     exit sites ([Exit]/[Poll] slots, re-bound by the installer) — no
+     control path may leave the translation any other way;
+   - no absolute host addresses baked into immediates (the simulated
+     host reserves a virtual-address window for its own structures; a
+     guest value can never legitimately land there);
+   - helper references are by stable symbol id into the helper table
+     ({!Effects.symbol_name}), never by table position outside it;
+   - [Wbmap]/slot/frame references are translation-relative: frame slots
+     within the translation's own frame, register-file offsets within
+     the architectural file, host registers within the register file of
+     the simulated host;
+   - the encoding itself is deterministic — a persistent cache keyed by
+     content is unsound if encoding isn't a pure function of its input,
+     so a decoded program must re-encode to the identical bytes
+     (canonical immediate widths, label-free byte stream) and a second
+     encode of the same [Regalloc.result] must reproduce the stream.
+
+   Each violated requirement is a named finding; a clean program gets a
+   certificate: content hash, frame/site shape, the relocation table of
+   chain/exit sites (byte offset -> slot) and the referenced helper
+   symbols.  [lib/core/aotcache.ml] persists certified translations
+   keyed by (content hash, MMU regime, opt config) and re-runs
+   certification on load, rejecting anything flagged here. *)
+
+open Hir
+
+type finding_class =
+  | Abs_host_addr (* absolute host address in an immediate *)
+  | Unnumbered_exit (* control leaves without a numbered chain/exit site *)
+  | Env_immediate (* environment-relative reference out of bounds *)
+  | Nondet_encoding (* encoding is not a pure function of the program *)
+  | Helper_by_addr (* helper reference outside the stable symbol table *)
+
+let class_name = function
+  | Abs_host_addr -> "abs-host-addr"
+  | Unnumbered_exit -> "unnumbered-exit"
+  | Env_immediate -> "env-immediate"
+  | Nondet_encoding -> "nondet-encoding"
+  | Helper_by_addr -> "helper-by-addr"
+
+type finding = {
+  f_class : finding_class;
+  f_index : int; (* instruction index; -1 when not instruction-specific *)
+  f_offset : int; (* byte offset into the encoded stream *)
+  f_msg : string;
+}
+
+let finding_to_string f =
+  Printf.sprintf "%s at instr %d (byte %d): %s" (class_name f.f_class) f.f_index f.f_offset
+    f.f_msg
+
+(* What the installer environment provides; everything a clean
+   translation may reference relative to. *)
+type env = {
+  n_exits : int; (* highest numbered chain/exit slot the installer binds *)
+  n_helpers : int; (* helper symbol table size *)
+  n_slots : int; (* frame slots allocated for this translation *)
+  rf_bytes : int; (* guest register file size in bytes *)
+}
+
+(* The simulated host parks its own structures (code cache, helper
+   thunks, dispatcher) in a reserved VA window well above any canonical
+   guest address, mirroring Captive's split-VA layout (paper Sec. 3.3):
+   guest low-half VAs stay under 2^47 and high-half VAs have the top
+   bits set, so no guest *address* can legitimately land in the window.
+   The check applies to address positions (memory-access base operands)
+   only — plain data immediates like INT64_MAX or large double bit
+   patterns overlap the window numerically but pin nothing; a window
+   value is a leaked host pointer exactly when it is dereferenced. *)
+let host_window_lo = 0x7F00_0000_0000_0000L
+let host_window_hi = 0x7FFF_FFFF_FFFF_FFFFL
+
+let in_host_window v =
+  Int64.unsigned_compare v host_window_lo >= 0
+  && Int64.unsigned_compare v host_window_hi <= 0
+
+(* Relocation table entry: a numbered site the installer re-binds when
+   the translation is loaded into a different boot's cache. *)
+type site_kind = S_exit | S_poll
+
+type site = { s_kind : site_kind; s_index : int; s_offset : int; s_slot : int }
+
+type certificate = {
+  c_hash : int64; (* FNV-1a over the encoded bytes: the content key *)
+  c_byte_size : int;
+  c_n_slots : int;
+  c_n_exits : int;
+  c_sites : site array; (* the relocation table *)
+  c_helpers : int list; (* stable helper symbol ids referenced *)
+}
+
+(* FNV-1a 64-bit content hash (same construction the MMU sanitizer uses
+   for code-cache coherence). *)
+let hash64 (b : bytes) : int64 =
+  let h = ref 0xCBF2_9CE4_8422_2325L in
+  for i = 0 to Bytes.length b - 1 do
+    h := Int64.mul (Int64.logxor !h (Int64.of_int (Bytes.get_uint8 b i))) 0x1_0000_0001B3L
+  done;
+  !h
+
+(* --- operand / control-transfer classification -------------------------------- *)
+
+let analyze (env : env) (p : Encode.program) : finding list * site array * int list =
+  let n = Array.length p.Encode.code in
+  let findings = ref [] in
+  let sites = ref [] in
+  let helpers = ref [] in
+  let add idx cls msg =
+    let offset = if idx >= 0 && idx < n then p.Encode.offsets.(idx) else p.Encode.byte_size in
+    findings := { f_class = cls; f_index = idx; f_offset = offset; f_msg = msg } :: !findings
+  in
+  let check_rf_off idx what off =
+    if off < 0 || off + 8 > env.rf_bytes then
+      add idx Env_immediate
+        (Printf.sprintf "%s offset %d outside the %d-byte register file" what off env.rf_bytes)
+    else if off land 7 <> 0 then
+      add idx Env_immediate (Printf.sprintf "misaligned %s offset %d" what off)
+  in
+  let check_operand idx o =
+    match o with
+    | Preg r ->
+      if r < 0 || r > 15 then
+        add idx Env_immediate (Printf.sprintf "host register r%d outside the 16-register file" r)
+    | Slot s ->
+      if s >= env.n_slots then
+        add idx Env_immediate
+          (Printf.sprintf "frame slot %d outside the %d-slot translation frame" s env.n_slots)
+    | Imm _ -> ()
+    | Vreg v -> add idx Env_immediate (Printf.sprintf "unallocated vreg %%v%d" v)
+  in
+  let check_addr idx o =
+    match o with
+    | Imm v when in_host_window v ->
+      add idx Abs_host_addr
+        (Printf.sprintf "address immediate %#Lx inside the reserved host window" v)
+    | _ -> ()
+  in
+  let check_slot idx slot =
+    (* Slot 0 is the dispatcher bail, always bound; slots 1..n_exits are
+       the numbered per-exit chain sites the installer re-binds. *)
+    if slot < 0 || slot > env.n_exits then
+      add idx Unnumbered_exit
+        (Printf.sprintf "chain slot %d outside the %d numbered exit sites" slot env.n_exits)
+  in
+  Array.iteri
+    (fun idx i ->
+      (match i with
+      | Ldrf (_, off) -> check_rf_off idx "register-file load" off
+      | Strf (off, _) -> check_rf_off idx "register-file store" off
+      | Mem_ld (_, _, a) -> check_addr idx a
+      | Mem_st (_, a, _) -> check_addr idx a
+      | Wbmap m -> Array.iter (fun (_, off) -> check_rf_off idx "writeback" off) m
+      | Call (h, _, _) ->
+        if h < 0 || h >= env.n_helpers then
+          add idx Helper_by_addr
+            (Printf.sprintf "helper reference %d outside the %d-entry symbol table" h
+               env.n_helpers)
+        else if not (List.mem h !helpers) then helpers := h :: !helpers
+      | Exit slot ->
+        check_slot idx slot;
+        sites := { s_kind = S_exit; s_index = idx; s_offset = p.Encode.offsets.(idx); s_slot = slot }
+                 :: !sites
+      | Poll slot ->
+        check_slot idx slot;
+        sites := { s_kind = S_poll; s_index = idx; s_offset = p.Encode.offsets.(idx); s_slot = slot }
+                 :: !sites
+      | _ -> ());
+      (match i with
+      | Wbmap m -> Array.iter (fun (o, _) -> check_operand idx o) m
+      | _ -> ());
+      List.iter (check_operand idx) (sources i);
+      match dest i with Some d -> check_operand idx d | None -> ())
+    p.Encode.code;
+  (* Control-transfer closure: every path reachable from entry must end
+     at a numbered site.  Falling past the last instruction (or a jump
+     target rewritten to [n] by the decoder) leaves the translation with
+     no site for the installer to re-bind. *)
+  let reachable = Array.make (n + 1) false in
+  let work = ref [] in
+  let push t =
+    if t >= 0 && t <= n && not reachable.(t) then begin
+      reachable.(t) <- true;
+      work := t :: !work
+    end
+  in
+  push 0;
+  while !work <> [] do
+    match !work with
+    | [] -> ()
+    | idx :: rest ->
+      work := rest;
+      if idx < n then (
+        match p.Encode.code.(idx) with
+        | Jmp t -> push t
+        | Br (_, t, f) ->
+          push t;
+          push f
+        | Exit _ -> ()
+        | _ -> push (idx + 1))
+  done;
+  if reachable.(n) then
+    add (n - 1) Unnumbered_exit "control can fall off the end of the translation";
+  Array.iteri
+    (fun idx r ->
+      if r && idx < n then
+        match p.Encode.code.(idx) with
+        | Jmp t when t = n -> add idx Unnumbered_exit "jump past the end of the translation"
+        | Br (_, t, f) when t = n || f = n ->
+          add idx Unnumbered_exit "branch past the end of the translation"
+        | _ -> ())
+    reachable;
+  (List.rev !findings, Array.of_list (List.rev !sites), List.sort compare !helpers)
+
+(* --- determinism audits --------------------------------------------------------- *)
+
+(* Index form -> label form: synthesize a label at every branch-target
+   index (including [n] for jumps to the very end — labels emit no
+   bytes, so placement is byte-neutral). *)
+let labelize (p : Encode.program) : instr array =
+  let n = Array.length p.Encode.code in
+  let is_target = Array.make (n + 1) false in
+  Array.iter
+    (function
+      | Jmp t -> is_target.(t) <- true
+      | Br (_, t, f) ->
+        is_target.(t) <- true;
+        is_target.(f) <- true
+      | _ -> ())
+    p.Encode.code;
+  let out = ref [] in
+  for idx = n downto 0 do
+    if idx < n then
+      out :=
+        (match p.Encode.code.(idx) with
+        | Jmp t -> Jmp t
+        | Br (c, t, f) -> Br (c, t, f)
+        | i -> i)
+        :: !out;
+    if is_target.(idx) then out := Label idx :: !out
+  done;
+  Array.of_list !out
+
+(* Re-encode a decoded program; byte-identical to the original stream
+   iff the stream is the encoder's canonical output. *)
+let reencode (p : Encode.program) : bytes = Encode.encode_stream (labelize p)
+
+let first_diff a b =
+  let la = Bytes.length a and lb = Bytes.length b in
+  let n = min la lb in
+  let rec go i = if i < n && Bytes.get a i = Bytes.get b i then go (i + 1) else i in
+  go 0
+
+(* The cache key is the content hash, so the encoding must be a pure
+   function of the program: decode -> re-encode must reproduce the
+   stream bit-for-bit (canonical immediate widths, no label residue). *)
+let audit_roundtrip (p : Encode.program) (code : bytes) : finding option =
+  match reencode p with
+  | exception Encode.Encode_error { index; offset; msg } ->
+    Some
+      { f_class = Nondet_encoding;
+        f_index = index;
+        f_offset = offset;
+        f_msg = "re-encode failed: " ^ msg
+      }
+  | code' ->
+    if Bytes.equal code code' then None
+    else
+      let off = first_diff code code' in
+      Some
+        { f_class = Nondet_encoding;
+          f_index = -1;
+          f_offset = off;
+          f_msg =
+            Printf.sprintf "decode/re-encode differs at byte %d (%d vs %d bytes total)" off
+              (Bytes.length code) (Bytes.length code')
+        }
+
+(* Second leg of the audit: encoding the same allocated stream again
+   must reproduce the bytes (no hidden per-run state in the encoder). *)
+let audit_determinism (ra : Regalloc.result) (code : bytes) : finding option =
+  match Encode.encode ra with
+  | exception Encode.Encode_error { index; offset; msg } ->
+    Some
+      { f_class = Nondet_encoding;
+        f_index = index;
+        f_offset = offset;
+        f_msg = "re-encode of the allocated stream failed: " ^ msg
+      }
+  | code' ->
+    if Bytes.equal code code' then None
+    else
+      Some
+        { f_class = Nondet_encoding;
+          f_index = -1;
+          f_offset = first_diff code code';
+          f_msg = "encoding the same allocated stream twice differs"
+        }
+
+(* --- certification -------------------------------------------------------------- *)
+
+let certify ~(env : env) ?(ra : Regalloc.result option) (code : bytes) :
+    (certificate, finding list) result =
+  match Encode.decode_program ~n_slots:env.n_slots code with
+  | exception Encode.Encode_error { index; offset; msg } ->
+    Error
+      [ { f_class = Nondet_encoding;
+          f_index = index;
+          f_offset = offset;
+          f_msg = "undecodable byte stream: " ^ msg
+        }
+      ]
+  | p ->
+    let findings, sites, helpers = analyze env p in
+    let findings =
+      findings
+      @ (match audit_roundtrip p code with Some f -> [ f ] | None -> [])
+      @
+      match ra with
+      | Some ra -> ( match audit_determinism ra code with Some f -> [ f ] | None -> [])
+      | None -> []
+    in
+    if findings <> [] then Error findings
+    else
+      Ok
+        {
+          c_hash = hash64 code;
+          c_byte_size = Bytes.length code;
+          c_n_slots = env.n_slots;
+          c_n_exits = env.n_exits;
+          c_sites = sites;
+          c_helpers = helpers;
+        }

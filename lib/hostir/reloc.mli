@@ -1,0 +1,94 @@
+(** Relocation-cleanliness analysis: the static proof that an encoded
+    translation can be persisted and reused across boots and instances.
+
+    Over the encoded program (byte stream + decoded instruction array)
+    the analyzer classifies every operand and control transfer as
+    relocatable or pinned: inter-translation transfers must go through
+    numbered chain/exit sites, no absolute host addresses may be baked
+    into immediates, helper references must be stable symbol ids
+    ({!Effects.symbol_name}), and [Wbmap]/slot/frame references must be
+    translation-relative.  A companion determinism audit checks that
+    encoding is a pure function of its input (decode → re-encode byte
+    identity, and re-encoding the same {!Regalloc.result} reproduces the
+    stream), since a content-keyed persistent cache is unsound
+    otherwise.  Clean programs receive a {!certificate} consumed by the
+    AOT cache ([lib/core/aotcache.ml]). *)
+
+type finding_class =
+  | Abs_host_addr  (** absolute host address in a memory-address immediate *)
+  | Unnumbered_exit  (** control leaves without a numbered chain/exit site *)
+  | Env_immediate  (** environment-relative reference out of bounds *)
+  | Nondet_encoding  (** encoding is not a pure function of the program *)
+  | Helper_by_addr  (** helper reference outside the stable symbol table *)
+
+val class_name : finding_class -> string
+(** The stable names: ["abs-host-addr"], ["unnumbered-exit"],
+    ["env-immediate"], ["nondet-encoding"], ["helper-by-addr"]. *)
+
+type finding = {
+  f_class : finding_class;
+  f_index : int;  (** instruction index; [-1] when not instruction-specific *)
+  f_offset : int;  (** byte offset into the encoded stream *)
+  f_msg : string;
+}
+
+val finding_to_string : finding -> string
+
+(** What the installer environment provides; everything a clean
+    translation may reference relative to. *)
+type env = {
+  n_exits : int;  (** highest numbered chain/exit slot the installer binds *)
+  n_helpers : int;  (** helper symbol table size *)
+  n_slots : int;  (** frame slots allocated for this translation *)
+  rf_bytes : int;  (** guest register file size in bytes *)
+}
+
+val host_window_lo : int64
+val host_window_hi : int64
+(** The reserved simulated-host VA window; a memory-access address
+    immediate inside it is a leaked host pointer ([abs-host-addr]).
+    Data immediates are exempt — INT64_MAX and large double bit
+    patterns overlap the window numerically but pin nothing. *)
+
+val in_host_window : int64 -> bool
+
+type site_kind = S_exit | S_poll
+
+(** Relocation table entry: a numbered site the installer re-binds when
+    the translation is loaded into a different boot's cache. *)
+type site = { s_kind : site_kind; s_index : int; s_offset : int; s_slot : int }
+
+type certificate = {
+  c_hash : int64;  (** FNV-1a over the encoded bytes: the content key *)
+  c_byte_size : int;
+  c_n_slots : int;
+  c_n_exits : int;
+  c_sites : site array;  (** the relocation table *)
+  c_helpers : int list;  (** stable helper symbol ids referenced *)
+}
+
+val hash64 : bytes -> int64
+(** FNV-1a 64-bit content hash. *)
+
+val analyze : env -> Encode.program -> finding list * site array * int list
+(** Classify every operand and control transfer; returns the findings,
+    the relocation sites, and the referenced helper ids (sorted). *)
+
+val reencode : Encode.program -> bytes
+(** Re-encode a decoded (index-form) program by synthesizing labels at
+    branch-target indices; byte-identical to the original stream iff the
+    stream is the encoder's canonical output. *)
+
+val audit_roundtrip : Encode.program -> bytes -> finding option
+(** Decode → re-encode byte-identity audit against the original bytes. *)
+
+val audit_determinism : Regalloc.result -> bytes -> finding option
+(** Re-encode the allocated stream and check byte identity — encoding
+    must be a pure function with no hidden per-run state. *)
+
+val certify :
+  env:env -> ?ra:Regalloc.result -> bytes -> (certificate, finding list) result
+(** Full certification: decode, {!analyze}, {!audit_roundtrip}, and
+    (when the allocated stream is at hand) {!audit_determinism}.  [Ok]
+    carries the certificate the AOT cache persists; [Error] the findings
+    that make the translation unsafe to persist. *)

@@ -24,21 +24,38 @@ type t = {
   mutable ring : int; (* 0 = kernel, 3 = user *)
   mutable paging : bool; (* generated code uses the host MMU *)
   mutable cycles : int;
+  mutable jit_cycles : int;
+  (* translation-side cycles (JIT, AOT-cache loads): part of [cycles] for
+     wall-clock totals, but excluded from guest-visible device time so the
+     guest's observable execution is independent of how its code was
+     produced (cold translation vs. warm AOT load). *)
   (* statistics *)
   mutable mem_ops : int;
   mutable faults : int;
-  mutable devs_ticked_at : int;
+  mutable devs_ticked_at : int; (* in guest time (cycles - jit_cycles) *)
 }
 
 let charge t n = t.cycles <- t.cycles + n
 
-(* Lazy device time: devices are advanced to the current cycle count when
-   something might observe them (MMIO access, interrupt poll). *)
+(* Charge to the translation-side ledger: counted in wall-clock [cycles]
+   but invisible to guest time (devices, timers). *)
+let charge_jit t n =
+  t.cycles <- t.cycles + n;
+  t.jit_cycles <- t.jit_cycles + n
+
+(* Guest-visible time: everything the guest's own execution charged. *)
+let guest_cycles t = t.cycles - t.jit_cycles
+
+(* Lazy device time: devices are advanced to the current guest cycle count
+   when something might observe them (MMIO access, interrupt poll).  Guest
+   time excludes JIT charges, so a timer interrupt lands at the same guest
+   instruction whether the code was translated cold or loaded warm. *)
 let sync_devices t =
-  let delta = t.cycles - t.devs_ticked_at in
+  let now = guest_cycles t in
+  let delta = now - t.devs_ticked_at in
   if delta > 0 then begin
     List.iter (fun d -> d.Device.tick delta) t.devices;
-    t.devs_ticked_at <- t.cycles
+    t.devs_ticked_at <- now
   end
 
 let create ?(mem_size = 256 * 1024 * 1024) ?(devices = []) ?(intc = Device.Intc.create ()) () =
@@ -71,6 +88,7 @@ let create ?(mem_size = 256 * 1024 * 1024) ?(devices = []) ?(intc = Device.Intc.
     ring = 0;
     paging = false;
     cycles = 0;
+    jit_cycles = 0;
     mem_ops = 0;
     faults = 0;
     devs_ticked_at = 0;

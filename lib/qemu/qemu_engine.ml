@@ -332,7 +332,9 @@ let translate_block (e : t) sys ~va ~pa ~el ~mmu_on : translation =
   (* Single-pass TCG-style translation cost (Sec. 3.4: Captive is ~2.6x
      slower to translate than QEMU). *)
   let n_host = Array.length instrs in
-  Machine.charge e.machine ((550 * !n) + (90 * n_host));
+  (* Translation-side charge (Machine's virtual-time split): counted in
+     wall-clock cycles but excluded from guest-visible device time. *)
+  Machine.charge_jit e.machine ((550 * !n) + (90 * n_host));
   s.blocks_translated <- s.blocks_translated + 1;
   s.guest_instrs_translated <- s.guest_instrs_translated + !n;
   s.host_instrs_emitted <- s.host_instrs_emitted + n_host;

@@ -110,7 +110,12 @@ let indexify (prog : Hir.instr array) : Encode.program =
         | i -> i)
       prog
   in
-  { Encode.code; byte_size = 4 * Array.length code; n_slots = 0; wb_map = [||] }
+  { Encode.code;
+    offsets = Array.init (Array.length code) (fun i -> 4 * i);
+    byte_size = 4 * Array.length code;
+    n_slots = 0;
+    wb_map = [||]
+  }
 
 let mk_ctx () =
   let machine = Hvm.Machine.create ~mem_size:(4 * 1024 * 1024) () in
