@@ -7,6 +7,7 @@
      captive_run ssa add_sub_imm --level 4
      captive_run lint
      captive_run mmucheck --json --guard
+     captive_run stress --json --seeds 32
      captive_run bench --quick --json
      captive_run validate --json
      captive_run relocheck --json
@@ -20,8 +21,12 @@
    after every pass at O1-O4, and post-regalloc HostIR) for every guest
    model, `mmucheck` runs MMU-stress workloads on both guests with the
    online shadow-oracle sanitizer (page tables, TLB, frame accounting,
-   code-cache W^X, ring transitions) enabled, `bench` is the CI
-   perf-regression gate against bench/baseline.json, `validate`
+   code-cache W^X, ring transitions) enabled, `stress` is the
+   race-focused lane for the concurrent JIT (seeded drain schedules on
+   worker domains, sanitizer + single-domain equivalence as oracles),
+   `bench` is the CI perf-regression gate against bench/baseline.json
+   (with --exact, the determinism gate: exec/jit cycle bit-identity at
+   --domains 1), `validate`
    symbolically checks every translation formed while booting the ARM
    and RISC-V workloads at O1-O4 against an unoptimized reference
    emission (Hostir.Equiv), `relocheck` certifies every translation
@@ -526,6 +531,171 @@ let mmucheck_cmd =
        ~doc:"Run the ARM and RISC-V MMU-stress workloads under the shadow-oracle sanitizer.")
     Term.(ret (const run $ json $ guard $ every))
 
+(* --- stress -------------------------------------------------------------------------- *)
+
+(* The concurrency-stress lane for the concurrent JIT.  Each seed runs
+   the MMU-stress workloads (both guests: SMC, page-table churn, ring
+   transitions) with worker domains, a lowered hot threshold (so region
+   jobs are plentiful) and a seeded install-schedule jitter
+   (Engine.stress_seed): the vCPU's drain of completed translation jobs
+   is deterministically randomized, exploring different interleavings
+   of publish / lookup / invalidate against the sharded code cache.
+   Two oracles hold every run: the shadow-oracle MMU sanitizer (which
+   also audits the published shard keys for coherence) must report zero
+   findings, and the guest-visible outcome — exit code and UART
+   output — must equal a single-domain reference run of the same
+   workload.  Any violation fails the run. *)
+
+let stress_cmd =
+  let json =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Emit one flat JSON object per (workload, seed) run plus a summary line on \
+                 stdout; findings go to stderr.")
+  in
+  let seeds =
+    Arg.(value & opt int 8 & info [ "seeds" ] ~docv:"N"
+           ~doc:"Seeded drain schedules to explore per workload.")
+  in
+  let domains =
+    Arg.(value & opt int 3 & info [ "domains" ] ~docv:"D"
+           ~doc:"Total domains per engine: one vCPU plus D-1 JIT workers.")
+  in
+  let run json seeds domains =
+    if seeds < 1 then `Error (true, "--seeds must be >= 1")
+    else if domains < 2 then `Error (true, "--domains must be >= 2")
+    else begin
+      let failures = ref 0 in
+      let say fmt = if json then Printf.ifprintf stdout fmt else Printf.printf fmt in
+      let shout line = if json then prerr_endline line else print_endline line in
+      let exit_of = function
+        | Captive.Engine.Poweroff c -> c
+        | Captive.Engine.Cycle_limit -> -2
+        | Captive.Engine.Block_limit -> -3
+      in
+      (* Hot threshold 4: the stress workloads cross it early and often,
+         so the job queue, the install path and SMC cancellation all see
+         real traffic. *)
+      let base_config =
+        { Captive.Engine.default_config with
+          Captive.Engine.sanitize = true;
+          sanitize_every = 32;
+          hot_threshold = 4;
+        }
+      in
+      let run_one ~config kind =
+        let e =
+          match kind with
+          | `Arm -> Captive.Engine.create ~config (Guest_arm.Arm.ops ())
+          | `Riscv -> Captive.Engine.create ~config (Guest_riscv.Riscv.ops ())
+        in
+        Fun.protect
+          ~finally:(fun () -> Captive.Engine.shutdown e)
+          (fun () ->
+            (match kind with
+            | `Arm ->
+              Workloads.Kernel.install (Workloads.Kernel.captive_target e)
+                ~user:(Workloads.Mmu_stress.arm_user ())
+            | `Riscv ->
+              Captive.Engine.load_image e ~addr:Workloads.Mmu_stress.riscv_entry
+                (Workloads.Mmu_stress.riscv_image ());
+              Captive.Engine.set_entry e Workloads.Mmu_stress.riscv_entry);
+            let code = exit_of (Captive.Engine.run ~max_cycles:2_000_000_000 e) in
+            (* One final sweep so even a quiet run ends with a checkpoint. *)
+            Captive.Engine.sanitize_check e ~reason:"final";
+            (e, code))
+      in
+      let workloads =
+        [ ("armv8-a-mmu", `Arm, Workloads.Mmu_stress.arm_expected_exit);
+          ("rv64im-mmu", `Riscv, Workloads.Mmu_stress.riscv_expected_exit);
+        ]
+      in
+      say "stress: %d workload(s) x %d seed(s) at %d domains (1 vCPU + %d JIT workers)\n%!"
+        (List.length workloads) seeds domains (domains - 1);
+      (* Single-domain references: the guest-visible outcome every
+         concurrent run must reproduce. *)
+      let refs =
+        List.map
+          (fun (name, kind, expected) ->
+            let e, code = run_one ~config:base_config kind in
+            if code <> expected then begin
+              incr failures;
+              shout
+                (Printf.sprintf "stress: %s: reference exit %d, expected %d" name code expected)
+            end;
+            (name, (code, Captive.Engine.uart_output e)))
+          workloads
+      in
+      let runs = ref 0 in
+      List.iter
+        (fun (name, kind, expected) ->
+          let ref_code, ref_uart = List.assoc name refs in
+          for seed = 1 to seeds do
+            incr runs;
+            let config =
+              { base_config with
+                Captive.Engine.domains;
+                stress_seed = Some (Int64.of_int seed);
+              }
+            in
+            let e, code = run_one ~config kind in
+            let s = e.Captive.Engine.stats in
+            let findings =
+              match e.Captive.Engine.sanitizer with
+              | Some sa -> Hvm.Sanitize.findings sa
+              | None -> []
+            in
+            let uart_ok = String.equal (Captive.Engine.uart_output e) ref_uart in
+            let ok = findings = [] && code = ref_code && code = expected && uart_ok in
+            if not ok then begin
+              incr failures;
+              shout
+                (Printf.sprintf
+                   "stress: %s seed %d: exit %d (ref %d, expected %d), uart %s, %d sanitizer \
+                    finding(s)"
+                   name seed code ref_code expected
+                   (if uart_ok then "ok" else "DIVERGED")
+                   (List.length findings));
+              List.iter
+                (fun f -> shout (Printf.sprintf "  %s" (Hvm.Sanitize.string_of_finding f)))
+                findings
+            end;
+            if json then
+              Printf.printf
+                "{\"kind\":\"run\",\"workload\":%s,\"seed\":%d,\"domains\":%d,\"exit\":%d,\"expected\":%d,\"exit_ref\":%d,\"uart_ok\":%b,\"findings\":%d,\"jobs_enqueued\":%d,\"jobs_completed\":%d,\"jobs_installed\":%d,\"jobs_stale\":%d,\"jobs_cancelled\":%d,\"jobs_dropped\":%d,\"smc_invalidations\":%d,\"async_jit_cycles\":%d,\"ok\":%b}\n"
+                (Dbt_util.Stats.json_string name)
+                seed domains code expected ref_code uart_ok (List.length findings)
+                s.Captive.Engine.jobs_enqueued s.Captive.Engine.jobs_completed
+                s.Captive.Engine.jobs_installed s.Captive.Engine.jobs_stale
+                s.Captive.Engine.jobs_cancelled s.Captive.Engine.jobs_dropped
+                s.Captive.Engine.smc_invalidations
+                (Captive.Engine.async_jit_cycles e)
+                ok
+            else
+              say "%-12s seed %3d: exit %3d, jobs %d enq / %d inst / %d stale / %d cancelled%s\n"
+                name seed code s.Captive.Engine.jobs_enqueued s.Captive.Engine.jobs_installed
+                s.Captive.Engine.jobs_stale s.Captive.Engine.jobs_cancelled
+                (if ok then "" else "  FAIL")
+          done)
+        workloads;
+      if json then
+        Printf.printf
+          "{\"kind\":\"summary\",\"workloads\":%d,\"seeds\":%d,\"domains\":%d,\"runs\":%d,\"failures\":%d,\"gate\":%s}\n"
+          (List.length workloads) seeds domains !runs !failures
+          (Dbt_util.Stats.json_string (if !failures = 0 then "pass" else "fail"));
+      shout
+        (Printf.sprintf "stress: %d run(s) at %d domains: %s" !runs domains
+           (if !failures = 0 then "PASS" else "FAIL"));
+      if !failures = 0 then `Ok ()
+      else `Error (false, Printf.sprintf "stress: %d failure(s)" !failures)
+    end
+  in
+  Cmd.v
+    (Cmd.info "stress"
+       ~doc:"Race-focused stress lane: run the MMU-stress workloads on the concurrent JIT \
+             with seeded install schedules, gated by the MMU sanitizer and single-domain \
+             equivalence.")
+    Term.(ret (const run $ json $ seeds $ domains))
+
 (* --- bench --------------------------------------------------------------------------- *)
 
 (* The CI perf-regression gate.  `bench --quick` runs a handful of
@@ -555,10 +725,13 @@ type bench_row = {
   br_hinstrs_u : int; (* host instrs interpreted, tier-0 only *)
   br_rf_loads : int; (* dynamic register-file loads, tiered *)
   br_rf_stores : int; (* dynamic register-file stores (incl. writebacks) *)
+  br_exec : int; (* guest-execution cycles, tiered (cycles - jit) *)
+  br_jit : int; (* total JIT cycles, tiered (sync + async) *)
+  br_async_jit : int; (* JIT cycles charged from worker-domain installs *)
   br_stats : Captive.Engine.phase_stats;
 }
 
-let bench_run_one ~scale name : bench_row =
+let bench_run_one ~scale ~domains name : bench_row =
   let user = (Workloads.Spec.find name).Workloads.Spec.build ~scale in
   let exit_of = function
     | Captive.Engine.Poweroff c -> c
@@ -567,11 +740,16 @@ let bench_run_one ~scale name : bench_row =
   in
   let run_captive config =
     let e = Captive.Engine.create ~config (Guest_arm.Arm.ops ()) in
-    Workloads.Kernel.install (Workloads.Kernel.captive_target e) ~user;
-    let code = exit_of (Captive.Engine.run ~max_cycles:50_000_000_000 e) in
-    (e, code)
+    Fun.protect
+      ~finally:(fun () -> Captive.Engine.shutdown e)
+      (fun () ->
+        Workloads.Kernel.install (Workloads.Kernel.captive_target e) ~user;
+        let code = exit_of (Captive.Engine.run ~max_cycles:50_000_000_000 e) in
+        (e, code))
   in
-  let e_t, code_t = run_captive Captive.Engine.default_config in
+  let e_t, code_t =
+    run_captive { Captive.Engine.default_config with Captive.Engine.domains }
+  in
   let e_u, code_u =
     run_captive { Captive.Engine.default_config with Captive.Engine.tiering = false }
   in
@@ -596,6 +774,9 @@ let bench_run_one ~scale name : bench_row =
     br_hinstrs_u = e_u.Captive.Engine.ctx.Hostir.Exec.instrs_executed;
     br_rf_loads = e_t.Captive.Engine.ctx.Hostir.Exec.rf_loads;
     br_rf_stores = e_t.Captive.Engine.ctx.Hostir.Exec.rf_stores;
+    br_exec = Captive.Engine.exec_cycles e_t;
+    br_jit = Captive.Engine.jit_cycles e_t;
+    br_async_jit = Captive.Engine.async_jit_cycles e_t;
     br_stats = e_t.Captive.Engine.stats;
   }
 
@@ -614,9 +795,10 @@ let bench_row_json r =
     /. float_of_int (max 1 s.Captive.Engine.guest_instrs_translated)
   in
   Printf.sprintf
-    "{\"kind\":\"workload\",\"name\":%s,\"exit_ok\":%b,\"captive_cycles\":%d,\"captive_untiered_cycles\":%d,\"qemu_cycles\":%d,\"speedup\":%.4f,\"tiered_gain_pct\":%.2f,\"host_instrs\":%d,\"host_instrs_untiered\":%d,\"promotions\":%d,\"regions\":%d,\"region_blocks\":%d,\"region_entries\":%d,\"region_block_execs\":%d,\"region_dead_stores\":%d,\"rf_loads\":%d,\"rf_stores\":%d,\"rf_promoted\":%d,\"region_wb_entries\":%d,\"mem_loads_elided\":%d,\"stores_forwarded\":%d,\"absint_branches_folded\":%d,\"absint_consts_folded\":%d,\"absint_masks_dropped\":%d,\"absint_divs_reduced\":%d,\"absint_dead_deleted\":%d,\"translate_cycles\":%d,\"translate_cpgi\":%.2f,\"t_decode_ms\":%.2f,\"t_translate_ms\":%.2f,\"t_regalloc_ms\":%.2f,\"t_encode_ms\":%.2f,\"t_validate_ms\":%.2f,\"t_analyze_ms\":%.2f}"
+    "{\"kind\":\"workload\",\"name\":%s,\"exit_ok\":%b,\"captive_cycles\":%d,\"exec_cycles\":%d,\"jit_cycles\":%d,\"async_jit_cycles\":%d,\"captive_untiered_cycles\":%d,\"qemu_cycles\":%d,\"speedup\":%.4f,\"tiered_gain_pct\":%.2f,\"host_instrs\":%d,\"host_instrs_untiered\":%d,\"promotions\":%d,\"regions\":%d,\"region_blocks\":%d,\"region_entries\":%d,\"region_block_execs\":%d,\"region_dead_stores\":%d,\"rf_loads\":%d,\"rf_stores\":%d,\"rf_promoted\":%d,\"region_wb_entries\":%d,\"mem_loads_elided\":%d,\"stores_forwarded\":%d,\"absint_branches_folded\":%d,\"absint_consts_folded\":%d,\"absint_masks_dropped\":%d,\"absint_divs_reduced\":%d,\"absint_dead_deleted\":%d,\"translate_cycles\":%d,\"translate_cpgi\":%.2f,\"t_decode_ms\":%.2f,\"t_translate_ms\":%.2f,\"t_regalloc_ms\":%.2f,\"t_encode_ms\":%.2f,\"t_validate_ms\":%.2f,\"t_analyze_ms\":%.2f}"
     (Dbt_util.Stats.json_string r.br_name)
-    r.br_exit_ok r.br_tiered r.br_untiered r.br_qemu r.br_speedup r.br_gain_pct r.br_hinstrs
+    r.br_exit_ok r.br_tiered r.br_exec r.br_jit r.br_async_jit r.br_untiered r.br_qemu
+    r.br_speedup r.br_gain_pct r.br_hinstrs
     r.br_hinstrs_u s.Captive.Engine.promotions s.Captive.Engine.regions_formed
     s.Captive.Engine.region_blocks s.Captive.Engine.region_entries
     s.Captive.Engine.region_block_execs s.Captive.Engine.region_dead_stores r.br_rf_loads
@@ -631,8 +813,11 @@ let bench_row_json r =
     (ms s.Captive.Engine.t_analyze)
 
 (* Parse a committed baseline: one flat JSON object per line, keyed by
-   "name"; only "captive_cycles" and "speedup" gate. *)
-let bench_load_baseline file : (string * (float * float)) list =
+   "name".  "captive_cycles" and "speedup" gate with tolerance;
+   "exec_cycles"/"jit_cycles" (when present) gate bit-exactly under
+   --exact — the determinism lane's cycle-identity check. *)
+let bench_load_baseline file :
+    (string * (float * float * (float * float) option)) list =
   if not (Sys.file_exists file) then []
   else begin
     let ic = open_in file in
@@ -646,7 +831,15 @@ let bench_load_baseline file : (string * (float * float)) list =
              (MJ.find_string fields "name", MJ.find_number fields "captive_cycles",
               MJ.find_number fields "speedup")
            with
-           | Some n, Some c, Some s -> rows := (n, (c, s)) :: !rows
+           | Some n, Some c, Some s ->
+             let xj =
+               match
+                 (MJ.find_number fields "exec_cycles", MJ.find_number fields "jit_cycles")
+               with
+               | Some x, Some j -> Some (x, j)
+               | _ -> None
+             in
+             rows := (n, (c, s, xj)) :: !rows
            | _ -> ())
          | _ -> ()
        done
@@ -669,7 +862,19 @@ let bench_cmd =
     Arg.(value & opt (some string) None & info [ "baseline" ] ~docv:"FILE"
            ~doc:"Baseline to gate against (default: bench/baseline.json when present).")
   in
-  let run json quick baseline scale =
+  let exact =
+    Arg.(value & flag & info [ "exact" ]
+           ~doc:"Determinism gate: additionally require exec_cycles and jit_cycles to be \
+                 bit-identical to the baseline's (fails if the baseline lacks those \
+                 fields).  Meaningful with --domains 1, where the cycle model is \
+                 deterministic.")
+  in
+  let domains =
+    Arg.(value & opt int 1 & info [ "domains" ] ~docv:"D"
+           ~doc:"Domains for the tiered Captive engine (1 = synchronous JIT; D > 1 adds \
+                 D-1 worker domains).")
+  in
+  let run json quick baseline scale exact domains =
     let scale =
       if scale <> 1 then scale
       else try int_of_string (Sys.getenv "BENCH_SCALE") with _ -> 1
@@ -677,10 +882,10 @@ let bench_cmd =
     let names = if quick then bench_quick_names else bench_full_names in
     let say fmt = if json then Printf.ifprintf stdout fmt else Printf.printf fmt in
     let shout line = if json then prerr_endline line else print_endline line in
-    say "bench%s: %d workloads at scale %d (captive tiered / captive tier-0 / qemu)\n%!"
+    say "bench%s: %d workloads at scale %d, %d domain(s) (captive tiered / captive tier-0 / qemu)\n%!"
       (if quick then " --quick" else "")
-      (List.length names) scale;
-    let rows = List.map (bench_run_one ~scale) names in
+      (List.length names) scale domains;
+    let rows = List.map (bench_run_one ~scale ~domains) names in
     let failures = ref 0 in
     List.iter
       (fun r ->
@@ -707,13 +912,19 @@ let bench_cmd =
     in
     let base = bench_load_baseline baseline_file in
     let gate =
-      if base = [] then "no-baseline"
+      if base = [] then begin
+        if exact then begin
+          incr failures;
+          shout "bench: --exact requires a baseline with exec_cycles/jit_cycles"
+        end;
+        if exact then "fail" else "no-baseline"
+      end
       else begin
         List.iter
           (fun r ->
             match List.assoc_opt r.br_name base with
             | None -> ()
-            | Some (bc, bs) ->
+            | Some (bc, bs, bxj) ->
               if float_of_int r.br_tiered > bc *. 1.05 then begin
                 incr failures;
                 shout
@@ -727,6 +938,24 @@ let bench_cmd =
                   (Printf.sprintf
                      "bench: %s: captive-vs-qemu speedup %.2fx below baseline %.2fx - 5%%"
                      r.br_name r.br_speedup bs)
+              end;
+              if exact then begin
+                match bxj with
+                | None ->
+                  incr failures;
+                  shout
+                    (Printf.sprintf
+                       "bench: %s: --exact but baseline has no exec_cycles/jit_cycles"
+                       r.br_name)
+                | Some (bx, bj) ->
+                  if float_of_int r.br_exec <> bx || float_of_int r.br_jit <> bj then begin
+                    incr failures;
+                    shout
+                      (Printf.sprintf
+                         "bench: %s: cycle split not bit-identical to baseline (exec %d vs \
+                          %.0f, jit %d vs %.0f)"
+                         r.br_name r.br_exec bx r.br_jit bj)
+                  end
               end)
           rows;
         if !failures = 0 then "pass" else "fail"
@@ -748,7 +977,7 @@ let bench_cmd =
   Cmd.v
     (Cmd.info "bench"
        ~doc:"Run the perf benchmark set on all engines and gate against bench/baseline.json.")
-    Term.(ret (const run $ json $ quick $ baseline $ scale_arg))
+    Term.(ret (const run $ json $ quick $ baseline $ scale_arg $ exact $ domains))
 
 (* --- validate ------------------------------------------------------------------------ *)
 
@@ -1338,7 +1567,8 @@ let () =
       `Noblank; `P "$(mname) $(b,ssa) $(i,INSTRUCTION) [$(b,--level) $(i,N)] [$(b,--guest) $(i,GUEST)] [$(b,--classify)]";
       `Noblank; `P "$(mname) $(b,lint) [$(b,--guest) $(i,GUEST)] [$(b,--json)]";
       `Noblank; `P "$(mname) $(b,mmucheck) [$(b,--json)] [$(b,--guard)] [$(b,--every) $(i,N)]";
-      `Noblank; `P "$(mname) $(b,bench) [$(b,--quick)] [$(b,--json)] [$(b,--baseline) $(i,FILE)]";
+      `Noblank; `P "$(mname) $(b,stress) [$(b,--json)] [$(b,--seeds) $(i,N)] [$(b,--domains) $(i,D)]";
+      `Noblank; `P "$(mname) $(b,bench) [$(b,--quick)] [$(b,--json)] [$(b,--baseline) $(i,FILE)] [$(b,--exact)] [$(b,--domains) $(i,D)]";
       `Noblank; `P "$(mname) $(b,validate) [$(b,--json)] [$(b,--every) $(i,N)]";
       `Noblank; `P "$(mname) $(b,analyze) [$(b,--json)] [$(b,--workload) $(i,NAME)] [$(b,--level) $(i,N)]";
       `Noblank; `P "$(mname) $(b,relocheck) [$(b,--json)] [$(b,--workload) $(i,NAME)] [$(b,--level) $(i,N)]";
@@ -1349,4 +1579,4 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "captive_run" ~doc ~man)
           [ spec_cmd; simbench_cmd; boot_cmd; info_cmd; ssa_cmd; lint_cmd; mmucheck_cmd;
-            bench_cmd; validate_cmd; analyze_cmd; relocheck_cmd; aot_cmd ]))
+            stress_cmd; bench_cmd; validate_cmd; analyze_cmd; relocheck_cmd; aot_cmd ]))

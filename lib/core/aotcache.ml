@@ -46,7 +46,18 @@ type t = {
   dir : string;
   index : (int * int64 * int64 * int * bool * int64, entry list ref) Hashtbl.t;
   stats : stats;
+  (* The index and the store path are shared between the vCPU and JIT
+     worker domains (concurrent AOT loads while a region job persists
+     its output), so every index access and disk store runs under this
+     lock.  Entries themselves are immutable once constructed. *)
+  mu : Mutex.t;
 }
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let stats t = t.stats
 
 let key_of e = (e.e_kind, e.e_va, e.e_pa, e.e_el, e.e_mmu, e.e_cfg)
 
@@ -179,7 +190,7 @@ let rec mkdir_p dir =
     try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
   end
 
-let add_index t e =
+let add_index_unlocked t e =
   let k = key_of e in
   match Hashtbl.find_opt t.index k with
   | Some l -> if not (List.exists (fun e' -> Bytes.equal e'.e_code e.e_code) !l) then l := e :: !l
@@ -200,7 +211,14 @@ let read_file path =
    skipped; they are re-verified again at install time anyway. *)
 let open_dir (dir : string) : t =
   mkdir_p dir;
-  let t = { dir; index = Hashtbl.create 64; stats = { loaded = 0; malformed = 0 } } in
+  let t =
+    {
+      dir;
+      index = Hashtbl.create 64;
+      stats = { loaded = 0; malformed = 0 };
+      mu = Mutex.create ();
+    }
+  in
   let files = try Sys.readdir dir with Sys_error _ -> [||] in
   Array.sort compare files;
   Array.iter
@@ -208,7 +226,7 @@ let open_dir (dir : string) : t =
       if Filename.check_suffix f ".aot" then
         match read_entry (read_file (Filename.concat dir f)) with
         | e ->
-          add_index t e;
+          add_index_unlocked t e;
           t.stats.loaded <- t.stats.loaded + 1
         | exception (Malformed _ | Sys_error _ | End_of_file) ->
           t.stats.malformed <- t.stats.malformed + 1)
@@ -216,27 +234,33 @@ let open_dir (dir : string) : t =
   t
 
 (* Candidate entries for a translation site; the engine still verifies
-   guest bytes and re-certifies before installing any of them. *)
+   guest bytes and re-certifies before installing any of them.  The
+   returned list is a snapshot taken under the lock. *)
 let candidates (t : t) ~kind ~va ~pa ~el ~mmu ~cfg : entry list =
-  match Hashtbl.find_opt t.index (kind, va, pa, el, mmu, cfg) with
-  | Some l -> !l
-  | None -> []
+  locked t (fun () ->
+      match Hashtbl.find_opt t.index (kind, va, pa, el, mmu, cfg) with
+      | Some l -> !l
+      | None -> [])
 
 (* Persist a certified entry: atomic tmp + rename, idempotent (the name
-   is content-addressed, so an existing file is already this entry). *)
+   is content-addressed, so an existing file is already this entry).
+   Serialized under the lock so concurrent stores from worker installs
+   can't interleave on the index or race the tmp file. *)
 let store (t : t) (e : entry) : unit =
-  add_index t e;
-  let name = filename_of e in
-  let path = Filename.concat t.dir name in
-  if not (Sys.file_exists path) then begin
-    let buf = Buffer.create (Bytes.length e.e_code + 256) in
-    write_entry buf e;
-    let tmp = Filename.concat t.dir ("." ^ name ^ ".tmp") in
-    let oc = open_out_bin tmp in
-    Fun.protect
-      ~finally:(fun () -> close_out_noerr oc)
-      (fun () -> Buffer.output_buffer oc buf);
-    Sys.rename tmp path
-  end
+  locked t (fun () ->
+      add_index_unlocked t e;
+      let name = filename_of e in
+      let path = Filename.concat t.dir name in
+      if not (Sys.file_exists path) then begin
+        let buf = Buffer.create (Bytes.length e.e_code + 256) in
+        write_entry buf e;
+        let tmp = Filename.concat t.dir ("." ^ name ^ ".tmp") in
+        let oc = open_out_bin tmp in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () -> Buffer.output_buffer oc buf);
+        Sys.rename tmp path
+      end)
 
-let entry_count (t : t) = Hashtbl.fold (fun _ l acc -> acc + List.length !l) t.index 0
+let entry_count (t : t) =
+  locked t (fun () -> Hashtbl.fold (fun _ l acc -> acc + List.length !l) t.index 0)

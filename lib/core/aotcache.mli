@@ -27,9 +27,13 @@ type entry = {
 
 type stats = { mutable loaded : int; mutable malformed : int }
 
-type t = { dir : string;
-           index : (int * int64 * int64 * int * bool * int64, entry list ref) Hashtbl.t;
-           stats : stats }
+(** The open cache: a disk directory plus an in-memory index.  All
+    operations are thread-safe — the index and the store path are
+    serialized by an internal mutex, so JIT worker domains may load
+    candidates and persist entries concurrently with the vCPU. *)
+type t
+
+val stats : t -> stats
 
 exception Malformed of string
 

@@ -62,6 +62,17 @@ type config = {
      re-checked, chain/exit sites re-bound) instead of re-translated.
      Implies certification of every translation. *)
   aot_dir : string option;
+  (* concurrent JIT (OCaml 5 domains): total domains the engine may use.
+     1 = fully synchronous, bit-identical to the historical engine;
+     N > 1 spawns N-1 JIT worker domains that execute region-formation
+     jobs while the vCPU keeps running tier-0 code.  Not part of the
+     AOT config signature: the generated code is identical either way. *)
+  domains : int;
+  (* deterministic schedule jitter for the stress harness: seeds a PRNG
+     that perturbs when completed translation jobs are drained and
+     installed, widening the publish/invalidate race window without
+     giving up reproducibility. *)
+  stress_seed : int64 option;
 }
 
 let default_config =
@@ -85,6 +96,8 @@ let default_config =
     absint_simplify = true;
     reloc_check = false;
     aot_dir = None;
+    domains = 1;
+    stress_seed = None;
   }
 
 type phase_stats = {
@@ -141,6 +154,13 @@ type phase_stats = {
   mutable aot_misses : int; (* sites with no reusable entry *)
   mutable aot_stores : int; (* certified translations persisted *)
   mutable aot_rejects : int; (* disk entries refused (corrupt or flagged) *)
+  (* concurrent JIT job accounting (domains > 1 only; all 0 when synchronous) *)
+  mutable jobs_enqueued : int; (* region jobs handed to the worker pool *)
+  mutable jobs_completed : int; (* worker results drained by the vCPU *)
+  mutable jobs_installed : int; (* results published into the sharded cache *)
+  mutable jobs_stale : int; (* results rejected at install: page generation or guest hash changed (SMC) *)
+  mutable jobs_cancelled : int; (* queued jobs dropped by invalidate_page before a worker took them *)
+  mutable jobs_dropped : int; (* enqueues refused because the bounded queue was full *)
 }
 
 let new_phase_stats () =
@@ -192,7 +212,70 @@ let new_phase_stats () =
     aot_misses = 0;
     aot_stores = 0;
     aot_rejects = 0;
+    jobs_enqueued = 0;
+    jobs_completed = 0;
+    jobs_installed = 0;
+    jobs_stale = 0;
+    jobs_cancelled = 0;
+    jobs_dropped = 0;
   }
+
+(* Merge a stats delta that a pure translation job accumulated
+   off-thread into the engine's totals.  Every field is additive. *)
+let add_stats (dst : phase_stats) (d : phase_stats) =
+  dst.t_decode <- dst.t_decode +. d.t_decode;
+  dst.t_translate <- dst.t_translate +. d.t_translate;
+  dst.t_regalloc <- dst.t_regalloc +. d.t_regalloc;
+  dst.t_encode <- dst.t_encode +. d.t_encode;
+  dst.blocks_translated <- dst.blocks_translated + d.blocks_translated;
+  dst.guest_instrs_translated <- dst.guest_instrs_translated + d.guest_instrs_translated;
+  dst.host_instrs_emitted <- dst.host_instrs_emitted + d.host_instrs_emitted;
+  dst.host_bytes_emitted <- dst.host_bytes_emitted + d.host_bytes_emitted;
+  dst.dead_marked <- dst.dead_marked + d.dead_marked;
+  dst.spills <- dst.spills + d.spills;
+  dst.blocks_executed <- dst.blocks_executed + d.blocks_executed;
+  dst.chain_hits <- dst.chain_hits + d.chain_hits;
+  dst.smc_invalidations <- dst.smc_invalidations + d.smc_invalidations;
+  dst.promotions <- dst.promotions + d.promotions;
+  dst.regions_formed <- dst.regions_formed + d.regions_formed;
+  dst.region_blocks <- dst.region_blocks + d.region_blocks;
+  dst.region_host_instrs <- dst.region_host_instrs + d.region_host_instrs;
+  dst.region_entries <- dst.region_entries + d.region_entries;
+  dst.region_block_execs <- dst.region_block_execs + d.region_block_execs;
+  dst.region_dead_stores <- dst.region_dead_stores + d.region_dead_stores;
+  dst.rf_promoted <- dst.rf_promoted + d.rf_promoted;
+  dst.region_wb_entries <- dst.region_wb_entries + d.region_wb_entries;
+  dst.mem_loads_elided <- dst.mem_loads_elided + d.mem_loads_elided;
+  dst.stores_forwarded <- dst.stores_forwarded + d.stores_forwarded;
+  dst.t_validate <- dst.t_validate +. d.t_validate;
+  dst.blocks_validated <- dst.blocks_validated + d.blocks_validated;
+  dst.regions_validated <- dst.regions_validated + d.regions_validated;
+  dst.validation_findings <- dst.validation_findings + d.validation_findings;
+  dst.validations_bounded <- dst.validations_bounded + d.validations_bounded;
+  dst.t_analyze <- dst.t_analyze +. d.t_analyze;
+  dst.blocks_analyzed <- dst.blocks_analyzed + d.blocks_analyzed;
+  dst.regions_analyzed <- dst.regions_analyzed + d.regions_analyzed;
+  dst.obligation_findings <- dst.obligation_findings + d.obligation_findings;
+  dst.absint_branches_folded <- dst.absint_branches_folded + d.absint_branches_folded;
+  dst.absint_consts_folded <- dst.absint_consts_folded + d.absint_consts_folded;
+  dst.absint_masks_dropped <- dst.absint_masks_dropped + d.absint_masks_dropped;
+  dst.absint_divs_reduced <- dst.absint_divs_reduced + d.absint_divs_reduced;
+  dst.absint_dead_deleted <- dst.absint_dead_deleted + d.absint_dead_deleted;
+  dst.t_reloc <- dst.t_reloc +. d.t_reloc;
+  dst.translate_cycles <- dst.translate_cycles + d.translate_cycles;
+  dst.blocks_certified <- dst.blocks_certified + d.blocks_certified;
+  dst.regions_certified <- dst.regions_certified + d.regions_certified;
+  dst.reloc_findings <- dst.reloc_findings + d.reloc_findings;
+  dst.aot_hits <- dst.aot_hits + d.aot_hits;
+  dst.aot_misses <- dst.aot_misses + d.aot_misses;
+  dst.aot_stores <- dst.aot_stores + d.aot_stores;
+  dst.aot_rejects <- dst.aot_rejects + d.aot_rejects;
+  dst.jobs_enqueued <- dst.jobs_enqueued + d.jobs_enqueued;
+  dst.jobs_completed <- dst.jobs_completed + d.jobs_completed;
+  dst.jobs_installed <- dst.jobs_installed + d.jobs_installed;
+  dst.jobs_stale <- dst.jobs_stale + d.jobs_stale;
+  dst.jobs_cancelled <- dst.jobs_cancelled + d.jobs_cancelled;
+  dst.jobs_dropped <- dst.jobs_dropped + d.jobs_dropped
 
 type translation = {
   t_key : int64 * int * bool;
@@ -216,13 +299,89 @@ type translation = {
   t_exits : (int64 * int * translation) option array;
 }
 
+(* --- concurrent JIT: pure translation jobs on worker domains --------------------- *)
+
+(* Everything the pure job runner may read: immutable configuration
+   captured at engine creation.  A worker domain never touches the
+   engine record, the machine, or live guest memory — translation is a
+   function (guest bytes, regime, config) -> (encoded program, stats). *)
+type jit_env = {
+  je_guest : Ops.ops;
+  je_config : config;
+  je_n_helpers : int; (* helper symbol table size, for Reloc env bounds *)
+  je_rf_bytes : int; (* guest register file size, for Reloc env bounds *)
+}
+
+type member_desc = {
+  md_va : int64;
+  md_off : int; (* byte offset of the member's code in the page snapshot *)
+  md_succs : int64 list; (* profiled successor VAs, hottest first *)
+}
+
+(* A region-formation job: guest-PA range + EL/MMU regime in, certified
+   encoded program out.  The guest bytes travel as a snapshot of the
+   head's page taken at enqueue time (regions never cross a page), so
+   the job stays pure even while the vCPU keeps mutating guest memory. *)
+type region_request = {
+  rq_head_va : int64;
+  rq_pa_page : int64;
+  rq_el : int;
+  rq_mmu : bool;
+  rq_members : member_desc list;
+  rq_snapshot : bytes; (* the head page's 4 KiB at enqueue time *)
+}
+
+(* What the worker hands back: the encoded program plus the stats delta
+   and capped finding logs it accumulated, merged on the vCPU at
+   install time. *)
+type region_result = {
+  r_program : Encode.program;
+  r_code : bytes;
+  r_cert : Hostir.Reloc.certificate option;
+  r_n_guest : int;
+  r_n_host : int;
+  r_n_slots : int;
+  r_n_exits : int;
+  r_stats : phase_stats;
+  r_validation_log : (string * string) list;
+  r_analysis_log : (string * string) list;
+  r_reloc_log : (string * string) list;
+}
+
+type job_outcome = R_ok of region_result | R_exn of exn
+
+type region_job = {
+  j_req : region_request; (* the pure part: all a worker reads *)
+  j_head : translation; (* vCPU-side records, for install bookkeeping only *)
+  j_members : translation list;
+  j_gen : int; (* code-cache page generation at enqueue: the tombstone token *)
+  j_guest_hash : int64; (* Reloc.hash64 over the members' guest bytes at enqueue *)
+  mutable j_outcome : job_outcome option; (* written by the worker under the pool lock *)
+}
+
+(* Bounded work queue + completion list; one mutex covers both (the
+   contention is one vCPU against a few workers at region-formation
+   granularity). *)
+type pool = {
+  p_mu : Mutex.t;
+  p_cv : Condition.t;
+  mutable p_pending : region_job list; (* FIFO, newest last *)
+  mutable p_done : region_job list; (* completion order, newest last *)
+  mutable p_stop : bool;
+  mutable p_domains : unit Domain.t list;
+}
+
+let job_queue_depth = 16
+
 type t = {
   guest : Ops.ops;
   config : config;
   machine : Machine.t;
   mutable ctx : Exec.ctx;
-  cache : (int64 * int * bool, translation) Hashtbl.t;
-  by_page : (int64, (int64 * int * bool) list ref) Hashtbl.t;
+  (* The code cache: PA-sharded, published-immutable (Codecache).  The
+     vCPU is the only publisher and invalidator; worker domains never
+     touch it — they hand results back and the vCPU installs them. *)
+  cache : translation Codecache.t;
   protected : (int64, unit) Hashtbl.t; (* guest phys pages holding code *)
   mappings : (int64, (int * int64) list ref) Hashtbl.t; (* phys page -> (as, masked va page) *)
   roots : int64 array; (* host page-table roots: [|low; high|] *)
@@ -247,6 +406,10 @@ type t = {
   (* relocation-cleanliness certification + AOT cache *)
   aot : Aotcache.t option;
   mutable reloc_log : (string * string) list; (* (context, finding), capped *)
+  (* concurrent JIT *)
+  jenv : jit_env;
+  mutable pool : pool option; (* spawned on first enqueue when domains > 1 *)
+  stress_prng : Dbt_util.Prng.t option; (* drain-schedule jitter (stress_seed) *)
 }
 
 let now () = Unix.gettimeofday ()
@@ -383,14 +546,21 @@ let rec create ?(config = default_config) (guest : Ops.ops) : t =
     Common.softfloat_names;
   let fault_handler ctx access va ~bits ~value = handle_fault (engine ()) ctx access va ~bits ~value in
   let ctx = Exec.create ~machine ~helpers ~fault_handler in
+  let jenv =
+    {
+      je_guest = guest;
+      je_config = config;
+      je_n_helpers = Array.length helpers;
+      je_rf_bytes = Bytes.length ctx.Exec.regfile;
+    }
+  in
   let e =
     {
       guest;
       config;
       machine;
       ctx;
-      cache = Hashtbl.create 1024;
-      by_page = Hashtbl.create 256;
+      cache = Codecache.create ();
       protected = Hashtbl.create 64;
       mappings = Hashtbl.create 1024;
       roots;
@@ -408,6 +578,9 @@ let rec create ?(config = default_config) (guest : Ops.ops) : t =
       analysis_log = [];
       aot = Option.map Aotcache.open_dir config.aot_dir;
       reloc_log = [];
+      jenv;
+      pool = None;
+      stress_prng = Option.map Dbt_util.Prng.create config.stress_seed;
     }
   in
   engine_ref := Some e;
@@ -438,7 +611,9 @@ and flush_host_mappings (e : t) =
    against the sanitizer's shadow.  Free by construction when off. *)
 and sanitize_check (e : t) ~reason =
   match e.sanitizer with
-  | Some s -> Hvm.Sanitize.check s ~machine:e.machine ~roots:e.roots ~reason
+  | Some s ->
+    Hvm.Sanitize.check s ~machine:e.machine ~roots:e.roots
+      ~code_keys:(Some (Codecache.keys e.cache)) ~reason
   | None -> ()
 
 (* --- host page fault handling (Sec. 2.7.3) --------------------------------------- *)
@@ -447,15 +622,30 @@ and device_of e pa = Machine.find_device e.machine pa
 
 and invalidate_page e phys_page =
   poison_regions e;
-  (match Hashtbl.find_opt e.by_page phys_page with
-  | Some keys ->
-    let removed = List.filter_map (fun k -> Hashtbl.find_opt e.cache k) !keys in
-    List.iter (fun k -> Hashtbl.remove e.cache k) !keys;
+  (* Cancel in-flight region jobs translating from this page: a pending
+     job was enqueued against the pre-write bytes.  Jobs already running
+     on a worker domain can't be stopped mid-flight — their install is
+     rejected instead, by the page-generation tombstone ([publish_if])
+     and the guest-byte certificate hash re-check. *)
+  (match e.pool with
+  | None -> ()
+  | Some p ->
+    Mutex.lock p.p_mu;
+    let cancelled, kept =
+      List.partition (fun j -> Int64.equal j.j_req.rq_pa_page phys_page) p.p_pending
+    in
+    p.p_pending <- kept;
+    Mutex.unlock p.p_mu;
+    e.stats.jobs_cancelled <- e.stats.jobs_cancelled + List.length cancelled);
+  (* [invalidate_page] bumps the page generation even when no key is
+     published — the tombstone must outlive the cache contents. *)
+  let removed = Codecache.invalidate_page e.cache phys_page in
+  if removed <> [] then begin
     (* Unlink every chain edge targeting an invalidated translation: a
        chain hit bypasses the cache, so a surviving edge would re-enter
        stale code after self-modification (fatal for a region unit, whose
        members just got demoted). *)
-    Hashtbl.iter
+    Codecache.iter
       (fun _ tr ->
         (match tr.t_chain with
         | Some (_, _, tgt) when List.memq tgt removed -> tr.t_chain <- None
@@ -475,9 +665,8 @@ and invalidate_page e phys_page =
         tr.t_chain <- None;
         Array.fill tr.t_exits 0 (Array.length tr.t_exits) None)
       removed;
-    Hashtbl.remove e.by_page phys_page;
     e.stats.smc_invalidations <- e.stats.smc_invalidations + 1
-  | None -> ());
+  end;
   (* Static-analysis staleness audit: unlike chain edges, there is no
      per-translation analysis state to drop here.  Abstract facts and
      obligation findings are consumed at translate time (counters plus
@@ -642,22 +831,66 @@ let decode_block (e : t) ~va ~pa : Adl.Decode.decoded list * bool =
   done;
   (List.rev !decoded, !undefined_stub)
 
-let dag_config_of (e : t) ~mmu_on =
+(* Pure decode from a page snapshot: mirrors [decode_block]'s stop
+   conditions exactly, but reads the bytes captured at enqueue time —
+   never live guest memory, which the vCPU may be mutating while the
+   job runs on a worker domain.  [off] is the byte offset of [va]'s
+   code within the snapshot page. *)
+let decode_block_pure (je : jit_env) ~(snapshot : bytes) ~va ~off :
+    Adl.Decode.decoded list * bool =
+  let model = je.je_guest.Ops.model in
+  let decoded = ref [] in
+  let n = ref 0 in
+  let undefined_stub = ref false in
+  let continue_ = ref true in
+  while !continue_ do
+    let insn_va = Int64.add va (Int64.of_int (4 * !n)) in
+    let word =
+      Int64.logand 0xFFFF_FFFFL
+        (Int64.of_int32 (Bytes.get_int32_le snapshot (off + (4 * !n))))
+    in
+    match Ssa.Offline.decode model word with
+    | Some d ->
+      decoded := d :: !decoded;
+      incr n;
+      if d.Adl.Decode.ends_block || !n >= je.je_config.max_block
+         || Int64.logand insn_va 0xFFFL = 0xFFCL (* stop at page boundary *)
+      then continue_ := false
+    | None ->
+      if !n = 0 then undefined_stub := true;
+      continue_ := false
+  done;
+  (List.rev !decoded, !undefined_stub)
+
+let dag_config_env (je : jit_env) ~mmu_on =
   {
-    Dag.bank_offset = e.guest.Ops.bank_offset;
-    slot_offset = e.guest.Ops.slot_offset;
-    lower_intrinsic = lower_intrinsic e.config;
+    Dag.bank_offset = je.je_guest.Ops.bank_offset;
+    slot_offset = je.je_guest.Ops.slot_offset;
+    lower_intrinsic = lower_intrinsic je.je_config;
     effect_helper = Common.effect_helper_index;
     coproc_read_helper = Common.h_coproc_read;
     coproc_write_helper = Common.h_coproc_write;
-    split_va_check = e.config.split_va_check && mmu_on;
+    split_va_check = je.je_config.split_va_check && mmu_on;
     as_switch_helper = Common.h_as_switch;
   }
 
-(* Account one Equiv outcome: counters, plus a capped per-engine log of
-   findings (full detail, for the validate subcommand's JSON report). *)
-let record_validation (e : t) ~what ~region (r : Hostir.Equiv.outcome) =
-  let s = e.stats in
+let dag_config_of (e : t) ~mmu_on = dag_config_env e.jenv ~mmu_on
+
+(* Finding logs are capped: counters keep exact totals, the logs keep
+   the first [log_cap] findings in discovery order. *)
+let log_cap = 64
+
+let append_capped (log : (string * string) list) (extra : (string * string) list) =
+  List.fold_left (fun acc it -> if List.length acc < log_cap then acc @ [ it ] else acc) log extra
+
+(* The [_into] recorders write to an explicit stats record and log ref
+   instead of the engine, so the pure job runner can account its work
+   into a private delta on a worker domain; the engine-side wrappers
+   below keep the historical call shape for the synchronous paths. *)
+
+(* Account one Equiv outcome: counters, plus a capped log of findings
+   (full detail, for the validate subcommand's JSON report). *)
+let record_validation_into ~(s : phase_stats) ~log ~what ~region (r : Hostir.Equiv.outcome) =
   if region then s.regions_validated <- s.regions_validated + 1
   else s.blocks_validated <- s.blocks_validated + 1;
   if not r.Hostir.Equiv.complete then s.validations_bounded <- s.validations_bounded + 1;
@@ -665,41 +898,51 @@ let record_validation (e : t) ~what ~region (r : Hostir.Equiv.outcome) =
     s.validation_findings <- s.validation_findings + List.length r.Hostir.Equiv.findings;
     List.iter
       (fun (f : Hostir.Equiv.finding) ->
-        if List.length e.validation_log < 64 then
-          e.validation_log <-
-            e.validation_log
+        if List.length !log < log_cap then
+          log :=
+            !log
             @ [ (Printf.sprintf "%s: %s" what f.Hostir.Equiv.f_name, f.Hostir.Equiv.f_detail) ])
       r.Hostir.Equiv.findings
   end
 
-(* Account one static-analysis outcome: counters, plus a capped
-   per-engine log of findings (full detail, for the analyze
-   subcommand's JSON report). *)
-let record_analysis (e : t) ~what ~region (findings : Hostir.Absint.finding list) =
-  let s = e.stats in
+let record_validation (e : t) ~what ~region (r : Hostir.Equiv.outcome) =
+  let log = ref e.validation_log in
+  record_validation_into ~s:e.stats ~log ~what ~region r;
+  e.validation_log <- !log
+
+(* Account one static-analysis outcome: counters, plus a capped log of
+   findings (full detail, for the analyze subcommand's JSON report). *)
+let record_analysis_into ~(s : phase_stats) ~log ~what ~region
+    (findings : Hostir.Absint.finding list) =
   if region then s.regions_analyzed <- s.regions_analyzed + 1
   else s.blocks_analyzed <- s.blocks_analyzed + 1;
   if findings <> [] then begin
     s.obligation_findings <- s.obligation_findings + List.length findings;
     List.iter
       (fun (f : Hostir.Absint.finding) ->
-        if List.length e.analysis_log < 64 then
-          e.analysis_log <- e.analysis_log @ [ (what, Hostir.Absint.finding_to_string f) ])
+        if List.length !log < log_cap then
+          log := !log @ [ (what, Hostir.Absint.finding_to_string f) ])
       findings
   end
 
 (* Static obligation checking of one translation: the pre-allocation
    stream carries the register-file and writeback-discipline
    obligations, the allocated stream the spill-frame bounds. *)
-let analyze_translation (e : t) ~what ~region ?(promoted = []) ~(pre : Hir.instr array)
-    (ra : Regalloc.result) =
+let analyze_translation_into ~(s : phase_stats) ~log ~what ~region ~promoted
+    ~(pre : Hir.instr array) (ra : Regalloc.result) =
   let ta = now () in
   let findings =
     Hostir.Absint.check_translation ~classify:Common.helper_kind ~promoted pre
     @ Hostir.Absint.check_frame ~n_slots:ra.Regalloc.n_slots ra.Regalloc.instrs
   in
-  record_analysis e ~what ~region findings;
-  e.stats.t_analyze <- e.stats.t_analyze +. (now () -. ta)
+  record_analysis_into ~s ~log ~what ~region findings;
+  s.t_analyze <- s.t_analyze +. (now () -. ta)
+
+let analyze_translation (e : t) ~what ~region ?(promoted = []) ~(pre : Hir.instr array)
+    (ra : Regalloc.result) =
+  let log = ref e.analysis_log in
+  analyze_translation_into ~s:e.stats ~log ~what ~region ~promoted ~pre ra;
+  e.analysis_log <- !log
 
 (* --- relocation-cleanliness certification + persistent AOT cache ----------------- *)
 
@@ -711,12 +954,20 @@ let charge_translate (e : t) n =
   Machine.charge_jit e.machine n;
   e.stats.translate_cycles <- e.stats.translate_cycles + n
 
-let reloc_env (e : t) ~n_exits ~n_slots : Hostir.Reloc.env =
+(* Same ledger split as [charge_translate], plus the async sub-ledger:
+   cycles charged here were spent on a worker domain while the vCPU kept
+   executing, so [async_jit_cycles / jit_cycles] is the translate-stall
+   share the pool removed from the vCPU's critical path. *)
+let charge_translate_async (e : t) n =
+  Machine.charge_jit_async e.machine n;
+  e.stats.translate_cycles <- e.stats.translate_cycles + n
+
+let reloc_env_of (je : jit_env) ~n_exits ~n_slots : Hostir.Reloc.env =
   {
     Hostir.Reloc.n_exits;
-    n_helpers = Array.length e.ctx.Exec.helpers;
+    n_helpers = je.je_n_helpers;
     n_slots;
-    rf_bytes = Bytes.length e.ctx.Exec.regfile;
+    rf_bytes = je.je_rf_bytes;
   }
 
 (* Signature over everything that changes generated code for the same
@@ -734,10 +985,10 @@ let aot_cfg_sig (e : t) : int64 =
           c.tiering c.hot_threshold c.region_max_blocks c.promote c.promote_max_regs
           c.absint_simplify))
 
-(* Account one certification outcome: counters, plus a capped per-engine
-   log of findings (full detail, for the relocheck subcommand). *)
-let record_reloc (e : t) ~what ~region (findings : Hostir.Reloc.finding list) =
-  let s = e.stats in
+(* Account one certification outcome: counters, plus a capped log of
+   findings (full detail, for the relocheck subcommand). *)
+let record_reloc_into ~(s : phase_stats) ~log ~what ~region
+    (findings : Hostir.Reloc.finding list) =
   if findings = [] then
     if region then s.regions_certified <- s.regions_certified + 1
     else s.blocks_certified <- s.blocks_certified + 1
@@ -745,23 +996,32 @@ let record_reloc (e : t) ~what ~region (findings : Hostir.Reloc.finding list) =
     s.reloc_findings <- s.reloc_findings + List.length findings;
     List.iter
       (fun f ->
-        if List.length e.reloc_log < 64 then
-          e.reloc_log <- e.reloc_log @ [ (what, Hostir.Reloc.finding_to_string f) ])
+        if List.length !log < log_cap then
+          log := !log @ [ (what, Hostir.Reloc.finding_to_string f) ])
       findings
   end
 
 (* Certify one encoded translation relocation-clean (operand/control
    classification + encoding-determinism audit); [Some] carries the
    certificate the AOT cache persists. *)
+let certify_translation_into (je : jit_env) ~(s : phase_stats) ~log ~what ~region ~n_exits
+    ~n_slots ?ra (code : bytes) : Hostir.Reloc.certificate option =
+  let t0 = now () in
+  let r = Hostir.Reloc.certify ~env:(reloc_env_of je ~n_exits ~n_slots) ?ra code in
+  (match r with
+  | Ok _ -> record_reloc_into ~s ~log ~what ~region []
+  | Error fs -> record_reloc_into ~s ~log ~what ~region fs);
+  s.t_reloc <- s.t_reloc +. (now () -. t0);
+  match r with Ok c -> Some c | Error _ -> None
+
 let certify_translation (e : t) ~what ~region ~n_exits ~n_slots ?ra (code : bytes) :
     Hostir.Reloc.certificate option =
-  let t0 = now () in
-  let r = Hostir.Reloc.certify ~env:(reloc_env e ~n_exits ~n_slots) ?ra code in
-  (match r with
-  | Ok _ -> record_reloc e ~what ~region []
-  | Error fs -> record_reloc e ~what ~region fs);
-  e.stats.t_reloc <- e.stats.t_reloc +. (now () -. t0);
-  match r with Ok c -> Some c | Error _ -> None
+  let log = ref e.reloc_log in
+  let r =
+    certify_translation_into e.jenv ~s:e.stats ~log ~what ~region ~n_exits ~n_slots ?ra code
+  in
+  e.reloc_log <- !log;
+  r
 
 (* Guest code bytes currently at [pa], for content verification of AOT
    entries (both guests use 32-bit instruction words). *)
@@ -812,11 +1072,8 @@ let install_aot_block (e : t) (entry : Aotcache.entry) ~va ~pa ~el ~mmu_on : tra
       t_exits = [||];
     }
   in
-  Hashtbl.replace e.cache tr.t_key tr;
+  Codecache.publish e.cache tr.t_key tr;
   let page = Bits.align_down pa 4096 in
-  (match Hashtbl.find_opt e.by_page page with
-  | Some l -> l := tr.t_key :: !l
-  | None -> Hashtbl.replace e.by_page page (ref [ tr.t_key ]));
   protect_page e page;
   (match e.sanitizer with
   | Some sa ->
@@ -857,16 +1114,18 @@ let aot_try_block (e : t) ~va ~pa ~el ~mmu_on : translation option =
     if Option.is_none result then e.stats.aot_misses <- e.stats.aot_misses + 1;
     result
 
-let equiv_items (e : t) ~el decoded : Hostir.Equiv.item list =
-  let model = e.guest.Ops.model in
+let equiv_items_env (je : jit_env) ~el decoded : Hostir.Equiv.item list =
+  let model = je.je_guest.Ops.model in
   List.map
     (fun d ->
       {
         Hostir.Equiv.it_action = Ssa.Offline.action model d.Adl.Decode.name;
         it_field = field_of ~el d;
-        it_inc_pc = (if d.Adl.Decode.ends_block then None else Some e.guest.Ops.insn_size);
+        it_inc_pc = (if d.Adl.Decode.ends_block then None else Some je.je_guest.Ops.insn_size);
       })
     decoded
+
+let equiv_items (e : t) ~el decoded : Hostir.Equiv.item list = equiv_items_env e.jenv ~el decoded
 
 let translate_block_cold (e : t) sys ~va ~pa ~el ~mmu_on : translation =
   let s = e.stats in
@@ -964,13 +1223,10 @@ let translate_block_cold (e : t) sys ~va ~pa ~el ~mmu_on : translation =
     }
   in
   (* Register in the cache and write-protect the code's guest pages. *)
-  Hashtbl.replace e.cache tr.t_key tr;
+  Codecache.publish e.cache tr.t_key tr;
   (* Blocks never cross a page boundary (decode stops at it), so exactly
      one guest page holds this translation's code. *)
   let page = Bits.align_down pa 4096 in
-  (match Hashtbl.find_opt e.by_page page with
-  | Some l -> l := tr.t_key :: !l
-  | None -> Hashtbl.replace e.by_page page (ref [ tr.t_key ]));
   protect_page e page;
   (match e.sanitizer with
   | Some sa ->
@@ -1144,10 +1400,10 @@ let aot_try_region (e : t) ~(head : translation) ~(members : translation list) ~
             t_exits = Array.make entry.Aotcache.e_n_exits None;
           }
         in
-        Hashtbl.replace e.cache region.t_key region;
+        Codecache.publish e.cache region.t_key region;
         List.iter (fun m -> m.t_tier <- 1) members;
         head.t_chain <- None;
-        Hashtbl.iter
+        Codecache.iter
           (fun _ tr ->
             (match tr.t_chain with
             | Some (_, _, tgt) when tgt == head -> tr.t_chain <- None
@@ -1180,14 +1436,21 @@ let aot_try_region (e : t) ~(head : translation) ~(members : translation list) ~
       (Aotcache.candidates cache ~kind:1 ~va:head.t_va ~pa:pa_head ~el ~mmu:mmu_on
          ~cfg:(aot_cfg_sig e))
 
-let translate_region (e : t) (head : translation) : unit =
-  let s = e.stats in
+(* --- region formation as pure jobs ------------------------------------------------ *)
+
+(* Member selection: breadth-first over the recorded chain edge plus the
+   bounded taken-target profile — limited to [region_max_blocks] members
+   on the head's guest page (so physical code-cache indexing and
+   page-granular SMC invalidation stay exact) and to the head's
+   exception level and MMU regime.  Also reports whether the head
+   self-loops: a single-member region is still worth translating when
+   the head loops back to itself — the self-edge becomes an in-region
+   transfer with no dispatch, no per-iteration block entry and a
+   deferred PC sync, the hottest shape in loop kernels. *)
+let select_members (e : t) (head : translation) : translation list * bool =
   let pa_head, el, mmu_on = head.t_key in
   let va_page = Bits.align_down head.t_va 4096 in
   let pa_page = Bits.align_down pa_head 4096 in
-  s.promotions <- s.promotions + 1;
-  head.t_tier <- 1;
-  (* Member selection: breadth-first over profiled edges. *)
   let members = ref [ head ] in
   let queue = Queue.create () in
   Queue.add head queue;
@@ -1201,7 +1464,7 @@ let translate_region (e : t) (head : translation) : unit =
           && not (List.exists (fun m' -> Int64.equal m'.t_va va) !members)
         then
           let pa = Int64.logor pa_page (Int64.logand va 0xFFFL) in
-          match Hashtbl.find_opt e.cache (pa, el, mmu_on) with
+          match Codecache.lookup e.cache (pa, el, mmu_on) with
           | Some tr
             when tr.t_n_guest > 0 && tr.t_members = 1
                  && Array.length tr.t_exits = 0
@@ -1211,230 +1474,402 @@ let translate_region (e : t) (head : translation) : unit =
           | _ -> ())
       (succs_by_heat m ~el)
   done;
-  let members = !members in
-  (* A single-member region is still worth translating when the head
-     loops back to itself: the self-edge becomes an in-region transfer
-     with no dispatch, no per-iteration block entry and a deferred PC
-     sync — the hottest shape in loop kernels. *)
   let self_loop =
     List.exists (fun va -> Int64.equal va head.t_va) (succs_by_heat head ~el)
   in
-  if
-    (List.length members > 1 || self_loop)
-    && not (aot_try_region e ~head ~members ~pa_page ~el ~mmu_on)
-  then begin
-    s.regions_formed <- s.regions_formed + 1;
-    s.region_blocks <- s.region_blocks + List.length members;
-    let t1 = now () in
-    let model = e.guest.Ops.model in
-    let dag = Dag.create (dag_config_of e ~mmu_on) in
-    let em = Dag.emitter dag in
-    let entries = List.map (fun m -> (m, em.Ssa.Emitter.create_block ())) members in
-    let entry_label va =
-      List.find_map (fun (m, l) -> if Int64.equal m.t_va va then Some l else None) entries
-    in
-    let dispatch_labels = ref Hostir.Region.Iset.empty in
-    let n_guest = ref 0 in
-    (* Per-member decode record, kept only when validation is on: enough
-       for Hostir.Equiv to re-create the member/dispatch skeleton. *)
-    let member_refs = ref [] in
-    let keep_ref mr = if e.config.validate_translations then member_refs := mr :: !member_refs in
-    List.iteri
-      (fun mi (m, l) ->
-        em.Ssa.Emitter.set_block l;
-        Dag.raw dag (Hir.Poll 0);
-        let pa_m = Int64.logor pa_page (Int64.logand m.t_va 0xFFFL) in
-        let decoded, undef = decode_block e ~va:m.t_va ~pa:pa_m in
-        if undef || decoded = [] then begin
-          (* cannot happen for an already-translated member; bail to the
-             dispatcher rather than mistranslate *)
-          keep_ref
-            { Hostir.Equiv.mb_va = m.t_va; mb_items = []; mb_undef = true; mb_targets = [] };
-          Dag.raw dag (Hir.Exit 0)
-        end
-        else begin
-          n_guest := !n_guest + List.length decoded;
-          List.iter
-            (fun d ->
-              let action = Ssa.Offline.action model d.Adl.Decode.name in
-              let field = field_of ~el d in
-              let inc_pc =
-                if d.Adl.Decode.ends_block then None else Some e.guest.Ops.insn_size
-              in
-              Ssa.Gen.translate em action ~field ~inc_pc)
-            decoded;
-          (* Member epilogue: PC-compare dispatch to the profiled
-             in-region successors, hottest first; anything else exits to
-             the engine dispatcher. *)
-          let l_d = em.Ssa.Emitter.create_block () in
-          Dag.raw dag (Hir.Jmp l_d);
-          em.Ssa.Emitter.set_block l_d;
-          dispatch_labels := Hostir.Region.Iset.add l_d !dispatch_labels;
-          let targets =
-            List.filter_map
-              (fun va -> Option.map (fun lt -> (va, lt)) (entry_label va))
-              (succs_by_heat m ~el)
-          in
-          keep_ref
-            {
-              Hostir.Equiv.mb_va = m.t_va;
-              mb_items = equiv_items e ~el decoded;
-              mb_undef = false;
-              mb_targets = List.map fst targets;
-            };
-          let pc = Dag.fresh_vreg dag in
-          if targets <> [] then Dag.raw dag (Hir.Load_pc pc);
-          List.iter
-            (fun (va_t, lt) ->
-              let c = Dag.fresh_vreg dag in
-              Dag.raw dag (Hir.Setcc (Hir.Ceq, c, pc, Hir.Imm va_t));
-              let l_next = em.Ssa.Emitter.create_block () in
-              Dag.raw dag (Hir.Br (c, lt, l_next));
-              em.Ssa.Emitter.set_block l_next)
-            targets;
-          (* Slot mi+1: this member's own exit site, so the engine can
-             patch a per-site chain edge (slot 0 = safepoint bail,
-             never chained). *)
-          Dag.raw dag (Hir.Exit (mi + 1))
-        end)
-      entries;
-    let instrs = Dag.finish dag in
-    let member_entry = List.map (fun (m, l) -> (m.t_va, l)) entries in
-    let n0 = Array.length instrs in
-    let instrs =
-      Hostir.Region.optimize ~dispatch_labels:!dispatch_labels ~member_entry instrs
-    in
-    s.region_dead_stores <- s.region_dead_stores + (n0 - Array.length instrs);
-    s.t_translate <- s.t_translate +. (now () -. t1);
-    let t2 = now () in
-    let t_simplify = ref 0. in
-    let instrs, ra, promoted =
-      if not e.config.promote then (instrs, Regalloc.run instrs, [])
-      else begin
-        (* Promotion widens live ranges across the whole region, and a
-           promoted access through a spill slot costs more than the
-           [Ldrf] it replaced — so promotion is only accepted when
-           allocation stays spill-free relative to the unpromoted
-           stream, narrowing the candidate set until it does.  Width 0
-           still runs copy propagation and memory redundancy
-           elimination. *)
-        let ra0 = Regalloc.run instrs in
-        let rec attempt k =
-          let promoted_instrs, promoted, ps =
-            Hostir.Promote.run ~max_regs:k ~classify:Common.helper_kind instrs
-          in
-          (* The O4 absint-simplify pass, on the flattened promoted
-             stream where its facts materialize: fold decided branches,
-             delete cross-block dead definitions, drop proved-redundant
-             masks, strength-reduce division.  The writeback discipline
-             is re-proved below on the simplified stream. *)
-          let instrs', ss =
-            if e.config.absint_simplify then begin
-              let ts = now () in
-              let r =
-                Hostir.Absint.simplify ~classify:Common.helper_kind promoted_instrs
-              in
-              t_simplify := !t_simplify +. (now () -. ts);
-              r
-            end
-            else (promoted_instrs, Hostir.Absint.empty_simplify_stats ())
-          in
-          let ra' = Regalloc.run instrs' in
-          if ra'.Regalloc.n_spilled <= ra0.Regalloc.n_spilled then begin
-            (* Always-on safety net: a region whose safepoint, exit or
-               faulting access is reachable with an uncovered dirty
-               promoted register would silently corrupt guest state.
-               Checked on the promoter's own output first — a promotion
-               bug must surface here, before simplify's dead-code pass
-               can delete the dirty definition that would incriminate
-               it — and again on the simplified stream the engine
-               actually runs. *)
-            let wb_what pass =
-              Printf.sprintf "region pa=0x%Lx va=0x%Lx members=%d pass=%s" pa_head
-                head.t_va (List.length members) pass
-            in
-            Hostir.Verify.check_wb_exn ~what:(wb_what "promote")
-              ~classify:Common.helper_kind ~promoted promoted_instrs;
-            if e.config.absint_simplify then
-              Hostir.Verify.check_wb_exn ~what:(wb_what "absint-simplify")
-                ~classify:Common.helper_kind ~promoted instrs';
-            s.rf_promoted <- s.rf_promoted + ps.Hostir.Promote.promoted;
-            s.region_wb_entries <- s.region_wb_entries + ps.Hostir.Promote.wb_entries;
-            s.mem_loads_elided <- s.mem_loads_elided + ps.Hostir.Promote.loads_elided;
-            s.stores_forwarded <- s.stores_forwarded + ps.Hostir.Promote.stores_forwarded;
-            s.absint_branches_folded <-
-              s.absint_branches_folded + ss.Hostir.Absint.branches_folded;
-            s.absint_consts_folded <- s.absint_consts_folded + ss.Hostir.Absint.consts_folded;
-            s.absint_masks_dropped <- s.absint_masks_dropped + ss.Hostir.Absint.masks_dropped;
-            s.absint_divs_reduced <- s.absint_divs_reduced + ss.Hostir.Absint.divs_reduced;
-            s.absint_dead_deleted <- s.absint_dead_deleted + ss.Hostir.Absint.dead_deleted;
-            (instrs', ra', promoted)
-          end
-          else if k = 0 then (instrs, ra0, [])
-          else attempt (k - 1)
-        in
-        attempt e.config.promote_max_regs
-      end
-    in
-    s.spills <- s.spills + ra.Regalloc.n_spilled;
-    (* The simplify pass runs inside the allocation window; account it
-       to the analysis phase so the bench breakdown separates them. *)
-    s.t_regalloc <- s.t_regalloc +. (now () -. t2 -. !t_simplify);
-    s.t_analyze <- s.t_analyze +. !t_simplify;
-    if e.config.analyze_translations then
-      analyze_translation e
-        ~what:
-          (Printf.sprintf "region pa=0x%Lx va=0x%Lx members=%d" pa_head head.t_va
-             (List.length members))
-        ~region:true ~promoted ~pre:instrs ra;
-    (* Symbolic translation validation of the final pre-regalloc stream
-       (region passes, promotion and Wbmap included).  Regions are few
-       and load-bearing, so they are always validated when enabled, with
-       no [validate_every] sampling. *)
-    (if e.config.validate_translations then begin
-       let tv = now () in
-       trace e "validate: region pa=0x%Lx va=0x%Lx members=%d (%d host instrs)\n%!" pa_head
-         head.t_va (List.length members) (Array.length instrs);
-       let outcome =
-         Hostir.Equiv.check_region ~classify:Common.helper_kind
-           ~config:(dag_config_of e ~mmu_on) ~init_pc:(Hostir.Symexec.Const head.t_va)
-           ~opt:instrs (List.rev !member_refs)
-       in
-       record_validation e
-         ~what:
-           (Printf.sprintf "region pa=0x%Lx va=0x%Lx members=%d" pa_head head.t_va
-              (List.length members))
-         ~region:true outcome;
-       s.t_validate <- s.t_validate +. (now () -. tv)
-     end);
-    let t3 = now () in
-    let code = Encode.encode ra in
-    let program = Encode.decode_program ~n_slots:ra.Regalloc.n_slots code in
-    s.t_encode <- s.t_encode +. (now () -. t3);
-    let n_host = Array.length instrs in
-    charge_translate e ((1400 * !n_guest) + (260 * n_host));
-    s.region_host_instrs <- s.region_host_instrs + n_host;
-    let region =
+  (!members, self_loop)
+
+(* Capture a region-formation job: snapshot the head's guest page
+   (regions never cross a page), freeze the member descriptors and
+   successor profiles, and record the page invalidation generation and
+   guest-byte hash that gate the eventual install.  Everything a worker
+   reads lives in [j_req]; page snapshots are charge-free
+   ([Machine.phys_read] of RAM), so capturing a job costs no guest
+   cycles. *)
+let make_region_job (e : t) ~(head : translation) ~(members : translation list) : region_job =
+  let pa_head, el, mmu_on = head.t_key in
+  let pa_page = Bits.align_down pa_head 4096 in
+  let snapshot = read_guest_bytes e ~pa:pa_page ~len:4096 in
+  let descs =
+    List.map
+      (fun m ->
+        {
+          md_va = m.t_va;
+          md_off = Int64.to_int (Int64.logand m.t_va 0xFFFL);
+          md_succs = succs_by_heat m ~el;
+        })
+      members
+  in
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun m ->
+      let off = Int64.to_int (Int64.logand m.t_va 0xFFFL) in
+      Buffer.add_bytes buf (Bytes.sub snapshot off (e.guest.Ops.insn_size * m.t_n_guest)))
+    members;
+  {
+    j_req =
       {
-        t_key = head.t_key;
-        t_va = head.t_va;
-        t_program = program;
-        t_n_guest = !n_guest;
-        t_n_host = n_host;
-        t_bytes = Bytes.length code;
-        t_chain = None;
-        t_exec_count = 0;
-        t_cycles = 0;
-        t_tier = 1;
-        t_members = List.length members;
-        t_succs = [];
-        t_exits = Array.make (List.length members) None;
+        rq_head_va = head.t_va;
+        rq_pa_page = pa_page;
+        rq_el = el;
+        rq_mmu = mmu_on;
+        rq_members = descs;
+        rq_snapshot = snapshot;
+      };
+    j_head = head;
+    j_members = members;
+    j_gen = Codecache.page_gen e.cache pa_page;
+    j_guest_hash = Hostir.Reloc.hash64 (Buffer.to_bytes buf);
+    j_outcome = None;
+  }
+
+(* The members' guest bytes as they are in memory right now, hashed for
+   comparison against [j_guest_hash] before an async install: a job
+   whose source bytes changed since enqueue is rejected even if the
+   page's invalidation generation did not move. *)
+let live_guest_hash (e : t) (job : region_job) : int64 =
+  let pa_page = job.j_req.rq_pa_page in
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun m ->
+      let pa_m = Int64.logor pa_page (Int64.logand m.t_va 0xFFFL) in
+      Buffer.add_bytes buf
+        (read_guest_bytes e ~pa:pa_m ~len:(e.guest.Ops.insn_size * m.t_n_guest)))
+    job.j_members;
+  Hostir.Reloc.hash64 (Buffer.to_bytes buf)
+
+(* The pure job runner: (page snapshot, member descriptors, regime,
+   opt config) -> (certified encoded program, stats delta, finding
+   logs).  Runs on a worker domain, or inline on the vCPU when
+   [domains <= 1]; reads nothing but [je] and [req] — never the engine,
+   the machine, or live guest memory.  Intra-region control flow
+   becomes a PC-compare dispatch per member, straightened into direct
+   jumps where the target is static, with no per-block prologue and
+   cross-block dead register-file stores eliminated.  Members keep
+   their own tier-0 cache entries (the region replaces only the
+   head's), so a mid-region exit falls back to block-at-a-time
+   execution; every member entry begins with a [Poll] safepoint, so
+   interrupts, regime changes (the poison register) and the run loop's
+   cycle/block budgets are honoured at block granularity exactly like
+   the baseline dispatch loop.  Exceptions (a writeback-discipline
+   violation from [Verify.check_wb_exn]) propagate to the caller, which
+   wraps them as [R_exn] on the async path. *)
+let run_region_job (je : jit_env) (req : region_request) : region_result =
+  let s = new_phase_stats () in
+  let v_log = ref [] and a_log = ref [] and r_log = ref [] in
+  let cfg = je.je_config in
+  let el = req.rq_el and mmu_on = req.rq_mmu in
+  let pa_head = Int64.logor req.rq_pa_page (Int64.logand req.rq_head_va 0xFFFL) in
+  let n_members = List.length req.rq_members in
+  s.regions_formed <- 1;
+  s.region_blocks <- n_members;
+  let t1 = now () in
+  let model = je.je_guest.Ops.model in
+  let dag = Dag.create (dag_config_env je ~mmu_on) in
+  let em = Dag.emitter dag in
+  let entries = List.map (fun md -> (md, em.Ssa.Emitter.create_block ())) req.rq_members in
+  let entry_label va =
+    List.find_map (fun (md, l) -> if Int64.equal md.md_va va then Some l else None) entries
+  in
+  let dispatch_labels = ref Hostir.Region.Iset.empty in
+  let n_guest = ref 0 in
+  (* Per-member decode record, kept only when validation is on: enough
+     for Hostir.Equiv to re-create the member/dispatch skeleton. *)
+  let member_refs = ref [] in
+  let keep_ref mr = if cfg.validate_translations then member_refs := mr :: !member_refs in
+  List.iteri
+    (fun mi (md, l) ->
+      em.Ssa.Emitter.set_block l;
+      Dag.raw dag (Hir.Poll 0);
+      let decoded, undef = decode_block_pure je ~snapshot:req.rq_snapshot ~va:md.md_va ~off:md.md_off in
+      if undef || decoded = [] then begin
+        (* cannot happen for an already-translated member; bail to the
+           dispatcher rather than mistranslate *)
+        keep_ref
+          { Hostir.Equiv.mb_va = md.md_va; mb_items = []; mb_undef = true; mb_targets = [] };
+        Dag.raw dag (Hir.Exit 0)
+      end
+      else begin
+        n_guest := !n_guest + List.length decoded;
+        List.iter
+          (fun d ->
+            let action = Ssa.Offline.action model d.Adl.Decode.name in
+            let field = field_of ~el d in
+            let inc_pc =
+              if d.Adl.Decode.ends_block then None else Some je.je_guest.Ops.insn_size
+            in
+            Ssa.Gen.translate em action ~field ~inc_pc)
+          decoded;
+        (* Member epilogue: PC-compare dispatch to the profiled
+           in-region successors, hottest first; anything else exits to
+           the engine dispatcher. *)
+        let l_d = em.Ssa.Emitter.create_block () in
+        Dag.raw dag (Hir.Jmp l_d);
+        em.Ssa.Emitter.set_block l_d;
+        dispatch_labels := Hostir.Region.Iset.add l_d !dispatch_labels;
+        let targets =
+          List.filter_map
+            (fun va -> Option.map (fun lt -> (va, lt)) (entry_label va))
+            md.md_succs
+        in
+        keep_ref
+          {
+            Hostir.Equiv.mb_va = md.md_va;
+            mb_items = equiv_items_env je ~el decoded;
+            mb_undef = false;
+            mb_targets = List.map fst targets;
+          };
+        let pc = Dag.fresh_vreg dag in
+        if targets <> [] then Dag.raw dag (Hir.Load_pc pc);
+        List.iter
+          (fun (va_t, lt) ->
+            let c = Dag.fresh_vreg dag in
+            Dag.raw dag (Hir.Setcc (Hir.Ceq, c, pc, Hir.Imm va_t));
+            let l_next = em.Ssa.Emitter.create_block () in
+            Dag.raw dag (Hir.Br (c, lt, l_next));
+            em.Ssa.Emitter.set_block l_next)
+          targets;
+        (* Slot mi+1: this member's own exit site, so the engine can
+           patch a per-site chain edge (slot 0 = safepoint bail,
+           never chained). *)
+        Dag.raw dag (Hir.Exit (mi + 1))
+      end)
+    entries;
+  let instrs = Dag.finish dag in
+  let member_entry = List.map (fun (md, l) -> (md.md_va, l)) entries in
+  let n0 = Array.length instrs in
+  let instrs =
+    Hostir.Region.optimize ~dispatch_labels:!dispatch_labels ~member_entry instrs
+  in
+  s.region_dead_stores <- s.region_dead_stores + (n0 - Array.length instrs);
+  s.t_translate <- s.t_translate +. (now () -. t1);
+  let t2 = now () in
+  let t_simplify = ref 0. in
+  let instrs, ra, promoted =
+    if not cfg.promote then (instrs, Regalloc.run instrs, [])
+    else begin
+      (* Promotion widens live ranges across the whole region, and a
+         promoted access through a spill slot costs more than the
+         [Ldrf] it replaced — so promotion is only accepted when
+         allocation stays spill-free relative to the unpromoted
+         stream, narrowing the candidate set until it does.  Width 0
+         still runs copy propagation and memory redundancy
+         elimination. *)
+      let ra0 = Regalloc.run instrs in
+      let rec attempt k =
+        let promoted_instrs, promoted, ps =
+          Hostir.Promote.run ~max_regs:k ~classify:Common.helper_kind instrs
+        in
+        (* The O4 absint-simplify pass, on the flattened promoted
+           stream where its facts materialize: fold decided branches,
+           delete cross-block dead definitions, drop proved-redundant
+           masks, strength-reduce division.  The writeback discipline
+           is re-proved below on the simplified stream. *)
+        let instrs', ss =
+          if cfg.absint_simplify then begin
+            let ts = now () in
+            let r =
+              Hostir.Absint.simplify ~classify:Common.helper_kind promoted_instrs
+            in
+            t_simplify := !t_simplify +. (now () -. ts);
+            r
+          end
+          else (promoted_instrs, Hostir.Absint.empty_simplify_stats ())
+        in
+        let ra' = Regalloc.run instrs' in
+        if ra'.Regalloc.n_spilled <= ra0.Regalloc.n_spilled then begin
+          (* Always-on safety net: a region whose safepoint, exit or
+             faulting access is reachable with an uncovered dirty
+             promoted register would silently corrupt guest state.
+             Checked on the promoter's own output first — a promotion
+             bug must surface here, before simplify's dead-code pass
+             can delete the dirty definition that would incriminate
+             it — and again on the simplified stream the engine
+             actually runs. *)
+          let wb_what pass =
+            Printf.sprintf "region pa=0x%Lx va=0x%Lx members=%d pass=%s" pa_head
+              req.rq_head_va n_members pass
+          in
+          Hostir.Verify.check_wb_exn ~what:(wb_what "promote")
+            ~classify:Common.helper_kind ~promoted promoted_instrs;
+          if cfg.absint_simplify then
+            Hostir.Verify.check_wb_exn ~what:(wb_what "absint-simplify")
+              ~classify:Common.helper_kind ~promoted instrs';
+          s.rf_promoted <- s.rf_promoted + ps.Hostir.Promote.promoted;
+          s.region_wb_entries <- s.region_wb_entries + ps.Hostir.Promote.wb_entries;
+          s.mem_loads_elided <- s.mem_loads_elided + ps.Hostir.Promote.loads_elided;
+          s.stores_forwarded <- s.stores_forwarded + ps.Hostir.Promote.stores_forwarded;
+          s.absint_branches_folded <-
+            s.absint_branches_folded + ss.Hostir.Absint.branches_folded;
+          s.absint_consts_folded <- s.absint_consts_folded + ss.Hostir.Absint.consts_folded;
+          s.absint_masks_dropped <- s.absint_masks_dropped + ss.Hostir.Absint.masks_dropped;
+          s.absint_divs_reduced <- s.absint_divs_reduced + ss.Hostir.Absint.divs_reduced;
+          s.absint_dead_deleted <- s.absint_dead_deleted + ss.Hostir.Absint.dead_deleted;
+          (instrs', ra', promoted)
+        end
+        else if k = 0 then (instrs, ra0, [])
+        else attempt (k - 1)
+      in
+      attempt cfg.promote_max_regs
+    end
+  in
+  s.spills <- s.spills + ra.Regalloc.n_spilled;
+  (* The simplify pass runs inside the allocation window; account it
+     to the analysis phase so the bench breakdown separates them. *)
+  s.t_regalloc <- s.t_regalloc +. (now () -. t2 -. !t_simplify);
+  s.t_analyze <- s.t_analyze +. !t_simplify;
+  if cfg.analyze_translations then
+    analyze_translation_into ~s ~log:a_log
+      ~what:(Printf.sprintf "region pa=0x%Lx va=0x%Lx members=%d" pa_head req.rq_head_va n_members)
+      ~region:true ~promoted ~pre:instrs ra;
+  (* Symbolic translation validation of the final pre-regalloc stream
+     (region passes, promotion and Wbmap included).  Regions are few
+     and load-bearing, so they are always validated when enabled, with
+     no [validate_every] sampling. *)
+  (if cfg.validate_translations then begin
+     let tv = now () in
+     let outcome =
+       Hostir.Equiv.check_region ~classify:Common.helper_kind
+         ~config:(dag_config_env je ~mmu_on) ~init_pc:(Hostir.Symexec.Const req.rq_head_va)
+         ~opt:instrs (List.rev !member_refs)
+     in
+     record_validation_into ~s ~log:v_log
+       ~what:(Printf.sprintf "region pa=0x%Lx va=0x%Lx members=%d" pa_head req.rq_head_va n_members)
+       ~region:true outcome;
+     s.t_validate <- s.t_validate +. (now () -. tv)
+   end);
+  let t3 = now () in
+  let code = Encode.encode ra in
+  let program = Encode.decode_program ~n_slots:ra.Regalloc.n_slots code in
+  s.t_encode <- s.t_encode +. (now () -. t3);
+  let n_host = Array.length instrs in
+  s.region_host_instrs <- s.region_host_instrs + n_host;
+  (* Relocation-cleanliness certification runs inside the job — it is a
+     pure function of the encoded bytes — and the certificate travels
+     with the result; persistence happens at install on the vCPU. *)
+  let cert =
+    if cfg.reloc_check || cfg.aot_dir <> None then
+      certify_translation_into je ~s ~log:r_log
+        ~what:(Printf.sprintf "region pa=0x%Lx va=0x%Lx members=%d" pa_head req.rq_head_va n_members)
+        ~region:true ~n_exits:n_members ~n_slots:ra.Regalloc.n_slots ~ra code
+    else None
+  in
+  {
+    r_program = program;
+    r_code = code;
+    r_cert = cert;
+    r_n_guest = !n_guest;
+    r_n_host = n_host;
+    r_n_slots = ra.Regalloc.n_slots;
+    r_n_exits = n_members;
+    r_stats = s;
+    r_validation_log = !v_log;
+    r_analysis_log = !a_log;
+    r_reloc_log = !r_log;
+  }
+
+(* --- the worker pool ------------------------------------------------------------- *)
+
+(* Worker-domain main loop: pop a job, run it pure, hand the outcome
+   back under the pool lock.  Workers never touch the engine — the vCPU
+   installs results from [drain_jobs] at dispatch granularity. *)
+let rec worker_loop (je : jit_env) (p : pool) : unit =
+  Mutex.lock p.p_mu;
+  while p.p_pending = [] && not p.p_stop do
+    Condition.wait p.p_cv p.p_mu
+  done;
+  match p.p_pending with
+  | [] -> Mutex.unlock p.p_mu (* stopping *)
+  | job :: rest ->
+    p.p_pending <- rest;
+    Mutex.unlock p.p_mu;
+    let outcome = try R_ok (run_region_job je job.j_req) with exn -> R_exn exn in
+    Mutex.lock p.p_mu;
+    job.j_outcome <- Some outcome;
+    p.p_done <- p.p_done @ [ job ];
+    Mutex.unlock p.p_mu;
+    worker_loop je p
+
+(* The pool is spawned lazily on the first enqueue, so a [domains = 1]
+   engine (and every engine until its first hot crossing) never pays
+   for domain creation. *)
+let ensure_pool (e : t) : pool =
+  match e.pool with
+  | Some p -> p
+  | None ->
+    let p =
+      {
+        p_mu = Mutex.create ();
+        p_cv = Condition.create ();
+        p_pending = [];
+        p_done = [];
+        p_stop = false;
+        p_domains = [];
       }
     in
-    (* The head's by_page entry already covers the region: all members
-       live on the head's page, so one SMC invalidation sweeps the
-       region unit and every member, demoting the whole page to tier 0. *)
-    Hashtbl.replace e.cache region.t_key region;
+    let je = e.jenv in
+    p.p_domains <-
+      List.init (max 1 (e.config.domains - 1)) (fun _ -> Domain.spawn (fun () -> worker_loop je p));
+    e.pool <- Some p;
+    p
+
+(* Install a finished region unit into the engine.  [async] selects the
+   publish protocol: the synchronous path publishes unconditionally
+   (nothing can have moved under it — the job ran inline), the async
+   path re-hashes the members' live guest bytes and then publishes
+   through the page-generation check, rejecting the install as stale
+   when either moved while the job was in flight. *)
+let install_region ~async (e : t) (job : region_job) (res : region_result) : unit =
+  let s = e.stats in
+  let head = job.j_head in
+  let members = job.j_members in
+  let el = job.j_req.rq_el and mmu_on = job.j_req.rq_mmu in
+  let pa_page = job.j_req.rq_pa_page in
+  let region =
+    {
+      t_key = head.t_key;
+      t_va = head.t_va;
+      t_program = res.r_program;
+      t_n_guest = res.r_n_guest;
+      t_n_host = res.r_n_host;
+      t_bytes = Bytes.length res.r_code;
+      t_chain = None;
+      t_exec_count = 0;
+      t_cycles = 0;
+      t_tier = 1;
+      t_members = List.length members;
+      t_succs = [];
+      t_exits = Array.make res.r_n_exits None;
+    }
+  in
+  (* The head's page entry already covers the region: all members live
+     on the head's page, so one SMC invalidation sweeps the region unit
+     and every member, demoting the whole page to tier 0. *)
+  let published =
+    if not async then begin
+      Codecache.publish e.cache region.t_key region;
+      true
+    end
+    else
+      Int64.equal (live_guest_hash e job) job.j_guest_hash
+      && Codecache.publish_if e.cache region.t_key ~gen:job.j_gen region
+  in
+  if not published then begin
+    (* Stale: the page was invalidated (or rewritten) since enqueue.
+       Drop the result and demote the head so profiling can retry
+       against the current bytes. *)
+    s.jobs_stale <- s.jobs_stale + 1;
+    head.t_tier <- 0;
+    head.t_exec_count <- 0
+  end
+  else begin
+    add_stats s res.r_stats;
+    e.validation_log <- append_capped e.validation_log res.r_validation_log;
+    e.analysis_log <- append_capped e.analysis_log res.r_analysis_log;
+    e.reloc_log <- append_capped e.reloc_log res.r_reloc_log;
+    (if async then charge_translate_async else charge_translate) e
+      ((1400 * res.r_n_guest) + (260 * res.r_n_host));
+    if async then s.jobs_installed <- s.jobs_installed + 1;
     List.iter (fun m -> m.t_tier <- 1) members;
     (* Drop the replaced head's chain edge, and unlink every chain edge
        that targets the replaced head record: predecessors must relink
@@ -1442,7 +1877,7 @@ let translate_region (e : t) (head : translation) : unit =
        into the region unit instead of chaining into the orphaned tier-0
        head forever. *)
     head.t_chain <- None;
-    Hashtbl.iter
+    Codecache.iter
       (fun _ tr ->
         (match tr.t_chain with
         | Some (_, _, tgt) when tgt == head -> tr.t_chain <- None
@@ -1463,56 +1898,144 @@ let translate_region (e : t) (head : translation) : unit =
             ~mmu:mmu_on ~len:(4 * m.t_n_guest))
         members
     | None -> ());
-    (* Relocation-cleanliness certification + persistence, with the
-       per-member VAs/lengths as part of the key: a warm boot reuses the
-       unit only when runtime profiling selects the identical member
-       set.  Regions whose members failed to re-decode (guest instr
-       counts disagree) are never persisted. *)
-    if e.config.reloc_check || Option.is_some e.aot then begin
-      let what =
-        Printf.sprintf "region pa=0x%Lx va=0x%Lx members=%d" pa_head head.t_va
-          (List.length members)
-      in
-      match
-        certify_translation e ~what ~region:true ~n_exits:(List.length members)
-          ~n_slots:ra.Regalloc.n_slots ~ra code
-      with
-      | Some cert
-        when !n_guest = List.fold_left (fun a m -> a + m.t_n_guest) 0 members
-             && List.for_all (fun m -> m.t_n_guest > 0) members -> (
-        match e.aot with
-        | Some cache ->
-          let mems =
-            List.map (fun m -> (m.t_va, e.guest.Ops.insn_size * m.t_n_guest)) members
-          in
-          let guest = Buffer.create 256 in
-          List.iter
-            (fun (va_m, len) ->
-              let pa_m = Int64.logor pa_page (Int64.logand va_m 0xFFFL) in
-              Buffer.add_bytes guest (read_guest_bytes e ~pa:pa_m ~len))
-            mems;
-          Aotcache.store cache
-            {
-              Aotcache.e_kind = 1;
-              e_va = head.t_va;
-              e_pa = pa_head;
-              e_el = el;
-              e_mmu = mmu_on;
-              e_cfg = aot_cfg_sig e;
-              e_members = Array.of_list mems;
-              e_guest = Buffer.to_bytes guest;
-              e_n_slots = ra.Regalloc.n_slots;
-              e_n_exits = List.length members;
-              e_n_guest = !n_guest;
-              e_n_host = n_host;
-              e_code = code;
-              e_hash = cert.Hostir.Reloc.c_hash;
-            };
-          s.aot_stores <- s.aot_stores + 1
-        | None -> ())
-      | Some _ | None -> ()
-    end
+    (* Persistence of the job's certificate, with the per-member
+       VAs/lengths as part of the key: a warm boot reuses the unit only
+       when runtime profiling selects the identical member set.  Regions
+       whose members failed to re-decode (guest instr counts disagree)
+       are never persisted. *)
+    match res.r_cert with
+    | Some cert
+      when res.r_n_guest = List.fold_left (fun a m -> a + m.t_n_guest) 0 members
+           && List.for_all (fun m -> m.t_n_guest > 0) members -> (
+      match e.aot with
+      | Some cache ->
+        let pa_head, _, _ = head.t_key in
+        let mems = List.map (fun m -> (m.t_va, e.guest.Ops.insn_size * m.t_n_guest)) members in
+        let guest = Buffer.create 256 in
+        List.iter
+          (fun (va_m, len) ->
+            let pa_m = Int64.logor pa_page (Int64.logand va_m 0xFFFL) in
+            Buffer.add_bytes guest (read_guest_bytes e ~pa:pa_m ~len))
+          mems;
+        Aotcache.store cache
+          {
+            Aotcache.e_kind = 1;
+            e_va = head.t_va;
+            e_pa = pa_head;
+            e_el = el;
+            e_mmu = mmu_on;
+            e_cfg = aot_cfg_sig e;
+            e_members = Array.of_list mems;
+            e_guest = Buffer.to_bytes guest;
+            e_n_slots = res.r_n_slots;
+            e_n_exits = res.r_n_exits;
+            e_n_guest = res.r_n_guest;
+            e_n_host = res.r_n_host;
+            e_code = res.r_code;
+            e_hash = cert.Hostir.Reloc.c_hash;
+          };
+        s.aot_stores <- s.aot_stores + 1
+      | None -> ())
+    | Some _ | None -> ()
   end
+
+(* Queue a job for the worker pool.  The queue is bounded, so a burst
+   of hot crossings cannot pile up unbounded translation work; a
+   dropped job demotes the head (and takes back its promotion count),
+   so the block re-crosses the threshold later and retries. *)
+let enqueue_job (e : t) (job : region_job) : unit =
+  let s = e.stats in
+  let p = ensure_pool e in
+  Mutex.lock p.p_mu;
+  if List.length p.p_pending < job_queue_depth then begin
+    p.p_pending <- p.p_pending @ [ job ];
+    Condition.broadcast p.p_cv;
+    Mutex.unlock p.p_mu;
+    s.jobs_enqueued <- s.jobs_enqueued + 1
+  end
+  else begin
+    Mutex.unlock p.p_mu;
+    s.jobs_dropped <- s.jobs_dropped + 1;
+    s.promotions <- s.promotions - 1;
+    job.j_head.t_tier <- 0;
+    job.j_head.t_exec_count <- 0
+  end
+
+(* Install whatever the workers have finished.  Called from the run
+   loop at dispatch granularity — the vCPU is the only publisher and
+   invalidator, so every interleaving of install with lookup and SMC
+   invalidation happens at this one well-defined point.  Under
+   [stress_seed], a seeded PRNG jitters how many completions are taken
+   per call, deterministically exploring install/invalidate/lookup
+   orderings for the stress harness. *)
+let drain_jobs (e : t) : unit =
+  match e.pool with
+  | None -> ()
+  | Some p ->
+    Mutex.lock p.p_mu;
+    let avail = p.p_done in
+    let n_avail = List.length avail in
+    let n_take =
+      match e.stress_prng with
+      | None -> n_avail
+      | Some rng ->
+        if n_avail = 0 then 0
+        else if Dbt_util.Prng.bool rng then 0 (* hold every completion this tick *)
+        else Dbt_util.Prng.int rng (n_avail + 1)
+    in
+    let rec take n = function
+      | x :: rest when n > 0 ->
+        let a, b = take (n - 1) rest in
+        (x :: a, b)
+      | l -> ([], l)
+    in
+    let taken, rest = take n_take avail in
+    p.p_done <- rest;
+    Mutex.unlock p.p_mu;
+    List.iter
+      (fun job ->
+        e.stats.jobs_completed <- e.stats.jobs_completed + 1;
+        match job.j_outcome with
+        | Some (R_ok res) -> install_region ~async:true e job res
+        | Some (R_exn exn) -> raise exn
+        | None -> assert false)
+      taken
+
+(* Promote a hot tier-0 block: select members, then either translate
+   the region inline ([domains <= 1] — bit-identical in cycles and
+   stats to the pre-concurrency engine) or enqueue the formation job
+   and keep executing tier-0 code while a worker domain translates. *)
+let promote_block (e : t) (head : translation) : unit =
+  let s = e.stats in
+  let pa_head, el, mmu_on = head.t_key in
+  let pa_page = Bits.align_down pa_head 4096 in
+  s.promotions <- s.promotions + 1;
+  head.t_tier <- 1;
+  let members, self_loop = select_members e head in
+  if
+    (List.length members > 1 || self_loop)
+    && not (aot_try_region e ~head ~members ~pa_page ~el ~mmu_on)
+  then begin
+    let job = make_region_job e ~head ~members in
+    if e.config.domains <= 1 then
+      install_region ~async:false e job (run_region_job e.jenv job.j_req)
+    else enqueue_job e job
+  end
+
+(* Stop the worker pool: discard pending jobs, join the domains.  Safe
+   to call repeatedly and on a [domains = 1] engine (no-op); the pool
+   respawns on the next enqueue. *)
+let shutdown (e : t) : unit =
+  match e.pool with
+  | None -> ()
+  | Some p ->
+    Mutex.lock p.p_mu;
+    p.p_stop <- true;
+    p.p_pending <- [];
+    Condition.broadcast p.p_cv;
+    Mutex.unlock p.p_mu;
+    List.iter Domain.join p.p_domains;
+    e.pool <- None
 
 (* --- dispatch loop ------------------------------------------------------------------- *)
 
@@ -1567,6 +2090,11 @@ let run ?(max_cycles = max_int) ?(max_blocks = max_int) (e : t) : exit_reason =
        else if e.machine.Machine.cycles > max_cycles then result := Some Cycle_limit
        else if e.stats.blocks_executed > max_blocks then result := Some Block_limit
        else begin
+         (* Install any translations the worker domains finished: the
+            vCPU is the only publisher, so completed jobs land at
+            dispatch granularity — one well-defined interleaving point
+            against lookups and SMC invalidation. *)
+         if Option.is_some e.pool then drain_jobs e;
          (* Interrupts are taken at block boundaries. *)
          if Machine.irq_pending e.machine then ignore (e.guest.Ops.deliver_irq sys);
          let el = e.guest.Ops.privilege_level sys in
@@ -1579,7 +2107,7 @@ let run ?(max_cycles = max_int) ?(max_blocks = max_int) (e : t) : exit_reason =
          | Ok pa -> (
            let key = (pa, el, mmu_on) in
            let tr =
-             match Hashtbl.find_opt e.cache key with
+             match Codecache.lookup e.cache key with
              | Some tr -> tr
              | None -> translate_block e sys ~va ~pa ~el ~mmu_on
            in
@@ -1620,7 +2148,7 @@ let run ?(max_cycles = max_int) ?(max_blocks = max_int) (e : t) : exit_reason =
                if e.config.tiering && !cur.t_tier = 0 then begin
                  record_succ !cur next_va next_el;
                  if !cur.t_n_guest > 0 && !cur.t_exec_count >= e.config.hot_threshold then
-                   translate_region e !cur
+                   promote_block e !cur
                end;
                if
                  e.config.chaining
@@ -1660,7 +2188,7 @@ let run ?(max_cycles = max_int) ?(max_blocks = max_int) (e : t) : exit_reason =
                      match Hashtbl.find_opt e.itlb (Bits.align_down next_va 4096, next_el, mmu_on') with
                      | Some pa_page -> (
                        let npa = Int64.logor pa_page (Int64.logand next_va 0xFFFL) in
-                       match Hashtbl.find_opt e.cache (npa, next_el, mmu_on') with
+                       match Codecache.lookup e.cache (npa, next_el, mmu_on') with
                        | Some target ->
                          (match site with
                          | Some s when s >= 0 -> !cur.t_exits.(s) <- Some (next_va, next_el, target)
@@ -1699,14 +2227,21 @@ let cycles (e : t) = e.machine.Machine.cycles
    reproduce [exec_cycles] bit-for-bit. *)
 let jit_cycles (e : t) = e.machine.Machine.jit_cycles
 let exec_cycles (e : t) = Machine.guest_cycles e.machine
+
+(* The share of [jit_cycles] spent on worker domains (0 when
+   [domains = 1]): translate work the concurrent JIT removed from the
+   vCPU's critical path. *)
+let async_jit_cycles (e : t) = e.machine.Machine.async_jit_cycles
 let reloc_log (e : t) = e.reloc_log
 let aot_entry_count (e : t) = match e.aot with Some c -> Aotcache.entry_count c | None -> 0
+let cache_keys (e : t) = Codecache.keys e.cache
+let cache_shards (e : t) = Codecache.n_shards e.cache
 
 (* Per-translation execution statistics, for the Fig. 21 code-quality
    analysis: (translation VA, guest instrs, host instrs, executions,
    accumulated cycles, tier). *)
 let block_stats (e : t) =
-  Hashtbl.fold
+  Codecache.fold
     (fun _ tr acc ->
       (tr.t_va, tr.t_n_guest, tr.t_n_host, tr.t_exec_count, tr.t_cycles, tr.t_tier) :: acc)
     e.cache []

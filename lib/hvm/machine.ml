@@ -29,6 +29,11 @@ type t = {
      wall-clock totals, but excluded from guest-visible device time so the
      guest's observable execution is independent of how its code was
      produced (cold translation vs. warm AOT load). *)
+  mutable async_jit_cycles : int;
+  (* the share of [jit_cycles] charged for translations produced on
+     worker domains (concurrent JIT): the work happened off the vCPU
+     critical path, so this ledger is the translate-stall reduction a
+     multi-domain run buys.  Always <= jit_cycles; 0 when --domains 1. *)
   (* statistics *)
   mutable mem_ops : int;
   mutable faults : int;
@@ -42,6 +47,17 @@ let charge t n = t.cycles <- t.cycles + n
 let charge_jit t n =
   t.cycles <- t.cycles + n;
   t.jit_cycles <- t.jit_cycles + n
+
+(* Charge translation work that a worker domain performed while the vCPU
+   kept executing.  Deterministic virtual-time accounting: the charge is
+   applied at install time on the vCPU, to exactly the same ledgers as a
+   synchronous translation ([cycles] + [jit_cycles]), so guest-visible
+   time ([guest_cycles], device ticks) is bit-identical regardless of
+   how many domains produced the code — only the [async_jit_cycles]
+   split records that the vCPU never stalled for it. *)
+let charge_jit_async t n =
+  charge_jit t n;
+  t.async_jit_cycles <- t.async_jit_cycles + n
 
 (* Guest-visible time: everything the guest's own execution charged. *)
 let guest_cycles t = t.cycles - t.jit_cycles
@@ -89,6 +105,7 @@ let create ?(mem_size = 256 * 1024 * 1024) ?(devices = []) ?(intc = Device.Intc.
     paging = false;
     cycles = 0;
     jit_cycles = 0;
+    async_jit_cycles = 0;
     mem_ops = 0;
     faults = 0;
     devs_ticked_at = 0;

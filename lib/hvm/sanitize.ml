@@ -124,7 +124,7 @@ let flags_str (f : Pagetable.flags) =
     (if f.Pagetable.user then 'u' else '-')
     (if f.Pagetable.executable then 'x' else '-')
 
-let check t ~(machine : Machine.t) ~roots ~reason =
+let check t ~(machine : Machine.t) ~roots ~code_keys ~reason =
   let mem = machine.Machine.mem in
   let palloc = machine.Machine.palloc in
   let tlb = machine.Machine.tlb in
@@ -306,7 +306,29 @@ let check t ~(machine : Machine.t) ~roots ~reason =
         finding t Code_cache
           "guest code at pa 0x%Lx (el%d, mmu %b, %d bytes) changed under a live translation: invalidate_page never fired"
           pa el mmu th.th_len)
-    t.translations
+    t.translations;
+
+  (* (d') published-cache snapshot audit (concurrent JIT): every key the
+     engine's sharded code cache publishes at this checkpoint must have
+     been narrated through [record_translation] — so its guest bytes are
+     re-hashed above — and must sit on a write-protected page.  A stale
+     install (an in-flight translation job landing after its page's SMC
+     invalidation) surfaces here as an unnarrated or unprotected key. *)
+  match code_keys with
+  | None -> ()
+  | Some keys ->
+    List.iter
+      (fun ((pa, el, mmu) as k) ->
+        Counters.bump t.counters "code published keys checked";
+        if not (Hashtbl.mem t.translations k) then
+          finding t Code_cache
+            "published cache key pa 0x%Lx (el%d, mmu %b) has no recorded translation (stale install)"
+            pa el mmu;
+        if not (Hashtbl.mem t.code_pages (page_of pa)) then
+          finding t Code_cache
+            "published cache key pa 0x%Lx (el%d, mmu %b) on unprotected page 0x%Lx" pa el mmu
+            (page_of pa))
+      keys
 
 (* (e) ring/privilege audit, run at block-dispatch time. *)
 let audit_ring t ~(machine : Machine.t) ~roots ~asid ~guest_el ~pc =

@@ -81,8 +81,18 @@ val record_translation :
 
 (** Run checkers (a)–(d) against the machine's real state.  [roots] are
     the live page-table roots, indexed by address-space id / PCID.
+    [code_keys], when [Some], is a snapshot of the keys the engine's
+    sharded code cache currently publishes: each must have a recorded
+    translation (content-hash-checked) and a write-protected backing
+    page — the coherence audit for concurrently-installed translations.
     [reason] tags the checkpoint in the counters. *)
-val check : t -> machine:Machine.t -> roots:int64 array -> reason:string -> unit
+val check :
+  t ->
+  machine:Machine.t ->
+  roots:int64 array ->
+  code_keys:(int64 * int * bool) list option ->
+  reason:string ->
+  unit
 
 (** Checker (e), run at block-dispatch time: guest EL0 must execute in
     host ring 3 and vice versa, and in ring 3 the (present) host mapping

@@ -20,21 +20,73 @@ let json_string s =
   Buffer.contents buf
 
 module Counters = struct
-  type t = { tbl : (string, int) Hashtbl.t; mutable order : string list (* first-bump order *) }
+  (* Counters are bumped from the vCPU and, since the concurrent-JIT
+     engine, from worker domains (e.g. the sanitizer's work counters
+     inside a checkpoint a worker triggered, or per-job accounting).
+     Plain shared mutable ints would race, so each domain accumulates
+     into its own shard — created lazily via [Domain.DLS] on the first
+     bump in that domain and registered under a mutex — and reads merge
+     the shards.  The hot path ([bump]) touches only domain-local state
+     after the first access; single-domain usage degenerates to exactly
+     the old one-Hashtbl behavior, preserving report/JSON output
+     byte-for-byte. *)
+  type shard = {
+    tbl : (string, int) Hashtbl.t;
+    mutable order : string list; (* first-bump order, newest first *)
+  }
 
-  let create () = { tbl = Hashtbl.create 16; order = [] }
+  type t = {
+    key : shard Domain.DLS.key;
+    mu : Mutex.t;
+    shards : shard list ref; (* registration order, newest first *)
+  }
+
+  let create () =
+    let mu = Mutex.create () in
+    let shards = ref [] in
+    let key =
+      Domain.DLS.new_key (fun () ->
+          let s = { tbl = Hashtbl.create 16; order = [] } in
+          Mutex.lock mu;
+          shards := s :: !shards;
+          Mutex.unlock mu;
+          s)
+    in
+    { key; mu; shards }
 
   let bump ?(by = 1) t name =
-    match Hashtbl.find_opt t.tbl name with
-    | Some v -> Hashtbl.replace t.tbl name (v + by)
+    let s = Domain.DLS.get t.key in
+    match Hashtbl.find_opt s.tbl name with
+    | Some v -> Hashtbl.replace s.tbl name (v + by)
     | None ->
-      Hashtbl.replace t.tbl name by;
-      t.order <- name :: t.order
+      Hashtbl.replace s.tbl name by;
+      s.order <- name :: s.order
 
-  let get t name = Option.value ~default:0 (Hashtbl.find_opt t.tbl name)
+  (* Merge every domain's shard: totals summed, names ordered by first
+     bump (shards visited in registration order so a single-domain
+     run's order is unchanged). *)
+  let to_list t =
+    Mutex.lock t.mu;
+    let shards = List.rev !(t.shards) in
+    Mutex.unlock t.mu;
+    let totals = Hashtbl.create 16 in
+    let order = ref [] in
+    List.iter
+      (fun s ->
+        List.iter
+          (fun name ->
+            let v = Option.value ~default:0 (Hashtbl.find_opt s.tbl name) in
+            match Hashtbl.find_opt totals name with
+            | Some v0 -> Hashtbl.replace totals name (v0 + v)
+            | None ->
+              Hashtbl.replace totals name v;
+              order := name :: !order)
+          (List.rev s.order))
+      shards;
+    List.rev_map (fun name -> (name, Hashtbl.find totals name)) !order
 
-  (* (name, count) pairs in first-bump order. *)
-  let to_list t = List.rev_map (fun name -> (name, Hashtbl.find t.tbl name)) t.order
+  let get t name =
+    List.fold_left (fun acc (n, v) -> if n = name then acc + v else acc) 0 (to_list t)
 
   let report t =
     let items = to_list t in

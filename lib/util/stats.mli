@@ -2,7 +2,13 @@
     for structured tool output. *)
 
 (** Named integer counters preserving first-bump order; used by the
-    lint driver to report per-category totals. *)
+    lint driver to report per-category totals.
+
+    Domain-safe: each domain accumulates into its own lazily-created
+    shard ({!Domain.DLS}), so {!bump} is race-free and lock-free on the
+    hot path; reads ({!get}, {!to_list}, {!report}, {!to_json}) merge
+    all shards.  Single-domain output is identical to the historical
+    one-table implementation. *)
 module Counters : sig
   type t
 

@@ -18,4 +18,5 @@ let () =
       Test_hostir_absint.suite;
       Test_workloads.suite;
       Test_sanitize.suite;
+      Test_concurrent.suite;
     ]

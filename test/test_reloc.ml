@@ -316,7 +316,7 @@ let test_aotcache_store_reload () =
       Alcotest.(check int) "store is idempotent" 1 (AC.entry_count t);
       (* A second open sees the persisted entry... *)
       let t2 = AC.open_dir dir in
-      Alcotest.(check int) "reloaded" 1 t2.AC.stats.AC.loaded;
+      Alcotest.(check int) "reloaded" 1 (AC.stats t2).AC.loaded;
       (match
          AC.candidates t2 ~kind:0 ~va:e.AC.e_va ~pa:e.AC.e_pa ~el:0 ~mmu:true
            ~cfg:e.AC.e_cfg
@@ -332,8 +332,8 @@ let test_aotcache_store_reload () =
       output_string oc "not an entry";
       close_out oc;
       let t3 = AC.open_dir dir in
-      Alcotest.(check int) "garbage counted malformed" 1 t3.AC.stats.AC.malformed;
-      Alcotest.(check int) "garbage not loaded" 1 t3.AC.stats.AC.loaded)
+      Alcotest.(check int) "garbage counted malformed" 1 (AC.stats t3).AC.malformed;
+      Alcotest.(check int) "garbage not loaded" 1 (AC.stats t3).AC.loaded)
 
 (* --- warm boot: the payoff, in miniature -------------------------------------- *)
 

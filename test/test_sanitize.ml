@@ -33,7 +33,7 @@ let map_both m root s ~asid va pa flags =
   Pt.map m.Machine.mem m.Machine.palloc ~root va pa flags;
   San.record_map s ~asid ~va_page:va ~pa_page:pa ~flags
 
-let check1 m root s = San.check s ~machine:m ~roots:[| root |] ~reason:"test"
+let check1 m root s = San.check s ~machine:m ~roots:[| root |] ~code_keys:None ~reason:"test"
 
 let checkers_of s =
   List.sort_uniq compare (List.map (fun f -> f.San.checker) (San.findings s))
