@@ -27,6 +27,7 @@ type run_result = {
   bytes_per_guest : float;
   blocks_translated : int;
   phases : float * float * float * float; (* decode/translate/ra/encode seconds *)
+  tiers : float * float * float; (* translate split: template/tier-0/region seconds *)
   block_stats : (int64 * int * int * int * int * int) list;
 }
 
@@ -48,6 +49,7 @@ let run_captive ?(config = CE.default_config) ?ops user =
     bytes_per_guest = float_of_int s.CE.host_bytes_emitted /. float_of_int (max 1 s.CE.guest_instrs_translated);
     blocks_translated = s.CE.blocks_translated;
     phases = (s.CE.t_decode, s.CE.t_translate, s.CE.t_regalloc, s.CE.t_encode);
+    tiers = (s.CE.t_template, s.CE.t_tier0, s.CE.t_region);
     block_stats = bs;
   }
 
@@ -66,6 +68,7 @@ let run_qemu ?(config = QE.default_config) user =
     bytes_per_guest = float_of_int s.QE.host_bytes_emitted /. float_of_int (max 1 s.QE.guest_instrs_translated);
     blocks_translated = s.QE.blocks_translated;
     phases = (s.QE.t_decode, s.QE.t_translate, s.QE.t_regalloc, s.QE.t_encode);
+    tiers = (0., 0., 0.); (* the QEMU-style engine has one tier *)
     block_stats = bs;
   }
 
@@ -222,6 +225,7 @@ let fig20 () =
   header "Fig 20: time per JIT compilation phase (Captive, across SPECint)";
   (* Aggregate the wall-clock phase timers over the SPECint runs. *)
   let d = ref 0. and t = ref 0. and r = ref 0. and en = ref 0. in
+  let tt = ref 0. and t0 = ref 0. and tr = ref 0. in
   List.iter
     (fun b ->
       let c, _ = spec_run b in
@@ -229,7 +233,11 @@ let fig20 () =
       d := !d +. pd;
       t := !t +. pt;
       r := !r +. pr;
-      en := !en +. pe)
+      en := !en +. pe;
+      let wt, w0, wr = c.tiers in
+      tt := !tt +. wt;
+      t0 := !t0 +. w0;
+      tr := !tr +. wr)
     Spec.integer_benchmarks;
   let total = !d +. !t +. !r +. !en in
   let pct x = Printf.sprintf "%.2f%%" (100. *. x /. total) in
@@ -239,6 +247,9 @@ let fig20 () =
     [
       [ "Decode"; Printf.sprintf "%.1f" (1000. *. !d); pct !d ];
       [ "Translate"; Printf.sprintf "%.1f" (1000. *. !t); pct !t ];
+      [ "  of which template tier"; Printf.sprintf "%.1f" (1000. *. !tt); pct !tt ];
+      [ "  of which tier-0 pipeline"; Printf.sprintf "%.1f" (1000. *. !t0); pct !t0 ];
+      [ "  of which region formation"; Printf.sprintf "%.1f" (1000. *. !tr); pct !tr ];
       [ "Register allocation"; Printf.sprintf "%.1f" (1000. *. !r); pct !r ];
       [ "Encode"; Printf.sprintf "%.1f" (1000. *. !en); pct !en ];
     ];

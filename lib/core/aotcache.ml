@@ -21,7 +21,7 @@
 let magic = "CAOT1\n"
 
 type entry = {
-  e_kind : int; (* 0 = tier-0 block, 1 = region unit *)
+  e_kind : int; (* 0 = tier-0 block, 1 = region unit, 2 = template-stitched block *)
   e_va : int64; (* head VA the code was translated from *)
   e_pa : int64; (* head PA (content identity of the placement) *)
   e_el : int;
@@ -129,7 +129,7 @@ let read_entry (b : bytes) : entry =
   if Bytes.sub_string b 0 m <> magic then raise (Malformed "bad magic");
   pos := m;
   let e_kind = u8 () in
-  if e_kind > 1 then raise (Malformed "bad kind");
+  if e_kind > 2 then raise (Malformed "bad kind");
   let e_va = i64 () in
   let e_pa = i64 () in
   let e_el = u8 () in

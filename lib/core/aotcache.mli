@@ -9,7 +9,7 @@
     are rejected, never executed. *)
 
 type entry = {
-  e_kind : int;  (** 0 = tier-0 block, 1 = region unit *)
+  e_kind : int;  (** 0 = tier-0 block, 1 = region unit, 2 = template-stitched block *)
   e_va : int64;  (** head VA the code was translated from *)
   e_pa : int64;  (** head PA *)
   e_el : int;

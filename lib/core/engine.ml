@@ -33,6 +33,9 @@ type config = {
   sanitize : bool; (* shadow-oracle MMU invariant checking (Hvm.Sanitize) *)
   sanitize_every : int; (* extra periodic checkpoint every N translated blocks *)
   tiering : bool; (* tiered translation: profile tier-0 blocks, form hot regions *)
+  templates : bool; (* tier minus one: template-stitched cold translation
+                       (Hostir.Template); active only with [tiering], since
+                       promotion is what buys back code quality *)
   hot_threshold : int; (* executions of a tier-0 block before promotion *)
   region_max_blocks : int; (* maximum members in one region (all on one page) *)
   promote : bool; (* region-scoped register promotion + memory redundancy elim *)
@@ -86,6 +89,7 @@ let default_config =
     sanitize = false;
     sanitize_every = 32;
     tiering = true;
+    templates = true;
     hot_threshold = 64;
     region_max_blocks = 8;
     promote = true;
@@ -105,6 +109,13 @@ type phase_stats = {
   mutable t_translate : float;
   mutable t_regalloc : float;
   mutable t_encode : float;
+  (* per-tier wall-time split of translation work: template stitching
+     (tier -1), cold block pipeline (tier 0), region formation (tier 1);
+     t_template covers mining + patching + stitching, the others cover
+     the whole pipeline pass for their tier *)
+  mutable t_template : float;
+  mutable t_tier0 : float;
+  mutable t_region : float;
   mutable blocks_translated : int;
   mutable guest_instrs_translated : int;
   mutable host_instrs_emitted : int;
@@ -146,6 +157,18 @@ type phase_stats = {
   (* relocation-cleanliness certification (Hostir.Reloc) *)
   mutable t_reloc : float;
   mutable translate_cycles : int; (* simulated cycles charged to translation/AOT *)
+  (* per-tier ledger split of [translate_cycles]: template installs
+     (stitch + patch + kind-2 AOT loads) vs the full pipeline (cold
+     blocks, regions, kind-0/1 AOT loads); the two always sum to
+     [translate_cycles] *)
+  mutable translate_cycles_template : int;
+  mutable translate_cycles_pipeline : int;
+  (* template tier (Hostir.Template) *)
+  mutable template_blocks : int; (* blocks installed by template stitching *)
+  mutable template_instrs : int; (* guest instructions those blocks cover *)
+  mutable template_misses : int; (* instructions with no usable template *)
+  mutable template_fallback_blocks : int; (* blocks that fell back to the cold pipeline *)
+  mutable templates_mined : int; (* template variants mined this run *)
   mutable blocks_certified : int; (* tier-0 blocks certified relocation-clean *)
   mutable regions_certified : int; (* region units certified relocation-clean *)
   mutable reloc_findings : int; (* relocation-cleanliness violations *)
@@ -169,6 +192,9 @@ let new_phase_stats () =
     t_translate = 0.;
     t_regalloc = 0.;
     t_encode = 0.;
+    t_template = 0.;
+    t_tier0 = 0.;
+    t_region = 0.;
     blocks_translated = 0;
     guest_instrs_translated = 0;
     host_instrs_emitted = 0;
@@ -205,6 +231,13 @@ let new_phase_stats () =
     absint_dead_deleted = 0;
     t_reloc = 0.;
     translate_cycles = 0;
+    translate_cycles_template = 0;
+    translate_cycles_pipeline = 0;
+    template_blocks = 0;
+    template_instrs = 0;
+    template_misses = 0;
+    template_fallback_blocks = 0;
+    templates_mined = 0;
     blocks_certified = 0;
     regions_certified = 0;
     reloc_findings = 0;
@@ -227,6 +260,9 @@ let add_stats (dst : phase_stats) (d : phase_stats) =
   dst.t_translate <- dst.t_translate +. d.t_translate;
   dst.t_regalloc <- dst.t_regalloc +. d.t_regalloc;
   dst.t_encode <- dst.t_encode +. d.t_encode;
+  dst.t_template <- dst.t_template +. d.t_template;
+  dst.t_tier0 <- dst.t_tier0 +. d.t_tier0;
+  dst.t_region <- dst.t_region +. d.t_region;
   dst.blocks_translated <- dst.blocks_translated + d.blocks_translated;
   dst.guest_instrs_translated <- dst.guest_instrs_translated + d.guest_instrs_translated;
   dst.host_instrs_emitted <- dst.host_instrs_emitted + d.host_instrs_emitted;
@@ -263,6 +299,13 @@ let add_stats (dst : phase_stats) (d : phase_stats) =
   dst.absint_dead_deleted <- dst.absint_dead_deleted + d.absint_dead_deleted;
   dst.t_reloc <- dst.t_reloc +. d.t_reloc;
   dst.translate_cycles <- dst.translate_cycles + d.translate_cycles;
+  dst.translate_cycles_template <- dst.translate_cycles_template + d.translate_cycles_template;
+  dst.translate_cycles_pipeline <- dst.translate_cycles_pipeline + d.translate_cycles_pipeline;
+  dst.template_blocks <- dst.template_blocks + d.template_blocks;
+  dst.template_instrs <- dst.template_instrs + d.template_instrs;
+  dst.template_misses <- dst.template_misses + d.template_misses;
+  dst.template_fallback_blocks <- dst.template_fallback_blocks + d.template_fallback_blocks;
+  dst.templates_mined <- dst.templates_mined + d.templates_mined;
   dst.blocks_certified <- dst.blocks_certified + d.blocks_certified;
   dst.regions_certified <- dst.regions_certified + d.regions_certified;
   dst.reloc_findings <- dst.reloc_findings + d.reloc_findings;
@@ -288,7 +331,9 @@ type translation = {
   mutable t_exec_count : int;
   mutable t_cycles : int;
   (* tiered translation *)
-  mutable t_tier : int; (* 0 = profiled tier-0 block; 1 = promoted/region member *)
+  mutable t_tier : int;
+      (* -1 = template-stitched block (profiled like tier 0);
+         0 = profiled tier-0 block; 1 = promoted/region member *)
   t_members : int; (* 1 for plain blocks; number of member blocks for regions *)
   mutable t_succs : (int64 * int * int) list; (* bounded (va, el, count) profile *)
   (* Per-exit-site chain edges of a region unit, indexed by exit slot - 1:
@@ -410,6 +455,11 @@ type t = {
   jenv : jit_env;
   mutable pool : pool option; (* spawned on first enqueue when domains > 1 *)
   stress_prng : Dbt_util.Prng.t option; (* drain-schedule jitter (stress_seed) *)
+  (* template tier: the per-guest template table (mined lazily, so it
+     doubles as a warm-up memo of the offline mine-templates artifact)
+     and the per-opcode miss table behind the coverage report *)
+  mutable templates : Hostir.Template.t option;
+  template_miss : (string, int) Hashtbl.t;
 }
 
 let now () = Unix.gettimeofday ()
@@ -581,6 +631,8 @@ let rec create ?(config = default_config) (guest : Ops.ops) : t =
       jenv;
       pool = None;
       stress_prng = Option.map Dbt_util.Prng.create config.stress_seed;
+      templates = None;
+      template_miss = Hashtbl.create 32;
     }
   in
   engine_ref := Some e;
@@ -876,6 +928,20 @@ let dag_config_env (je : jit_env) ~mmu_on =
 
 let dag_config_of (e : t) ~mmu_on = dag_config_env e.jenv ~mmu_on
 
+(* The per-guest template table, created on first use (the Dag config
+   helpers above are not in scope at engine construction). *)
+let templates_of (e : t) : Hostir.Template.t =
+  match e.templates with
+  | Some tt -> tt
+  | None ->
+    let tt =
+      Hostir.Template.create
+        ~config:(fun ~mmu_on -> dag_config_of e ~mmu_on)
+        ~rf_bytes:e.jenv.je_rf_bytes ~insn_size:e.guest.Ops.insn_size
+    in
+    e.templates <- Some tt;
+    tt
+
 (* Finding logs are capped: counters keep exact totals, the logs keep
    the first [log_cap] findings in discovery order. *)
 let log_cap = 64
@@ -950,9 +1016,14 @@ let analyze_translation (e : t) ~what ~region ?(promoted = []) ~(pre : Hir.instr
    JIT/AOT work, kept out of guest-visible device time (the Machine's
    virtual-time split) so the guest's observable execution is identical
    whether its code was translated cold or installed warm. *)
-let charge_translate (e : t) n =
+let charge_translate_with (e : t) ~template n =
   Machine.charge_jit e.machine n;
-  e.stats.translate_cycles <- e.stats.translate_cycles + n
+  e.stats.translate_cycles <- e.stats.translate_cycles + n;
+  if template then
+    e.stats.translate_cycles_template <- e.stats.translate_cycles_template + n
+  else e.stats.translate_cycles_pipeline <- e.stats.translate_cycles_pipeline + n
+
+let charge_translate (e : t) n = charge_translate_with e ~template:false n
 
 (* Same ledger split as [charge_translate], plus the async sub-ledger:
    cycles charged here were spent on a worker domain while the vCPU kept
@@ -960,7 +1031,8 @@ let charge_translate (e : t) n =
    share the pool removed from the vCPU's critical path. *)
 let charge_translate_async (e : t) n =
   Machine.charge_jit_async e.machine n;
-  e.stats.translate_cycles <- e.stats.translate_cycles + n
+  e.stats.translate_cycles <- e.stats.translate_cycles + n;
+  e.stats.translate_cycles_pipeline <- e.stats.translate_cycles_pipeline + n
 
 let reloc_env_of (je : jit_env) ~n_exits ~n_slots : Hostir.Reloc.env =
   {
@@ -978,12 +1050,12 @@ let aot_cfg_sig (e : t) : int64 =
   let c = e.config in
   Hostir.Reloc.hash64
     (Bytes.of_string
-       (Printf.sprintf "%s|%d|%d|%d|%b|%b|%b|%b|%d|%b|%d|%d|%b|%d|%b" e.guest.Ops.name
+       (Printf.sprintf "%s|%d|%d|%d|%b|%b|%b|%b|%d|%b|%d|%d|%b|%d|%b|%b" e.guest.Ops.name
           e.guest.Ops.model.Ssa.Offline.opt_level
           (Ssa.Offline.total_size e.guest.Ops.model)
           e.guest.Ops.insn_size c.hw_fp c.chaining c.pcid c.split_va_check c.max_block
           c.tiering c.hot_threshold c.region_max_blocks c.promote c.promote_max_regs
-          c.absint_simplify))
+          c.absint_simplify c.templates))
 
 (* Account one certification outcome: counters, plus a capped log of
    findings (full detail, for the relocheck subcommand). *)
@@ -1043,18 +1115,25 @@ let read_guest_bytes (e : t) ~pa ~len : bytes =
    translation's 1400/guest-instruction charge. *)
 let aot_load_cost ~n_host = 50 + (n_host / 4)
 
-(* Install a certified cache entry as a tier-0 block: identical cache /
+(* Install a certified cache entry as a block: identical cache /
    page-protection / sanitizer bookkeeping to a cold translation, with
-   only the translation work replaced by the load cost. *)
-let install_aot_block (e : t) (entry : Aotcache.entry) ~va ~pa ~el ~mmu_on : translation =
+   only the translation work replaced by the load cost.  [tier] is 0 for
+   kind-0 (pipeline) entries and -1 for kind-2 (template-stitched)
+   entries, whose load cost lands in the template ledger. *)
+let install_aot_block (e : t) (entry : Aotcache.entry) ?(tier = 0) ~va ~pa ~el ~mmu_on () :
+    translation =
   let s = e.stats in
   let program = Encode.decode_program ~n_slots:entry.Aotcache.e_n_slots entry.Aotcache.e_code in
-  charge_translate e (aot_load_cost ~n_host:entry.Aotcache.e_n_host);
+  charge_translate_with e ~template:(tier < 0) (aot_load_cost ~n_host:entry.Aotcache.e_n_host);
   s.aot_hits <- s.aot_hits + 1;
   s.blocks_translated <- s.blocks_translated + 1;
   s.guest_instrs_translated <- s.guest_instrs_translated + entry.Aotcache.e_n_guest;
   s.host_instrs_emitted <- s.host_instrs_emitted + entry.Aotcache.e_n_host;
   s.host_bytes_emitted <- s.host_bytes_emitted + Bytes.length entry.Aotcache.e_code;
+  if tier < 0 then begin
+    s.template_blocks <- s.template_blocks + 1;
+    s.template_instrs <- s.template_instrs + entry.Aotcache.e_n_guest
+  end;
   let tr =
     {
       t_key = (pa, el, mmu_on);
@@ -1066,7 +1145,7 @@ let install_aot_block (e : t) (entry : Aotcache.entry) ~va ~pa ~el ~mmu_on : tra
       t_chain = None;
       t_exec_count = 0;
       t_cycles = 0;
-      t_tier = 0;
+      t_tier = tier;
       t_members = 1;
       t_succs = [];
       t_exits = [||];
@@ -1087,8 +1166,11 @@ let install_aot_block (e : t) (entry : Aotcache.entry) ~va ~pa ~el ~mmu_on : tra
 (* Try to satisfy a block-translation request from the AOT cache: the
    entry's guest bytes must match guest memory byte-for-byte, and the
    stored code must re-certify.  A flagged or corrupted entry is
-   rejected and the request falls back to cold translation. *)
-let aot_try_block (e : t) ~va ~pa ~el ~mmu_on : translation option =
+   rejected and the request falls back to cold translation.  [kind] 0
+   carries pipeline blocks (installed at tier 0), kind 2 carries
+   template-stitched blocks (installed at tier -1); only the kind-0
+   probe counts misses, since it is the final cache fallback. *)
+let aot_try_kind (e : t) ~kind ~tier ~count_miss ~va ~pa ~el ~mmu_on : translation option =
   match e.aot with
   | None -> None
   | Some cache ->
@@ -1105,14 +1187,20 @@ let aot_try_block (e : t) ~va ~pa ~el ~mmu_on : translation option =
               certify_translation e ~what ~region:false ~n_exits:0
                 ~n_slots:entry.Aotcache.e_n_slots entry.Aotcache.e_code
             with
-            | Some _ -> Some (install_aot_block e entry ~va ~pa ~el ~mmu_on)
+            | Some _ -> Some (install_aot_block e entry ~tier ~va ~pa ~el ~mmu_on ())
             | None ->
               e.stats.aot_rejects <- e.stats.aot_rejects + 1;
               None)
-        (Aotcache.candidates cache ~kind:0 ~va ~pa ~el ~mmu:mmu_on ~cfg)
+        (Aotcache.candidates cache ~kind ~va ~pa ~el ~mmu:mmu_on ~cfg)
     in
-    if Option.is_none result then e.stats.aot_misses <- e.stats.aot_misses + 1;
+    if count_miss && Option.is_none result then e.stats.aot_misses <- e.stats.aot_misses + 1;
     result
+
+let aot_try_block (e : t) ~va ~pa ~el ~mmu_on : translation option =
+  aot_try_kind e ~kind:0 ~tier:0 ~count_miss:true ~va ~pa ~el ~mmu_on
+
+let aot_try_template (e : t) ~va ~pa ~el ~mmu_on : translation option =
+  aot_try_kind e ~kind:2 ~tier:(-1) ~count_miss:false ~va ~pa ~el ~mmu_on
 
 let equiv_items_env (je : jit_env) ~el decoded : Hostir.Equiv.item list =
   let model = je.je_guest.Ops.model in
@@ -1156,6 +1244,7 @@ let translate_block_cold (e : t) sys ~va ~pa ~el ~mmu_on : translation =
   Dag.raw dag (Hir.Exit 0);
   let instrs = Dag.finish dag in
   s.t_translate <- s.t_translate +. (now () -. t1);
+  s.t_tier0 <- s.t_tier0 +. (now () -. t1);
   (* Symbolic translation validation (off the hot path unless enabled):
      check the optimized stream against a per-instruction reference
      emission from the same decode, sampled every [validate_every]th
@@ -1272,10 +1361,193 @@ let translate_block_cold (e : t) sys ~va ~pa ~el ~mmu_on : translation =
    end);
   tr
 
-let translate_block (e : t) sys ~va ~pa ~el ~mmu_on : translation =
+(* Simulated cost of installing a template-stitched block: per-guest
+   hole evaluation/patching plus per-host-instruction copy/encode.  No
+   SSA walk, DAG build, liveness or linear scan happens per block, so
+   the charge is roughly an order of magnitude below the pipeline's
+   1400/260 (mining itself is an offline per-opcode artifact, charged
+   zero here; [mine-templates] builds the same table ahead of time). *)
+let template_install_cost ~n_guest ~n_host = 40 + (150 * n_guest) + (25 * n_host)
+
+(* Tier minus one: stitch per-instruction template fragments instead of
+   running the translation pipeline.  Returns [None] (caller goes to
+   the pipeline) when any instruction's form is untemplatable or a hole
+   fails to patch.  The stitched block passes the same trust stack as a
+   cold one: post-regalloc [Verify], sampled [Equiv] validation of the
+   patched pre-regalloc stream, [Absint] obligations when enabled, and
+   [Reloc] certification before kind-2 AOT persistence. *)
+let translate_block_template (e : t) ~va ~pa ~el ~mmu_on : translation option =
+  let s = e.stats in
+  let t0 = now () in
+  let decoded, undefined_stub = decode_block e ~va ~pa in
+  s.t_decode <- s.t_decode +. (now () -. t0);
+  if undefined_stub || decoded = [] then None
+  else begin
+    let t1 = now () in
+    let model = e.guest.Ops.model in
+    let tt = templates_of e in
+    (* Look up (or mine, first time per form+pins) one fragment per
+       decoded instruction; any miss sends the whole block cold. *)
+    let rec gather acc = function
+      | [] -> Some (List.rev acc)
+      | d :: rest -> (
+        let name = d.Adl.Decode.name in
+        let action = Ssa.Offline.action model name in
+        let field = field_of ~el d in
+        let inc_pc = if d.Adl.Decode.ends_block then None else Some e.guest.Ops.insn_size in
+        match Hostir.Template.fragment tt ~action ~name ~inc_pc ~mmu_on ~field with
+        | Hostir.Template.Hit f -> gather ((f, field) :: acc) rest
+        | Hostir.Template.Mined f ->
+          s.templates_mined <- s.templates_mined + 1;
+          gather ((f, field) :: acc) rest
+        | Hostir.Template.Miss _ ->
+          s.template_misses <- s.template_misses + 1;
+          Hashtbl.replace e.template_miss name
+            (1 + (try Hashtbl.find e.template_miss name with Not_found -> 0));
+          None)
+    in
+    let result =
+      match gather [] decoded with
+      | None -> None
+      | Some frags -> (
+        match Hostir.Template.assemble tt frags with
+        | None -> None
+        | Some (pre, ra) ->
+          (* Defensive structural check on the fabricated allocation:
+             a stitching bug must fall back cold, never reach encode. *)
+          if Hostir.Verify.check ~original:pre ra <> [] then None else Some (pre, ra))
+    in
+    s.t_translate <- s.t_translate +. (now () -. t1);
+    s.t_template <- s.t_template +. (now () -. t1);
+    match result with
+    | None ->
+      s.template_fallback_blocks <- s.template_fallback_blocks + 1;
+      None
+    | Some (pre, ra) ->
+      let n = List.length decoded in
+      (* Sampled symbolic validation of the patched stream, same cadence
+         and reference emission as the cold pipeline. *)
+      (if e.config.validate_translations then begin
+         e.validate_tick <- e.validate_tick + 1;
+         if e.config.validate_every <= 1 || e.validate_tick mod e.config.validate_every = 0 then begin
+           let tv = now () in
+           trace e "validate: template block pa=0x%Lx va=0x%Lx (%d host instrs)\n%!" pa va
+             (Array.length pre);
+           let outcome =
+             Hostir.Equiv.check_block ~classify:Common.helper_kind
+               ~config:(dag_config_of e ~mmu_on) ~init_pc:(Hostir.Symexec.Const va) ~opt:pre
+               (equiv_items e ~el decoded)
+           in
+           record_validation e
+             ~what:
+               (Printf.sprintf "template block pa=0x%Lx va=0x%Lx el=%d mmu=%b" pa va el mmu_on)
+             ~region:false outcome;
+           s.t_validate <- s.t_validate +. (now () -. tv)
+         end
+       end);
+      if e.config.analyze_translations then
+        analyze_translation e
+          ~what:(Printf.sprintf "template block pa=0x%Lx va=0x%Lx el=%d mmu=%b" pa va el mmu_on)
+          ~region:false ~pre ra;
+      let t3 = now () in
+      let code = Encode.encode ra in
+      let program = Encode.decode_program ~n_slots:ra.Regalloc.n_slots code in
+      s.t_encode <- s.t_encode +. (now () -. t3);
+      let n_host = Array.length pre in
+      charge_translate_with e ~template:true (template_install_cost ~n_guest:n ~n_host);
+      s.blocks_translated <- s.blocks_translated + 1;
+      s.guest_instrs_translated <- s.guest_instrs_translated + n;
+      s.host_instrs_emitted <- s.host_instrs_emitted + n_host;
+      s.host_bytes_emitted <- s.host_bytes_emitted + Bytes.length code;
+      s.template_blocks <- s.template_blocks + 1;
+      s.template_instrs <- s.template_instrs + n;
+      let tr =
+        {
+          t_key = (pa, el, mmu_on);
+          t_va = va;
+          t_program = program;
+          t_n_guest = n;
+          t_n_host = n_host;
+          t_bytes = Bytes.length code;
+          t_chain = None;
+          t_exec_count = 0;
+          t_cycles = 0;
+          t_tier = -1;
+          t_members = 1;
+          t_succs = [];
+          t_exits = [||];
+        }
+      in
+      Codecache.publish e.cache tr.t_key tr;
+      let page = Bits.align_down pa 4096 in
+      protect_page e page;
+      (match e.sanitizer with
+      | Some sa ->
+        Hvm.Sanitize.record_translation sa ~mem:e.machine.Machine.mem ~pa ~el ~mmu:mmu_on
+          ~len:(4 * n);
+        if e.config.sanitize_every > 0 && s.blocks_translated mod e.config.sanitize_every = 0
+        then sanitize_check e ~reason:"periodic"
+      | None -> ());
+      (* Certify and persist as a kind-2 entry so warm boots install the
+         same bits without re-stitching (and without re-mining). *)
+      (if e.config.reloc_check || Option.is_some e.aot then begin
+         let what =
+           Printf.sprintf "template block pa=0x%Lx va=0x%Lx el=%d mmu=%b" pa va el mmu_on
+         in
+         match
+           certify_translation e ~what ~region:false ~n_exits:0 ~n_slots:ra.Regalloc.n_slots
+             ~ra code
+         with
+         | Some cert -> (
+           match e.aot with
+           | Some cache ->
+             let len = e.guest.Ops.insn_size * n in
+             Aotcache.store cache
+               {
+                 Aotcache.e_kind = 2;
+                 e_va = va;
+                 e_pa = pa;
+                 e_el = el;
+                 e_mmu = mmu_on;
+                 e_cfg = aot_cfg_sig e;
+                 e_members = [| (va, len) |];
+                 e_guest = read_guest_bytes e ~pa ~len;
+                 e_n_slots = ra.Regalloc.n_slots;
+                 e_n_exits = 0;
+                 e_n_guest = n;
+                 e_n_host = n_host;
+                 e_code = code;
+                 e_hash = cert.Hostir.Reloc.c_hash;
+               };
+             s.aot_stores <- s.aot_stores + 1
+           | None -> ())
+         | None -> ()
+       end);
+      Some tr
+  end
+
+(* The old [translate_block] (AOT probe then cold pipeline), reached
+   when templates are disabled, when a block's form set is
+   untemplatable, and when a template block is promoted (promotion
+   re-translates through the full pipeline). *)
+let translate_block_pipeline (e : t) sys ~va ~pa ~el ~mmu_on : translation =
   match aot_try_block e ~va ~pa ~el ~mmu_on with
   | Some tr -> tr
   | None -> translate_block_cold e sys ~va ~pa ~el ~mmu_on
+
+let translate_block (e : t) sys ~va ~pa ~el ~mmu_on : translation =
+  if e.config.templates && e.config.tiering then begin
+    let t0 = now () in
+    match aot_try_template e ~va ~pa ~el ~mmu_on with
+    | Some tr ->
+      e.stats.t_template <- e.stats.t_template +. (now () -. t0);
+      tr
+    | None -> (
+      match translate_block_template e ~va ~pa ~el ~mmu_on with
+      | Some tr -> tr
+      | None -> translate_block_pipeline e sys ~va ~pa ~el ~mmu_on)
+  end
+  else translate_block_pipeline e sys ~va ~pa ~el ~mmu_on
 
 (* --- tiered translation: hot-region formation (tier 1) ---------------------------- *)
 
@@ -1643,6 +1915,7 @@ let run_region_job (je : jit_env) (req : region_request) : region_result =
   in
   s.region_dead_stores <- s.region_dead_stores + (n0 - Array.length instrs);
   s.t_translate <- s.t_translate +. (now () -. t1);
+  s.t_region <- s.t_region +. (now () -. t1);
   let t2 = now () in
   let t_simplify = ref 0. in
   let instrs, ra, promoted =
@@ -2001,25 +2274,67 @@ let drain_jobs (e : t) : unit =
         | None -> assert false)
       taken
 
-(* Promote a hot tier-0 block: select members, then either translate
-   the region inline ([domains <= 1] — bit-identical in cycles and
-   stats to the pre-concurrency engine) or enqueue the formation job
-   and keep executing tier-0 code while a worker domain translates. *)
-let promote_block (e : t) (head : translation) : unit =
+(* A block reaching the hot threshold must run pipeline-quality code
+   from here on — the template tier is a cold-boot device, not a
+   steady-state one.  Re-translate the template-stitched record through
+   the full pipeline; the replacement inherits the profile, and chain
+   edges into the replaced record are unlinked so predecessors relink
+   through the cache (one dispatch lookup) into the new code. *)
+let repipeline (e : t) sys (old : translation) : translation =
+  let pa, el, mmu_on = old.t_key in
+  let fresh = translate_block_pipeline e sys ~va:old.t_va ~pa ~el ~mmu_on in
+  fresh.t_exec_count <- old.t_exec_count;
+  fresh.t_succs <- old.t_succs;
+  old.t_chain <- None;
+  Codecache.iter
+    (fun _ tr ->
+      (match tr.t_chain with
+      | Some (_, _, tgt) when tgt == old -> tr.t_chain <- None
+      | _ -> ());
+      Array.iteri
+        (fun i edge ->
+          match edge with
+          | Some (_, _, tgt) when tgt == old -> tr.t_exits.(i) <- None
+          | _ -> ())
+        tr.t_exits)
+    e.cache;
+  fresh
+
+(* Promote a hot tier-0 (or template) block: select members, then
+   either translate the region inline ([domains <= 1] — bit-identical
+   in cycles and stats to the pre-concurrency engine) or enqueue the
+   formation job and keep executing the current code while a worker
+   domain translates.  Template-tier records among the head and members
+   are first re-translated through the pipeline, so every tier-1
+   translation (and every record a failed job demotes back to tier 0)
+   is pipeline-built. *)
+let promote_block (e : t) sys (head : translation) : unit =
   let s = e.stats in
   let pa_head, el, mmu_on = head.t_key in
   let pa_page = Bits.align_down pa_head 4096 in
   s.promotions <- s.promotions + 1;
+  let was_template = head.t_tier < 0 in
   head.t_tier <- 1;
   let members, self_loop = select_members e head in
-  if
-    (List.length members > 1 || self_loop)
-    && not (aot_try_region e ~head ~members ~pa_page ~el ~mmu_on)
-  then begin
-    let job = make_region_job e ~head ~members in
-    if e.config.domains <= 1 then
-      install_region ~async:false e job (run_region_job e.jenv job.j_req)
-    else enqueue_job e job
+  if List.length members > 1 || self_loop then begin
+    (* A region unit will replace the head's cache entry, and the job
+       re-translates every member from guest bytes through the full
+       pipeline into the unit — so no stand-alone re-translation is
+       needed: the hot path (region entry + chained exits) runs
+       pipeline-built code, and the members' stand-alone records only
+       serve stray direct dispatches. *)
+    if not (aot_try_region e ~head ~members ~pa_page ~el ~mmu_on) then begin
+      let job = make_region_job e ~head ~members in
+      if e.config.domains <= 1 then
+        install_region ~async:false e job (run_region_job e.jenv job.j_req)
+      else enqueue_job e job
+    end
+  end
+  else if was_template then begin
+    (* Lone hot head, no region formed: its record stays published, so
+       re-translate it through the pipeline at the promoted tier. *)
+    let fresh = repipeline e sys head in
+    fresh.t_tier <- 1
   end
 
 (* Stop the worker pool: discard pending jobs, join the domains.  Safe
@@ -2145,10 +2460,10 @@ let run ?(max_cycles = max_int) ?(max_blocks = max_int) (e : t) : exit_reason =
                !cur.t_cycles <- !cur.t_cycles + (e.machine.Machine.cycles - c0);
                let next_va = e.ctx.Exec.pc in
                let next_el = e.guest.Ops.privilege_level sys in
-               if e.config.tiering && !cur.t_tier = 0 then begin
+               if e.config.tiering && !cur.t_tier <= 0 then begin
                  record_succ !cur next_va next_el;
                  if !cur.t_n_guest > 0 && !cur.t_exec_count >= e.config.hot_threshold then
-                   promote_block e !cur
+                   promote_block e sys !cur
                end;
                if
                  e.config.chaining
@@ -2245,3 +2560,17 @@ let block_stats (e : t) =
     (fun _ tr acc ->
       (tr.t_va, tr.t_n_guest, tr.t_n_host, tr.t_exec_count, tr.t_cycles, tr.t_tier) :: acc)
     e.cache []
+
+(* Per-opcode template miss counts, heaviest first (the [templates]
+   subcommand's miss table). *)
+let template_miss_table (e : t) : (string * int) list =
+  Hashtbl.fold (fun name n acc -> (name, n) :: acc) e.template_miss []
+  |> List.sort (fun (n1, c1) (n2, c2) ->
+       if c1 <> c2 then compare c2 c1 else compare n1 n2)
+
+(* The engine's template table report, empty when the table was never
+   touched (templates off, or nothing translated). *)
+let template_report (e : t) : Hostir.Template.form_report list =
+  match e.templates with Some tt -> Hostir.Template.report tt | None -> []
+
+let template_table (e : t) : Hostir.Template.t = templates_of e

@@ -557,6 +557,35 @@ let emitter (t : t) : node Ssa.Emitter.t =
 let raw t i = emit t i
 let fresh_vreg t = fresh t
 
+(* --- template-miner hooks --------------------------------------------------- *)
+
+(* The template miner (Template) emits register-file accesses whose offset
+   is a hole patched at install time, so it bypasses the emitter's
+   offset-keyed memoization and needs three extra entry points: force a
+   node to its operand now, wrap an operand it produced itself back into a
+   node (the mem_read/coproc_read pattern), and conservatively hazard every
+   pending rf load before a store whose offset is unknown at mine time. *)
+let force t n = materialize t n
+
+let done_node t (o : operand) =
+  let n = mk_node t NDone [] in
+  n.mat <- Some o;
+  n
+
+let rf_barrier t =
+  hazard t (fun n -> match n.op with NLoadRf _ -> true | _ -> false);
+  (* Drop exactly the "rf%d" memo keys; pure keys (op name ^ ":" ^ args)
+     never match the rf<digits> shape. *)
+  let is_rf_key k =
+    String.length k > 2
+    && k.[0] = 'r'
+    && k.[1] = 'f'
+    && (try String.iter (fun c -> if c < '0' || c > '9' then raise Exit) (String.sub k 2 (String.length k - 2)); true
+        with Exit -> false)
+  in
+  let keys = Hashtbl.fold (fun k _ acc -> if is_rf_key k then k :: acc else acc) t.memo [] in
+  List.iter (Hashtbl.remove t.memo) keys
+
 (* Flatten the chunks into the final instruction stream. *)
 let finish t : instr array =
   let chunks = List.rev t.chunks in

@@ -63,6 +63,20 @@ val raw : t -> Hir.instr -> unit
     (the engine's region dispatch code). *)
 val fresh_vreg : t -> Hir.operand
 
+(** Force a node to its operand at the current program point (the
+    template miner materializes hole values eagerly). *)
+val force : t -> node -> Hir.operand
+
+(** Wrap an operand produced outside the emitter back into a node (the
+    mem_read/coproc_read pattern; used by the template miner for
+    register-file loads whose offset is a hole). *)
+val done_node : t -> Hir.operand -> node
+
+(** Hazard every pending register-file load and drop all rf memo
+    entries: a store whose rf offset is unknown at mine time may alias
+    any of them. *)
+val rf_barrier : t -> unit
+
 (** Flatten the chunks into the final instruction stream. *)
 val finish : t -> Hir.instr array
 

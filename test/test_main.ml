@@ -13,6 +13,7 @@ let () =
       Test_arm.suite;
       Test_engine.suite;
       Test_tiered.suite;
+      Test_template.suite;
       Test_promote.suite;
       Test_symexec.suite;
       Test_hostir_absint.suite;
